@@ -1,0 +1,24 @@
+"""Benchmark harness conventions.
+
+Every file regenerates one figure/table/claim from the paper (see
+DESIGN.md section 4).  The interesting output is *simulated* time and
+counters - printed as a table and attached to pytest-benchmark's
+``extra_info`` - while pytest-benchmark's own wall-clock numbers just
+record how long the simulation took to execute.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Execute *fn* exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,125 @@
+"""ABL2 - one-sided vs two-sided RDMA (the section 5.1 design choice).
+
+"Design decisions are specific to each device type...  whether to use
+one- or two-sided operations for RDMA communication."  Fetching values
+from a remote store both ways, over a value-size sweep:
+
+* two-sided RPC: send the request, the server CPU looks up and replies;
+* one-sided READ: the client reads the remote value directly; the server
+  CPU never runs.
+
+Expected shape: latencies are comparable (one-sided slightly better at
+large sizes - no remote service time), but the server-CPU column is the
+real story: one-sided costs the server nothing.
+"""
+
+import struct
+
+from repro.bench.report import print_table, us
+from repro.testbed import World
+from repro.rdma.verbs import ProtectionDomain, QueuePair
+
+N_OPS = 20
+SIZES = (64, 1024, 16384)
+
+
+def make_rdma_pair():
+    w = World()
+    a, b = w.add_host("a"), w.add_host("b")
+    nic_a, nic_b = w.add_rdma(a), w.add_rdma(b)
+    qp_a = QueuePair(ProtectionDomain(nic_a))
+    qp_b = QueuePair(ProtectionDomain(nic_b))
+    qp_a.connect(nic_b.addr, qp_b.hw.qpn)
+    qp_b.connect(nic_a.addr, qp_a.hw.qpn)
+    return w, (a, nic_a, qp_a), (b, nic_b, qp_b)
+
+
+def run_two_sided(value_size):
+    w, (a, nic_a, qp_a), (b, nic_b, qp_b) = make_rdma_pair()
+    value = b"v" * value_size
+    server_stop = {"stop": False}
+
+    def server():
+        costs = b.costs
+        while not server_stop["stop"]:
+            recv_buf = b.mm.alloc(256)
+            qp_b.post_recv(recv_buf)
+            cqe = yield from qp_b.wait_recv_completion()
+            if cqe["status"] != "ok":
+                break
+            # Server CPU: parse + lookup, then reply by send.
+            yield b.cpu.busy(costs.kv_parse_ns + costs.kv_get_ns)
+            qp_b.post_send(value)
+
+    def client():
+        latencies = []
+        for _ in range(N_OPS):
+            reply_buf = a.mm.alloc(value_size + 64)
+            qp_a.post_recv(reply_buf)
+            start = w.sim.now
+            qp_a.post_send(struct.pack("!I", value_size))
+            yield from qp_a.wait_recv_completion()
+            latencies.append(w.sim.now - start)
+        server_stop["stop"] = True
+        return latencies
+
+    sp = w.sim.spawn(server())
+    cp = w.sim.spawn(client())
+    w.sim.run_until_complete(cp, limit=10**13)
+    return {
+        "latency_ns": sum(cp.value) / len(cp.value),
+        "server_cpu_ns": b.cpu.busy_ns / N_OPS,
+    }
+
+
+def run_one_sided(value_size):
+    w, (a, nic_a, qp_a), (b, nic_b, qp_b) = make_rdma_pair()
+    remote_value = b.mm.alloc(value_size)
+    remote_value.fill(b"v" * value_size)
+    w.run()  # drain setup charges
+    server_cpu_before = b.cpu.busy_ns
+
+    def client():
+        latencies = []
+        for _ in range(N_OPS):
+            landing = a.mm.alloc(value_size)
+            start = w.sim.now
+            qp_a.post_read(remote_value.addr, value_size, landing)
+            yield from qp_a.wait_send_completion()
+            latencies.append(w.sim.now - start)
+        return latencies
+
+    cp = w.sim.spawn(client())
+    w.sim.run_until_complete(cp, limit=10**13)
+    return {
+        "latency_ns": sum(cp.value) / len(cp.value),
+        "server_cpu_ns": (b.cpu.busy_ns - server_cpu_before) / N_OPS,
+    }
+
+
+def test_abl2_rdma_transport(benchmark, once):
+    def run():
+        rows = []
+        for size in SIZES:
+            two = run_two_sided(size)
+            one = run_one_sided(size)
+            rows.append((size,
+                         us(two["latency_ns"]), us(two["server_cpu_ns"]),
+                         us(one["latency_ns"]), us(one["server_cpu_ns"]),
+                         two["latency_ns"] / one["latency_ns"]))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "ABL2: two-sided RPC vs one-sided READ (remote value fetch)",
+        ["value B", "2-sided lat", "2-sided srv CPU",
+         "1-sided lat", "1-sided srv CPU", "2s/1s latency"],
+        rows,
+    )
+    for row in rows:
+        # One-sided never burns server CPU; two-sided always does.
+        assert float(row[4].split()[0]) == 0.0
+        assert float(row[2].split()[0]) > 0.0
+    # One-sided wins on latency at the largest size (no service time).
+    assert rows[-1][5] > 1.0
+    benchmark.extra_info["two_over_one_at_16k"] = rows[-1][5]

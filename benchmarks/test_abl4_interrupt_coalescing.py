@@ -1,0 +1,140 @@
+"""ABL4 - interrupt coalescing: the legacy dilemma bypass escapes.
+
+Before kernel bypass, the standard answer to interrupt overhead was NIC
+interrupt moderation: batch frames under one interrupt.  That saves CPU
+under load but *adds latency* - up to a full coalescing window per frame.
+Poll-mode bypass gets both (no interrupts at all, no added latency),
+which is the historical context for Figure 1's right-hand side.
+
+Measured here: kernel-path echo RTT and interrupts/frame with coalescing
+off vs a 20 us window, against the DPDK libOS reference.
+"""
+
+from repro.apps.echo import (
+    demi_echo_client,
+    demi_echo_server,
+    posix_echo_client,
+    posix_echo_server,
+)
+from repro.bench.report import print_table, us
+from repro.kernelos.kernel import Kernel
+from repro.testbed import World, make_dpdk_libos_pair
+
+N_MESSAGES = 15
+WINDOW_NS = 20_000
+
+
+def make_kernel_pair_coalesced(coalesce_ns):
+    w = World()
+    a = w.add_host("client")
+    b = w.add_host("server")
+    ka = Kernel(a, w.fabric, "02:00:00:00:90:01", "10.0.0.1")
+    kb = Kernel(b, w.fabric, "02:00:00:00:90:02", "10.0.0.2")
+    for kernel in (ka, kb):
+        kernel.nic.coalesce_ns = coalesce_ns
+    return w, ka, kb
+
+
+def run_kernel_echo(coalesce_ns):
+    w, ka, kb = make_kernel_pair_coalesced(coalesce_ns)
+    w.sim.spawn(posix_echo_server(kb))
+    cp = w.sim.spawn(posix_echo_client(ka, "10.0.0.2",
+                                       [b"c" * 64] * N_MESSAGES))
+    w.sim.run_until_complete(cp, limit=10**14)
+    _, stats = cp.value
+    steady = stats.samples[3:]
+    frames = (w.tracer.get("client.eth0.rx_frames")
+              + w.tracer.get("server.eth0.rx_frames"))
+    interrupts = (w.tracer.get("client.eth0.rx_interrupts")
+                  + w.tracer.get("server.eth0.rx_interrupts"))
+    return {
+        "rtt_ns": sum(steady) / len(steady),
+        "interrupts_per_frame": interrupts / max(1, frames),
+    }
+
+
+def run_dpdk_echo():
+    w, da, db = make_dpdk_libos_pair()
+    w.sim.spawn(demi_echo_server(db))
+    cp = w.sim.spawn(demi_echo_client(da, "10.0.0.2",
+                                      [b"c" * 64] * N_MESSAGES))
+    w.sim.run_until_complete(cp, limit=10**14)
+    _, stats = cp.value
+    steady = stats.samples[3:]
+    return {"rtt_ns": sum(steady) / len(steady), "interrupts_per_frame": 0.0}
+
+
+def run_kernel_stream(coalesce_ns):
+    """Bulk transfer: where coalescing actually earns its keep."""
+    w, ka, kb = make_kernel_pair_coalesced(coalesce_ns)
+
+    def server():
+        sys = kb.thread()
+        lfd = yield from sys.socket()
+        yield from sys.bind(lfd, 80)
+        yield from sys.listen(lfd)
+        fd = yield from sys.accept(lfd)
+        total = 0
+        while total < 200_000:
+            data = yield from sys.recv(fd)
+            if not data:
+                break
+            total += len(data)
+        return total
+
+    def client():
+        sys = ka.thread()
+        fd = yield from sys.socket()
+        yield from sys.connect(fd, "10.0.0.2", 80)
+        yield from sys.send(fd, b"s" * 200_000)
+
+    sp = w.sim.spawn(server())
+    w.sim.spawn(client())
+    w.sim.run_until_complete(sp, limit=10**14)
+    frames = w.tracer.get("server.eth0.rx_frames")
+    interrupts = w.tracer.get("server.eth0.rx_interrupts")
+    return {"interrupts_per_frame": interrupts / max(1, frames)}
+
+
+def test_abl4_interrupt_coalescing(benchmark, once):
+    def run():
+        return [
+            ("kernel, no coalescing", run_kernel_echo(0)),
+            ("kernel, %dus window" % (WINDOW_NS // 1000),
+             run_kernel_echo(WINDOW_NS)),
+            ("DPDK libOS (poll)", run_dpdk_echo()),
+        ]
+
+    rows = once(benchmark, run)
+    print_table(
+        "ABL4: interrupt coalescing - the latency/CPU dilemma",
+        ["path", "echo RTT", "interrupts/frame"],
+        [(name, us(r["rtt_ns"]), "%.2f" % r["interrupts_per_frame"])
+         for name, r in rows],
+    )
+    results = dict(rows)
+    plain = results["kernel, no coalescing"]
+    coalesced = results["kernel, %dus window" % (WINDOW_NS // 1000)]
+    bypass = results["DPDK libOS (poll)"]
+
+    # The CPU side of the trade is visible under *streaming* load.
+    stream_plain = run_kernel_stream(0)
+    stream_coalesced = run_kernel_stream(WINDOW_NS)
+    print_table(
+        "ABL4b: 200KB bulk receive - interrupts per frame",
+        ["setting", "interrupts/frame"],
+        [("no coalescing", "%.2f" % stream_plain["interrupts_per_frame"]),
+         ("%dus window" % (WINDOW_NS // 1000),
+          "%.2f" % stream_coalesced["interrupts_per_frame"])],
+    )
+
+    # Coalescing trades latency (ping-pong RTT up)...
+    assert coalesced["rtt_ns"] > plain["rtt_ns"]
+    # ...for CPU (streaming interrupts per frame sharply down)...
+    assert (stream_coalesced["interrupts_per_frame"]
+            < stream_plain["interrupts_per_frame"] / 2)
+    # ...while bypass simply wins both axes.
+    assert bypass["rtt_ns"] < plain["rtt_ns"]
+    assert bypass["interrupts_per_frame"] == 0.0
+    benchmark.extra_info["coalescing_latency_penalty_us"] = (
+        coalesced["rtt_ns"] - plain["rtt_ns"]) / 1000.0

@@ -1,0 +1,76 @@
+"""C6 - offloadable queue pipelines (sections 4.2-4.3).
+
+The key-steering pipeline from the paper's FlexNIC example: a partition
+function evaluated on every inbound element, placed either on the host
+CPU (plain NIC) or on the device's offload engine (programmable NIC).
+Offload removes the per-element evaluation from the host entirely.
+"""
+
+from repro.apps.steering import SteeringPipeline
+from repro.bench.report import print_table, us
+from repro.core.api import LibOS
+from repro.hw.offload import OffloadEngine
+from repro.testbed import World
+
+N_ELEMENTS = 400
+N_PARTITIONS = 4
+
+
+def run_steering(with_offload):
+    w = World()
+    host = w.add_host("h", cores=2)
+    libos = LibOS(host, "demi")
+    engine = None
+    if with_offload:
+        engine = OffloadEngine(host)
+        libos.offload_engine = engine
+    pipeline = SteeringPipeline(libos, N_PARTITIONS)
+    payloads = [bytes([i % 251]) + b"x" * 127 for i in range(N_ELEMENTS)]
+    expected = [0] * N_PARTITIONS
+    for p in payloads:
+        expected[p[0] % N_PARTITIONS] += 1
+
+    def proc():
+        start = w.sim.now
+        yield from pipeline.inject(payloads)
+        for partition in range(N_PARTITIONS):
+            yield from pipeline.drain_partition(partition,
+                                                expected[partition])
+        return w.sim.now - start
+
+    pr = w.sim.spawn(proc())
+    w.sim.run_until_complete(pr, limit=10**13)
+    pipeline.stop()
+    return {
+        "placement": "device" if with_offload else "host CPU",
+        "elapsed_ns": pr.value,
+        "host_cpu_ns": libos.core.busy_ns,
+        "device_ns": engine.device_busy_ns if engine else 0,
+        "routed": pipeline.routed,
+    }
+
+
+def test_c6_offload_pipeline(benchmark, once):
+    def run():
+        return [run_steering(False), run_steering(True)]
+
+    cpu_run, dev_run = once(benchmark, run)
+    rows = [
+        (r["placement"], r["routed"], us(r["host_cpu_ns"]),
+         us(r["device_ns"]), us(r["host_cpu_ns"] / N_ELEMENTS))
+        for r in (cpu_run, dev_run)
+    ]
+    print_table(
+        "C6: key-steering filter placement (%d elements, %d partitions)"
+        % (N_ELEMENTS, N_PARTITIONS),
+        ["placement", "elements routed", "host CPU total",
+         "device total", "host CPU / element"],
+        rows,
+    )
+    assert cpu_run["routed"] == dev_run["routed"] == N_ELEMENTS
+    saved = cpu_run["host_cpu_ns"] - dev_run["host_cpu_ns"]
+    # The evaluation cost moved to the device, element for element.
+    per_element = 250  # costs.pipeline_element_cpu_ns
+    assert saved >= 0.9 * N_ELEMENTS * per_element
+    assert dev_run["device_ns"] > 0
+    benchmark.extra_info["host_cpu_saved_ns"] = saved

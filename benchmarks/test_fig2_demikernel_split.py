@@ -1,0 +1,104 @@
+"""FIG2 - the Demikernel architecture split (paper Figure 2).
+
+Control-path operations (connection setup - infrequent, allowed to be
+slow, left to kernel-style services) vs data-path operations (push+pop
+round trips - on every I/O) across every library OS.  The architecture
+holds if the data path is microsecond-scale on the bypass libOSes while
+control-path costs are comparable (and much larger) everywhere.
+"""
+
+from repro.apps.echo import demi_echo_client, demi_echo_server
+from repro.bench.report import print_table, us
+from repro.testbed import (
+    make_dpdk_libos_pair,
+    make_posix_libos_pair,
+    make_rdma_libos_pair,
+    make_spdk_libos,
+)
+
+N_MESSAGES = 20
+
+
+def _network_split(make_pair, server_addr):
+    """(control-path connect ns, data-path RTT mean ns) for one libOS."""
+    result = {}
+
+    # Control path: a throwaway world so the probe connection doesn't
+    # consume the single-accept echo server below.
+    w1, client1, server1 = make_pair()
+    w1.sim.spawn(demi_echo_server(server1))
+
+    def connect_probe():
+        qd = yield from client1.socket()
+        start = w1.sim.now
+        yield from client1.connect(qd, server_addr, 7)
+        result["control_ns"] = w1.sim.now - start
+        yield from client1.close(qd)
+
+    p = w1.sim.spawn(connect_probe())
+    w1.sim.run_until_complete(p, limit=10**13)
+
+    # Data path: fresh world, steady-state echo RTT.
+    w2, client2, server2 = make_pair()
+    w2.sim.spawn(demi_echo_server(server2))
+    cp = w2.sim.spawn(demi_echo_client(client2, server_addr,
+                                       [b"d" * 64] * N_MESSAGES))
+    w2.sim.run_until_complete(cp, limit=10**13)
+    _, stats = cp.value
+    result["data_ns"] = sum(stats.samples[3:]) / len(stats.samples[3:])
+    return result
+
+
+def _storage_split():
+    w, libos = make_spdk_libos()
+    result = {}
+
+    def proc():
+        start = w.sim.now
+        qd = yield from libos.creat("/fig2")
+        result["control_ns"] = w.sim.now - start
+        # warm-up
+        for _ in range(3):
+            yield from libos.blocking_push(qd, libos.sga_alloc(b"d" * 64))
+        start = w.sim.now
+        for _ in range(N_MESSAGES):
+            yield from libos.blocking_push(qd, libos.sga_alloc(b"d" * 64))
+            yield from libos.blocking_pop(qd)
+        result["data_ns"] = (w.sim.now - start) / N_MESSAGES
+
+    p = w.sim.spawn(proc())
+    w.sim.run_until_complete(p, limit=10**13)
+    return result
+
+
+def test_fig2_demikernel_split(benchmark, once):
+    def run():
+        rows = []
+        for name, make_pair, addr in (
+            ("catnip (DPDK)", make_dpdk_libos_pair, "10.0.0.2"),
+            ("catmint (RDMA)", make_rdma_libos_pair, "server-rdma"),
+            ("catnap (POSIX)", make_posix_libos_pair, "10.0.0.2"),
+        ):
+            r = _network_split(make_pair, addr)
+            rows.append((name, us(r["control_ns"]), us(r["data_ns"]),
+                         r["control_ns"] / r["data_ns"]))
+        r = _storage_split()
+        rows.append(("catfish (SPDK)", us(r["control_ns"]), us(r["data_ns"]),
+                     r["control_ns"] / r["data_ns"]))
+        return rows
+
+    rows = once(benchmark, run)
+    print_table(
+        "Figure 2: control path vs data path per library OS",
+        ["libOS", "control (connect/creat)", "data (per element)",
+         "control/data ratio"],
+        rows,
+    )
+    # Data path is microseconds on the bypass libOSes...
+    by_name = {r[0]: r for r in rows}
+    assert float(by_name["catnip (DPDK)"][2].split()[0]) < 10
+    assert float(by_name["catmint (RDMA)"][2].split()[0]) < 10
+    # ...and on those libOSes the control path is the slow, infrequent
+    # part - fine to leave in kernel-style services (section 4.1).
+    assert by_name["catnip (DPDK)"][3] > 1.0
+    assert by_name["catmint (RDMA)"][3] > 1.0

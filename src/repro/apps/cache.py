@@ -1,0 +1,219 @@
+"""A memcached-like cache server on the libevent-style event loop.
+
+Section 4.4: "we plan to implement a libevent-based Demikernel OS, which
+would enable applications, like memcached, to achieve the benefits of
+kernel-bypass transparently."  This is that application shape: a
+callback-structured cache server - per-connection request callbacks plus
+a periodic expiry timer - running entirely on
+:class:`repro.core.eventloop.DemiEventLoop`, so it works unchanged on any
+libOS.
+
+Protocol (big-endian), one request per queue element::
+
+    request:  op:u8 ('S'|'G'|'D')  klen:u16  key
+              [S: ttl_ms:u32  vlen:u32  value]
+    response: status:u8 ('H' hit | 'M' miss | 'S' stored | 'D' deleted)
+              [H: vlen:u32  value]
+
+Cache policy: bounded entry count with LRU eviction; per-entry TTL
+enforced lazily on access and eagerly by the timer sweep.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Generator, Optional, Tuple
+
+from ..core.api import LibOS
+from ..core.eventloop import DemiEventLoop
+from ..core.types import Sga
+
+__all__ = ["CacheServer", "CacheStats", "cache_client",
+           "encode_set", "encode_get", "encode_delete", "decode_reply"]
+
+OP_SET = ord("S")
+OP_GET = ord("G")
+OP_DELETE = ord("D")
+ST_HIT = ord("H")
+ST_MISS = ord("M")
+ST_STORED = ord("S")
+ST_DELETED = ord("D")
+
+
+# -- codec ---------------------------------------------------------------
+
+def encode_set(key: bytes, value: bytes, ttl_ms: int = 0) -> bytes:
+    return (struct.pack("!BH", OP_SET, len(key)) + key
+            + struct.pack("!II", ttl_ms, len(value)) + value)
+
+
+def encode_get(key: bytes) -> bytes:
+    return struct.pack("!BH", OP_GET, len(key)) + key
+
+
+def encode_delete(key: bytes) -> bytes:
+    return struct.pack("!BH", OP_DELETE, len(key)) + key
+
+
+def decode_reply(data: bytes) -> Tuple[int, Optional[bytes]]:
+    status = data[0]
+    if status == ST_HIT:
+        (vlen,) = struct.unpack_from("!I", data, 1)
+        return status, data[5:5 + vlen]
+    return status, None
+
+
+def _decode_request(data: bytes):
+    op, klen = struct.unpack_from("!BH", data, 0)
+    key = data[3:3 + klen]
+    if op == OP_SET:
+        ttl_ms, vlen = struct.unpack_from("!II", data, 3 + klen)
+        value = data[3 + klen + 8:3 + klen + 8 + vlen]
+        return op, key, ttl_ms, value
+    return op, key, 0, None
+
+
+class CacheStats:
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.sets = 0
+        self.deletes = 0
+        self.evictions = 0
+        self.expirations = 0
+
+
+class _Entry:
+    __slots__ = ("value", "expires_at")
+
+    def __init__(self, value: bytes, expires_at: Optional[int]):
+        self.value = value
+        self.expires_at = expires_at  # sim ns, None = no TTL
+
+
+class CacheServer:
+    """LRU+TTL cache served through DemiEventLoop callbacks."""
+
+    SWEEP_INTERVAL_NS = 1_000_000  # 1 ms
+
+    def __init__(self, libos: LibOS, port: int = 11211,
+                 max_entries: int = 1024):
+        self.libos = libos
+        self.port = port
+        self.max_entries = max_entries
+        self.loop = DemiEventLoop(libos)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self._started = False
+
+    # -- cache policy ------------------------------------------------------
+    def _now(self) -> int:
+        return self.libos.sim.now
+
+    def _get(self, key: bytes) -> Optional[bytes]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expires_at is not None and entry.expires_at <= self._now():
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)  # LRU touch
+        self.stats.hits += 1
+        return entry.value
+
+    def _set(self, key: bytes, value: bytes, ttl_ms: int) -> None:
+        expires = None if ttl_ms == 0 else self._now() + ttl_ms * 1_000_000
+        self._entries[key] = _Entry(value, expires)
+        self._entries.move_to_end(key)
+        self.stats.sets += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)  # evict the LRU entry
+            self.stats.evictions += 1
+
+    def _delete(self, key: bytes) -> bool:
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.deletes += 1
+            return True
+        return False
+
+    def _sweep_expired(self) -> None:
+        now = self._now()
+        dead = [key for key, entry in self._entries.items()
+                if entry.expires_at is not None and entry.expires_at <= now]
+        for key in dead:
+            del self._entries[key]
+            self.stats.expirations += 1
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    # -- server plumbing ------------------------------------------------------
+    def start(self) -> Generator:
+        """Spawn-me: listen, register callbacks, run the event loop."""
+        libos = self.libos
+        listen_qd = yield from libos.socket()
+        yield from libos.bind(listen_qd, self.port)
+        yield from libos.listen(listen_qd)
+        self.loop.add_timer(self.SWEEP_INTERVAL_NS,
+                            self._sweep_expired, periodic=True)
+        libos.sim.spawn(self._acceptor(listen_qd),
+                        name="cache.acceptor")
+        self._started = True
+        yield from self.loop.run()
+
+    def stop(self) -> None:
+        self.loop.stop()
+
+    def _acceptor(self, listen_qd: int) -> Generator:
+        while True:
+            qd = yield from self.libos.accept(listen_qd)
+            self.loop.add_pop_event(qd, self._make_handler(qd))
+
+    def _make_handler(self, qd: int):
+        def on_request(result):
+            if result.error is not None:
+                return  # connection gone; one-shot cleanup via loop
+            yield from self._serve(qd, result.sga)
+        return on_request
+
+    def _serve(self, qd: int, request: Sga) -> Generator:
+        libos = self.libos
+        yield libos.core.busy(libos.costs.kv_parse_ns)
+        op, key, ttl_ms, value = _decode_request(request.tobytes())
+        if op == OP_SET:
+            yield libos.core.busy(libos.costs.kv_put_ns)
+            self._set(key, bytes(value), ttl_ms)
+            reply = bytes([ST_STORED])
+        elif op == OP_GET:
+            yield libos.core.busy(libos.costs.kv_get_ns)
+            found = self._get(key)
+            if found is None:
+                reply = bytes([ST_MISS])
+            else:
+                reply = struct.pack("!BI", ST_HIT, len(found)) + found
+        elif op == OP_DELETE:
+            yield libos.core.busy(libos.costs.kv_get_ns)
+            reply = bytes([ST_DELETED if self._delete(key) else ST_MISS])
+        else:
+            reply = bytes([ST_MISS])
+        yield from libos.blocking_push(qd, libos.sga_alloc(reply))
+
+
+def cache_client(libos: LibOS, server_addr: str, requests,
+                 port: int = 11211) -> Generator:
+    """Send raw encoded requests; returns decoded (status, value) pairs."""
+    qd = yield from libos.socket()
+    yield from libos.connect(qd, server_addr, port)
+    replies = []
+    for request in requests:
+        yield from libos.blocking_push(qd, libos.sga_alloc(request))
+        result = yield from libos.blocking_pop(qd)
+        replies.append(decode_reply(result.sga.tobytes()))
+    yield from libos.close(qd)
+    return replies

@@ -1,0 +1,336 @@
+"""A Redis-like in-memory key-value store (the paper's running example).
+
+One protocol, one storage engine, two server frontends:
+
+* :class:`DemiKvServer` - the Demikernel version: a ``wait_any`` event
+  loop over per-connection pop tokens, zero-copy responses (the reply
+  sga's value segment *is* the stored buffer), and the section-4.5 PUT
+  pattern - allocate a fresh value buffer and swap the pointer, never
+  update in place, so free-protection makes the old buffer safe to free
+  even mid-DMA.
+* :func:`posix_kv_server` - the same engine behind kernel sockets, with
+  the copies and syscalls that entails.
+
+Wire format (all integers big-endian)::
+
+    request:  op:u8 ('G'|'P')  klen:u16  key  [vlen:u32  value]
+    response: status:u8 ('K'|'N')  [vlen:u32  value]
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..core.api import LibOS
+from ..core.types import Sga, SgaSegment
+from ..kernelos.kernel import Kernel
+from ..memory.buffer import Buffer
+from ..netstack.framing import Deframer, frame_message
+from ..sim.rand import Rng
+from ..sim.trace import LatencyStats
+
+__all__ = [
+    "KvEngine",
+    "DemiKvServer",
+    "posix_kv_server",
+    "demi_kv_client",
+    "posix_kv_client",
+    "kv_workload",
+    "encode_get",
+    "encode_put",
+    "decode_response",
+]
+
+OP_GET = ord("G")
+OP_PUT = ord("P")
+STATUS_OK = ord("K")
+STATUS_MISSING = ord("N")
+
+
+# ---------------------------------------------------------------------------
+# Protocol codec
+# ---------------------------------------------------------------------------
+
+def encode_get(key: bytes) -> bytes:
+    return struct.pack("!BH", OP_GET, len(key)) + key
+
+
+def encode_put(key: bytes, value: bytes) -> bytes:
+    return (struct.pack("!BH", OP_PUT, len(key)) + key
+            + struct.pack("!I", len(value)) + value)
+
+
+def decode_request(data: bytes) -> Tuple[int, bytes, Optional[bytes]]:
+    op, klen = struct.unpack_from("!BH", data, 0)
+    key = data[3:3 + klen]
+    if op == OP_PUT:
+        (vlen,) = struct.unpack_from("!I", data, 3 + klen)
+        value = data[3 + klen + 4:3 + klen + 4 + vlen]
+        return op, key, value
+    return op, key, None
+
+
+def decode_response(data: bytes) -> Tuple[bool, Optional[bytes]]:
+    status = data[0]
+    if status != STATUS_OK:
+        return False, None
+    (vlen,) = struct.unpack_from("!I", data, 1)
+    return True, data[5:5 + vlen]
+
+
+# ---------------------------------------------------------------------------
+# The storage engine (shared by both frontends)
+# ---------------------------------------------------------------------------
+
+class KvEngine:
+    """Hash table of key -> value :class:`Buffer` with Redis-like costs."""
+
+    def __init__(self, host, name: str = "kv"):
+        self.host = host
+        self.mm = host.mm
+        self.costs = host.costs
+        self.tracer = host.tracer
+        self.name = name
+        self._table: Dict[bytes, Buffer] = {}
+        self.gets = 0
+        self.puts = 0
+        self.misses = 0
+
+    def parse_cost(self) -> int:
+        return self.costs.kv_parse_ns
+
+    def get(self, key: bytes) -> Optional[Buffer]:
+        """GET work (hash lookup); the value buffer is shared, not copied."""
+        self.gets += 1
+        buf = self._table.get(key)
+        if buf is None:
+            self.misses += 1
+        return buf
+
+    def put(self, key: bytes, value: bytes) -> Buffer:
+        """The section-4.5 pattern: new buffer, pointer swap, free old.
+
+        The old buffer may still be referenced by an in-flight zero-copy
+        GET response; free-protection defers its deallocation until the
+        device lets go - no coordination needed here.
+        """
+        self.puts += 1
+        new_buf = self.mm.alloc(max(1, len(value)))
+        new_buf.write(0, value)
+        old = self._table.get(key)
+        self._table[key] = new_buf
+        if old is not None and not old.freed:
+            self.mm.free(old)
+        return new_buf
+
+    def service_cost(self, op: int) -> int:
+        return self.costs.kv_get_ns if op == OP_GET else self.costs.kv_put_ns
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+# ---------------------------------------------------------------------------
+# Demikernel frontend
+# ---------------------------------------------------------------------------
+
+class DemiKvServer:
+    """Event-driven KV server on the Figure-3 API.
+
+    The main loop is a single ``wait_any`` over (a) an accept token and
+    (b) one outstanding pop token per connection - the structure the
+    paper says applications should have instead of epoll loops.
+    """
+
+    def __init__(self, libos: LibOS, port: int = 6379,
+                 engine: Optional[KvEngine] = None):
+        self.libos = libos
+        self.engine = engine or KvEngine(libos.host, name=libos.name + ".kv")
+        self.port = port
+        self.requests_served = 0
+        #: application service time per request: pop completion ->
+        #: response push completion (what C1 measures)
+        self.service_stats = LatencyStats("kv-service")
+        self._stop = False
+        self._status_ok: Optional[Buffer] = None
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def run(self) -> Generator:
+        """The server process body (spawn it)."""
+        libos = self.libos
+        listen_qd = yield from libos.socket()
+        yield from libos.bind(listen_qd, self.port)
+        yield from libos.listen(listen_qd)
+        # Serve connections as they come; one outstanding pop per conn.
+        conn_tokens: List[int] = []
+        conn_qds: List[int] = []
+        accept_proc = libos.sim.spawn(self._acceptor(listen_qd, conn_qds),
+                                      name="kv.acceptor")
+        while not self._stop:
+            # Refresh the token set: one pop token per known connection.
+            while len(conn_tokens) < len(conn_qds):
+                conn_tokens.append(libos.pop(conn_qds[len(conn_tokens)]))
+            if not conn_tokens:
+                yield libos.sim.timeout(10_000)
+                continue
+            index, result = yield from libos.wait_any(conn_tokens,
+                                                      timeout_ns=1_000_000)
+            if index < 0:
+                continue
+            qd = conn_qds[index]
+            if result.error is not None:
+                # Connection finished: drop it from the sets.
+                conn_qds.pop(index)
+                conn_tokens.pop(index)
+                continue
+            yield from self._serve(qd, result.sga)
+            conn_tokens[index] = libos.pop(qd)
+        accept_proc.interrupt("server stopped")
+        return self.requests_served
+
+    def _acceptor(self, listen_qd: int, conn_qds: List[int]) -> Generator:
+        while not self._stop:
+            qd = yield from self.libos.accept(listen_qd)
+            conn_qds.append(qd)
+
+    def _serve(self, qd: int, request_sga: Sga) -> Generator:
+        libos = self.libos
+        engine = self.engine
+        service_start = libos.sim.now
+        yield libos.core.busy(engine.parse_cost())
+        op, key, value = decode_request(request_sga.tobytes())
+        yield libos.core.busy(engine.service_cost(op))
+        if op == OP_PUT:
+            engine.put(key, bytes(value))
+            reply = self._small_reply(struct.pack("!BI", STATUS_OK, 0))
+        else:
+            buf = engine.get(key)
+            if buf is None:
+                reply = self._small_reply(bytes([STATUS_MISSING]))
+            else:
+                # Zero-copy response: header segment + the stored value
+                # buffer itself as the second segment.
+                header = libos.mm.alloc(5)
+                header.write(0, struct.pack("!BI", STATUS_OK, buf.capacity))
+                reply = Sga([SgaSegment(header), SgaSegment(buf)])
+        yield from libos.blocking_push(qd, reply)
+        self.service_stats.add(libos.sim.now - service_start)
+        self.requests_served += 1
+
+    def _small_reply(self, payload: bytes) -> Sga:
+        buf = self.libos.mm.alloc(len(payload))
+        buf.write(0, payload)
+        return Sga.from_buffer(buf, len(payload))
+
+
+def demi_kv_client(libos: LibOS, server_addr: str,
+                   operations: Sequence[Tuple[int, bytes, Optional[bytes]]],
+                   port: int = 6379,
+                   stats: Optional[LatencyStats] = None) -> Generator:
+    """Run (op, key, value) operations; returns (results, stats)."""
+    stats = stats if stats is not None else LatencyStats("kv-rtt")
+    qd = yield from libos.socket()
+    yield from libos.connect(qd, server_addr, port)
+    results = []
+    for op, key, value in operations:
+        request = encode_put(key, value) if op == OP_PUT else encode_get(key)
+        start = libos.sim.now
+        yield from libos.blocking_push(qd, libos.sga_alloc(request))
+        result = yield from libos.blocking_pop(qd)
+        stats.add(libos.sim.now - start)
+        results.append(decode_response(result.sga.tobytes())
+                       if op == OP_GET else None)
+    yield from libos.close(qd)
+    return results, stats
+
+
+# ---------------------------------------------------------------------------
+# POSIX frontend (the copying baseline)
+# ---------------------------------------------------------------------------
+
+def posix_kv_server(kernel: Kernel, engine: KvEngine, port: int = 6379,
+                    max_requests: int = 0) -> Generator:
+    """The same engine behind kernel sockets: copies on every hop."""
+    sys = kernel.thread()
+    listen_fd = yield from sys.socket()
+    yield from sys.bind(listen_fd, port)
+    yield from sys.listen(listen_fd)
+    conn_fd = yield from sys.accept(listen_fd)
+    deframer = Deframer()
+    served = 0
+    core = kernel.host.cpu
+    while max_requests == 0 or served < max_requests:
+        data = yield from sys.recv(conn_fd)
+        if not data:
+            break
+        for message in deframer.feed(data):
+            yield core.busy(engine.parse_cost())
+            op, key, value = decode_request(message)
+            yield core.busy(engine.service_cost(op))
+            if op == OP_PUT:
+                engine.put(key, bytes(value))
+                reply = struct.pack("!BI", STATUS_OK, 0)
+            else:
+                buf = engine.get(key)
+                if buf is None:
+                    reply = bytes([STATUS_MISSING])
+                else:
+                    # POSIX cannot hand the stored buffer to the NIC: the
+                    # value is copied into the reply (and copied again
+                    # crossing into the kernel inside send()).
+                    yield core.busy(kernel.costs.copy_ns(buf.capacity))
+                    kernel.count("kv_value_copies")
+                    reply = (struct.pack("!BI", STATUS_OK, buf.capacity)
+                             + buf.read())
+            yield from sys.send(conn_fd, frame_message(reply))
+            served += 1
+    return served
+
+
+def posix_kv_client(kernel: Kernel, server_ip: str,
+                    operations: Sequence[Tuple[int, bytes, Optional[bytes]]],
+                    port: int = 6379,
+                    stats: Optional[LatencyStats] = None) -> Generator:
+    stats = stats if stats is not None else LatencyStats("kv-rtt")
+    sys = kernel.thread()
+    fd = yield from sys.socket()
+    yield from sys.connect(fd, server_ip, port)
+    deframer = Deframer()
+    results = []
+    for op, key, value in operations:
+        request = encode_put(key, value) if op == OP_PUT else encode_get(key)
+        start = kernel.sim.now
+        yield from sys.send(fd, frame_message(request))
+        reply = None
+        while reply is None:
+            data = yield from sys.recv(fd)
+            if not data:
+                break
+            messages = deframer.feed(data)
+            if messages:
+                reply = messages[0]
+        stats.add(kernel.sim.now - start)
+        results.append(decode_response(reply) if op == OP_GET else None)
+    yield from sys.close(fd)
+    return results, stats
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def kv_workload(rng: Rng, n_ops: int, n_keys: int = 1000,
+                value_size: int = 1024, get_fraction: float = 0.9,
+                zipf_skew: float = 0.99) -> List[Tuple[int, bytes, Optional[bytes]]]:
+    """A YCSB-ish operation mix with a Zipf-hot key distribution."""
+    ops: List[Tuple[int, bytes, Optional[bytes]]] = []
+    for _ in range(n_ops):
+        key = b"key-%08d" % rng.zipf_index(n_keys, zipf_skew)
+        if rng.chance(get_fraction):
+            ops.append((OP_GET, key, None))
+        else:
+            ops.append((OP_PUT, key, rng.bytes(value_size)))
+    return ops

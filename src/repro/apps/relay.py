@@ -1,0 +1,39 @@
+"""A relay/proxy built from ``qconnect`` (section 4.3).
+
+The queue-composition story in application form: a relay host accepts a
+client connection and opens one to a backend, then simply cross-connects
+the two network queues - ``qconnect(client_q, backend_q)`` and
+``qconnect(backend_q, client_q)``.  After setup the relay's *application*
+code never touches another element: the connectors move whole sgas
+between the queues, and on an offload-capable device such a pipeline is
+exactly what the paper envisions pushing into hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..core.api import LibOS
+
+__all__ = ["run_relay"]
+
+
+def run_relay(libos: LibOS, listen_port: int, backend_addr: str,
+              backend_port: int) -> Generator:
+    """Accept one client, connect to the backend, cross-connect queues.
+
+    Returns the (forward, backward) QueueConnector handles so the caller
+    can inspect `.moved` counts or stop the relay.
+    """
+    listen_qd = yield from libos.socket()
+    yield from libos.bind(listen_qd, listen_port)
+    yield from libos.listen(listen_qd)
+    client_qd = yield from libos.accept(listen_qd)
+
+    backend_qd = yield from libos.socket()
+    yield from libos.connect(backend_qd, backend_addr, backend_port)
+
+    forward = libos.qconnect(client_qd, backend_qd)
+    backward = libos.qconnect(backend_qd, client_qd)
+    libos.count("relay_established")
+    return forward, backward

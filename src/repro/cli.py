@@ -1,0 +1,86 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``        - the quickstart echo, inline;
+* ``experiments`` - a fast subset of the paper experiments, as tables
+  (the full set lives in ``benchmarks/`` under pytest-benchmark);
+* ``costs``       - dump the active cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps.echo import demi_echo_client, demi_echo_server
+from .bench.report import print_table, us
+from .bench.runners import echo_rtt_all_stacks, kv_value_size_sweep
+from .sim.costs import DEFAULT_COSTS
+from .testbed import make_dpdk_libos_pair
+
+__all__ = ["main"]
+
+
+def cmd_demo(_args) -> int:
+    world, client, server = make_dpdk_libos_pair()
+    world.sim.spawn(demi_echo_server(server))
+    messages = [b"demo-%d" % i for i in range(5)]
+    proc = world.sim.spawn(demi_echo_client(client, "10.0.0.2", messages))
+    world.run()
+    replies, stats = proc.value
+    print("echoed %d messages over the Demikernel DPDK libOS" % len(replies))
+    print("steady-state RTT: %s" % us(stats.samples[-1]))
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    rows = echo_rtt_all_stacks(message_size=64, count=15)
+    print_table(
+        "echo RTT across every stack (64 B messages)",
+        ["stack", "RTT mean", "RTT p99", "syscalls/req", "copied B/req"],
+        [(r["flavor"], us(r["rtt_mean_ns"]), us(r["rtt_p99_ns"]),
+          "%.1f" % r["syscalls_per_req"],
+          "%.0f" % r["copies_bytes_per_req"]) for r in rows],
+    )
+    sweep = kv_value_size_sweep((64, 4096), n_gets=10)
+    print_table(
+        "KV GET: POSIX copies vs Demikernel zero-copy",
+        ["value B", "POSIX RTT", "Demikernel RTT", "ratio"],
+        [(r["value_size"], us(r["posix_rtt_ns"]), us(r["demi_rtt_ns"]),
+          "%.2f" % r["posix_over_demi"]) for r in sweep],
+    )
+    print("\nfull suite: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def cmd_costs(_args) -> int:
+    print_table(
+        "active cost model (ns unless noted)",
+        ["constant", "value"],
+        sorted(DEFAULT_COSTS.as_dict().items()),
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Demikernel reproduction (HotOS 2019) - simulated "
+                    "kernel-bypass library OSes",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run the quickstart echo").set_defaults(
+        fn=cmd_demo)
+    sub.add_parser("experiments",
+                   help="run a fast subset of the paper experiments"
+                   ).set_defaults(fn=cmd_experiments)
+    sub.add_parser("costs", help="print the cost model").set_defaults(
+        fn=cmd_costs)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

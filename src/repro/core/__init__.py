@@ -1,0 +1,35 @@
+"""The Demikernel: I/O queues, the Figure-3 syscall API, wait scheduler."""
+
+from .api import LibOS
+from .eventloop import DemiEventLoop, EventHandle
+from .pipeline import (
+    FilteredQueue,
+    MappedQueue,
+    MergedQueue,
+    QueueConnector,
+    SortedQueue,
+)
+from .queue import DemiQueue, MemoryQueue
+from .types import OP_POP, OP_PUSH, DemiError, QResult, QToken, Sga, SgaSegment
+from .wait import QTokenTable
+
+__all__ = [
+    "LibOS",
+    "DemiEventLoop",
+    "EventHandle",
+    "DemiQueue",
+    "MemoryQueue",
+    "FilteredQueue",
+    "MappedQueue",
+    "MergedQueue",
+    "SortedQueue",
+    "QueueConnector",
+    "Sga",
+    "SgaSegment",
+    "QResult",
+    "QToken",
+    "QTokenTable",
+    "DemiError",
+    "OP_PUSH",
+    "OP_POP",
+]

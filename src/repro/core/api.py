@@ -1,0 +1,208 @@
+"""The Demikernel system-call interface (Figure 3 of the paper).
+
+:class:`LibOS` is the abstract base every library OS implements.  It owns
+the queue-descriptor table, the qtoken table, and the data-path calls
+(``push``/``pop``/``wait_*``/``blocking_*``) plus the queue-pipeline
+control calls (``queue``/``merge``/``filter``/``sort``/``map``/
+``qconnect``).  Device-facing control-path calls (``socket``, ``accept``,
+``open``...) are defined here with the paper's signatures and overridden
+by each libOS for its accelerator.
+
+Conventions (see DESIGN.md):
+
+* data-path calls are plain functions - they never block, exactly as the
+  paper requires; they return a qtoken;
+* ``wait``/``wait_any``/``wait_all`` and all control-path calls are
+  sim-coroutines - invoke them with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Sequence, Type
+
+from ..sim.cpu import Core
+from ..sim.host import Host
+from .queue import DemiQueue, MemoryQueue
+from .types import DemiError, QResult, QToken, Sga
+from .wait import QTokenTable
+
+__all__ = ["LibOS"]
+
+
+class LibOS:
+    """Base library OS: Figure 3's interface over an accelerator."""
+
+    #: subclasses set this to the accelerator category they serve
+    device_kind = "none"
+
+    def __init__(self, host: Host, name: str, core: Optional[Core] = None):
+        self.host = host
+        self.sim = host.sim
+        self.costs = host.costs
+        self.tracer = host.tracer
+        self.mm = host.mm
+        self.name = name
+        self.core = core or host.cpu
+        self.qtokens = QTokenTable(self.sim, self.tracer, name)
+        self._queues: Dict[int, DemiQueue] = {}
+        self._next_qd = 1
+        self.offload_engine = None
+
+    # ------------------------------------------------------------ qd table
+    def _install(self, queue_cls: Type[DemiQueue], *args, **kw) -> DemiQueue:
+        qd = self._next_qd
+        self._next_qd += 1
+        queue = queue_cls(self, qd, *args, **kw)
+        self._queues[qd] = queue
+        return queue
+
+    def _lookup(self, qd: int) -> DemiQueue:
+        queue = self._queues.get(qd)
+        if queue is None:
+            raise DemiError("bad queue descriptor %d" % qd)
+        return queue
+
+    def queue_of(self, qd: int) -> DemiQueue:
+        """Public inspection access to the queue object behind a qd."""
+        return self._lookup(qd)
+
+    def count(self, counter: str, n: int = 1) -> None:
+        self.tracer.count("%s.%s" % (self.name, counter), n)
+
+    # ------------------------------------------------- data path (Figure 3)
+    def push(self, qd: int, sga: Sga) -> QToken:
+        """Non-blocking push of one atomic element; returns a qtoken."""
+        queue = self._lookup(qd)
+        if sga.nsegments == 0:
+            raise DemiError("push of an empty sga")
+        self.core.charge_async(self.costs.libos_push_ns + self.costs.qtoken_ns)
+        self.count("pushes")
+        token, _done = self.qtokens.create()
+        queue.push_sga(sga, token)
+        return token
+
+    def pop(self, qd: int) -> QToken:
+        """Non-blocking pop request for the next element; returns a qtoken."""
+        queue = self._lookup(qd)
+        self.core.charge_async(self.costs.libos_pop_ns + self.costs.qtoken_ns)
+        self.count("pops")
+        token, _done = self.qtokens.create()
+        queue.pop_sga(token)
+        return token
+
+    def _wait_charge(self):
+        return self.core.busy(self.costs.wait_dispatch_ns)
+
+    def wait(self, token: QToken) -> Generator:
+        """Block on one qtoken; returns its QResult (with the data)."""
+        return (yield from self.qtokens.wait(token, charge=self._wait_charge))
+
+    def wait_any(self, tokens: Sequence[QToken],
+                 timeout_ns: Optional[int] = None) -> Generator:
+        """Block until any token completes: (index, QResult).
+
+        The improved-epoll of section 4.4: returns the data directly and
+        wakes exactly one waiter per completion.
+        """
+        return (yield from self.qtokens.wait_any(tokens, timeout_ns,
+                                                 charge=self._wait_charge))
+
+    def wait_all(self, tokens: Sequence[QToken],
+                 timeout_ns: Optional[int] = None) -> Generator:
+        """Block until every token completes: list of QResults."""
+        return (yield from self.qtokens.wait_all(tokens, timeout_ns,
+                                                 charge=self._wait_charge))
+
+    def blocking_push(self, qd: int, sga: Sga) -> Generator:
+        """push + wait on the returned qtoken."""
+        token = self.push(qd, sga)
+        return (yield from self.wait(token))
+
+    def blocking_pop(self, qd: int) -> Generator:
+        """pop + wait on the returned qtoken."""
+        token = self.pop(qd)
+        return (yield from self.wait(token))
+
+    # ----------------------------------------- queue pipelines (control path)
+    def queue(self, capacity: Optional[int] = None) -> int:
+        """An in-memory Demikernel queue (the ``queue()`` syscall)."""
+        self.count("ctrl.queue")
+        return self._install(MemoryQueue, capacity).qd
+
+    def merge(self, qd1: int, qd2: int) -> int:
+        """A queue combining two queues (section 4.3 ``merge``)."""
+        from .pipeline import MergedQueue
+        self.count("ctrl.merge")
+        return self._install(MergedQueue, self._lookup(qd1), self._lookup(qd2)).qd
+
+    def filter(self, qd: int, predicate: Callable[[Sga], bool]) -> int:
+        """A queue passing only elements where *predicate* holds."""
+        from .pipeline import FilteredQueue
+        self.count("ctrl.filter")
+        return self._install(FilteredQueue, self._lookup(qd), predicate).qd
+
+    def sort(self, qd: int, key: Callable[[Sga], object]) -> int:
+        """A queue reordering elements by priority *key* (lowest first)."""
+        from .pipeline import SortedQueue
+        self.count("ctrl.sort")
+        return self._install(SortedQueue, self._lookup(qd), key).qd
+
+    def map(self, qd: int, fn: Callable[[Sga], Sga]) -> int:
+        """A queue applying *fn* to every element."""
+        from .pipeline import MappedQueue
+        self.count("ctrl.map")
+        return self._install(MappedQueue, self._lookup(qd), fn).qd
+
+    def qconnect(self, qd_in: int, qd_out: int):
+        """Plumb qd_in's elements into qd_out; returns a stoppable handle."""
+        from .pipeline import QueueConnector
+        self.count("ctrl.qconnect")
+        return QueueConnector(self, self._lookup(qd_in), self._lookup(qd_out))
+
+    def close(self, qd: int) -> Generator:
+        """Close a queue: outstanding pops complete with error='closed'."""
+        queue = self._lookup(qd)
+        yield self.core.busy(self.costs.syscall_ns)  # control path may cross
+        queue.close()
+        del self._queues[qd]
+        self.count("ctrl.close")
+
+    # -------------------------------- device control path (per-libOS overrides)
+    def socket(self, *args, **kw) -> Generator:
+        raise DemiError("%s does not implement socket()" % self.name)
+        yield  # pragma: no cover
+
+    def bind(self, qd: int, *args, **kw) -> Generator:
+        raise DemiError("%s does not implement bind()" % self.name)
+        yield  # pragma: no cover
+
+    def listen(self, qd: int, *args, **kw) -> Generator:
+        raise DemiError("%s does not implement listen()" % self.name)
+        yield  # pragma: no cover
+
+    def accept(self, qd: int) -> Generator:
+        raise DemiError("%s does not implement accept()" % self.name)
+        yield  # pragma: no cover
+
+    def connect(self, *args, **kw) -> Generator:
+        raise DemiError("%s does not implement connect()" % self.name)
+        yield  # pragma: no cover
+
+    def open(self, path: str) -> Generator:
+        raise DemiError("%s does not implement open()" % self.name)
+        yield  # pragma: no cover
+
+    def creat(self, path: str) -> Generator:
+        raise DemiError("%s does not implement creat()" % self.name)
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------- memory convenience
+    def sga_alloc(self, data: bytes) -> Sga:
+        """Allocate a registered buffer holding *data* (zero-copy ready)."""
+        return Sga.from_bytes(self.mm, data)
+
+    def sga_free(self, sga: Sga) -> None:
+        """Free an sga's buffers (free-protection applies automatically)."""
+        for buf in sga.buffers():
+            if not buf.freed:
+                self.mm.free(buf)

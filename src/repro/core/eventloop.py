@@ -1,0 +1,165 @@
+"""A libevent-style event loop over ``wait_any`` (section 4.4).
+
+The paper: "In the future, we plan to implement a libevent-based
+Demikernel OS, which would enable applications, like memcached, to
+achieve the benefits of kernel-bypass transparently."  This module is
+that layer: applications register callbacks against queues and timers;
+one dispatcher multiplexes every armed operation through a single
+``wait_any`` - so callback-structured legacy code ports without knowing
+about qtokens at all.
+
+Callbacks may be plain callables (run inline) or generator functions
+(sim-coroutines, driven to completion before the next dispatch), mirroring
+libevent's synchronous callback model.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Generator, List, Optional
+
+from .api import LibOS
+from .types import QResult, QToken
+
+__all__ = ["DemiEventLoop", "EventHandle"]
+
+
+class EventHandle:
+    """Returned by ``add_*``; pass to :meth:`DemiEventLoop.remove`."""
+
+    _next_id = 1
+
+    def __init__(self, kind: str, target):
+        self.id = EventHandle._next_id
+        EventHandle._next_id += 1
+        self.kind = kind          # "pop" | "timer"
+        self.target = target      # qd or delay_ns
+        self.active = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<EventHandle %d %s(%r)%s>" % (
+            self.id, self.kind, self.target,
+            "" if self.active else " removed")
+
+
+class _PopEvent:
+    def __init__(self, handle: EventHandle, qd: int, callback, persistent: bool):
+        self.handle = handle
+        self.qd = qd
+        self.callback = callback
+        self.persistent = persistent
+        self.token: Optional[QToken] = None
+
+
+class _TimerEvent:
+    def __init__(self, handle: EventHandle, delay_ns: int, callback,
+                 periodic: bool, fire_at: int):
+        self.handle = handle
+        self.delay_ns = delay_ns
+        self.callback = callback
+        self.periodic = periodic
+        self.fire_at = fire_at
+
+
+class DemiEventLoop:
+    """Callback dispatch: one wait_any over every armed queue operation."""
+
+    def __init__(self, libos: LibOS):
+        self.libos = libos
+        self.sim = libos.sim
+        self._pop_events: Dict[int, _PopEvent] = {}   # handle.id -> event
+        self._timers: List[_TimerEvent] = []
+        self._stopped = False
+        self.dispatches = 0
+        self.timer_fires = 0
+
+    # -- registration ---------------------------------------------------------
+    def add_pop_event(self, qd: int, callback: Callable[[QResult], object],
+                      persistent: bool = True) -> EventHandle:
+        """Run ``callback(result)`` whenever *qd* yields an element.
+
+        Persistent events re-arm after each dispatch (EV_PERSIST);
+        one-shot events fire once.  The callback receives the QResult -
+        data included, no second call, exactly one wake-up.
+        """
+        handle = EventHandle("pop", qd)
+        event = _PopEvent(handle, qd, callback, persistent)
+        event.token = self.libos.pop(qd)
+        self._pop_events[handle.id] = event
+        return handle
+
+    def add_timer(self, delay_ns: int, callback: Callable[[], object],
+                  periodic: bool = False) -> EventHandle:
+        """Run ``callback()`` after *delay_ns* (repeatedly if periodic)."""
+        if delay_ns <= 0:
+            raise ValueError("timer delay must be positive")
+        handle = EventHandle("timer", delay_ns)
+        self._timers.append(_TimerEvent(handle, delay_ns, callback,
+                                        periodic, self.sim.now + delay_ns))
+        return handle
+
+    def remove(self, handle: EventHandle) -> None:
+        """Deactivate an event; its pending operation is abandoned."""
+        handle.active = False
+        self._pop_events.pop(handle.id, None)
+        self._timers = [t for t in self._timers if t.handle.id != handle.id]
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- dispatch ---------------------------------------------------------------
+    def _run_callback(self, callback, *args) -> Generator:
+        result = callback(*args)
+        if inspect.isgenerator(result):
+            yield from result
+        else:
+            yield self.sim.timeout(0)
+
+    def _next_timer(self) -> Optional[_TimerEvent]:
+        live = [t for t in self._timers if t.handle.active]
+        return min(live, key=lambda t: t.fire_at) if live else None
+
+    def run(self) -> Generator:
+        """The dispatcher body - spawn it as a process."""
+        while not self._stopped:
+            events = list(self._pop_events.values())
+            timer = self._next_timer()
+            if not events and timer is None:
+                # Nothing armed: idle until someone registers (poll softly).
+                yield self.sim.timeout(10_000)
+                continue
+
+            timeout_ns = None
+            if timer is not None:
+                timeout_ns = max(0, timer.fire_at - self.sim.now)
+
+            if events:
+                tokens = [e.token for e in events]
+                index, result = yield from self.libos.wait_any(
+                    tokens, timeout_ns=timeout_ns)
+            else:
+                yield self.sim.timeout(timeout_ns)
+                index, result = -1, None
+
+            if index < 0:
+                # Timer expiry.
+                if timer is not None and timer.handle.active:
+                    self.timer_fires += 1
+                    yield from self._run_callback(timer.callback)
+                    if timer.periodic and timer.handle.active:
+                        timer.fire_at = self.sim.now + timer.delay_ns
+                    else:
+                        self.remove(timer.handle)
+                continue
+
+            event = events[index]
+            if not event.handle.active:
+                continue  # removed while its pop was in flight
+            self.dispatches += 1
+            if event.persistent and result.error is None:
+                event.token = self.libos.pop(event.qd)
+            else:
+                self._pop_events.pop(event.handle.id, None)
+                event.handle.active = False
+            yield from self._run_callback(event.callback, result)
+        return self.dispatches

@@ -1,0 +1,145 @@
+"""Demikernel I/O queues (paper section 4.2).
+
+A queue's data unit is atomic: an sga pushed in pops out whole.  The base
+class gives every queue the pending-pop machinery that preserves the
+exactly-one-wake-up property: each arriving element matches the *oldest*
+outstanding pop token and completes only that token.
+
+:class:`MemoryQueue` - the ``queue()`` syscall - is the reference
+implementation and the substrate the pipeline queues (merge/filter/...)
+buffer into.  Device-backed queues (network, RDMA, storage) subclass
+:class:`DemiQueue` in the libOS packages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..sim.sync import WaitQueue
+from .types import OP_POP, OP_PUSH, QResult, QToken, Sga
+
+__all__ = ["DemiQueue", "MemoryQueue"]
+
+
+class DemiQueue:
+    """Abstract queue: subclasses implement element arrival/departure."""
+
+    kind = "abstract"
+
+    def __init__(self, libos, qd: int):
+        self.libos = libos
+        self.sim = libos.sim
+        self.qd = qd
+        self.closed = False
+        self.eof = False  # peer finished: drained pops complete with "eof"
+        #: pops issued before their element arrived, FIFO
+        self._pending_pops: Deque[QToken] = deque()
+        #: elements (sga, value) that arrived before anyone popped, FIFO
+        self._ready: Deque[Tuple[Sga, object]] = deque()
+        #: pulsed when _ready drains (producers with bounded buffers wait)
+        self.space_wq = WaitQueue(self.sim, "q%d.space" % qd)
+        self.capacity: Optional[int] = None  # None = unbounded
+        self.pushed_elements = 0
+        self.popped_elements = 0
+
+    # -- the two operations, called by the LibOS ------------------------------
+    def push_sga(self, sga: Sga, token: QToken) -> None:
+        """Start an asynchronous push; complete *token* when done."""
+        raise NotImplementedError
+
+    def pop_sga(self, token: QToken) -> None:
+        """Register an asynchronous pop; complete *token* on arrival."""
+        if self.closed:
+            self._complete(token, QResult(OP_POP, self.qd, error="closed"))
+            return
+        if self._ready:
+            sga, value = self._ready.popleft()
+            self.popped_elements += 1
+            self.space_wq.pulse()
+            self._complete(token, QResult(OP_POP, self.qd, sga=sga,
+                                          nbytes=sga.nbytes, value=value))
+            return
+        if self.eof:
+            self._complete(token, QResult(OP_POP, self.qd, error="eof"))
+            return
+        self._pending_pops.append(token)
+
+    # -- element arrival (subclasses call this) ---------------------------------
+    def deliver(self, sga: Sga, value: object = None) -> None:
+        """An element arrived: match the oldest pending pop or buffer it.
+
+        *value* rides along in the QResult (e.g. a datagram's source
+        address); buffered elements keep it too.
+        """
+        if self.closed:
+            return
+        if self._pending_pops:
+            token = self._pending_pops.popleft()
+            # Tokens are single-shot; complete exactly this one and stop.
+            self.popped_elements += 1
+            self._complete(token, QResult(OP_POP, self.qd, sga=sga,
+                                          nbytes=sga.nbytes, value=value))
+            return
+        self._ready.append((sga, value))
+
+    def mark_eof(self) -> None:
+        """No more elements will ever arrive: fail outstanding pops."""
+        if self.eof or self.closed:
+            return
+        self.eof = True
+        while self._pending_pops:
+            token = self._pending_pops.popleft()
+            self._complete(token, QResult(OP_POP, self.qd, error="eof"))
+
+    def _complete(self, token: QToken, result: QResult) -> None:
+        self.libos.qtokens.complete(token, result)
+
+    # -- state -------------------------------------------------------------------
+    @property
+    def ready_elements(self) -> int:
+        return len(self._ready)
+
+    @property
+    def pending_pop_count(self) -> int:
+        return len(self._pending_pops)
+
+    def has_room(self) -> bool:
+        return self.capacity is None or len(self._ready) < self.capacity
+
+    def close(self) -> None:
+        """Fail outstanding pops and refuse further traffic."""
+        if self.closed:
+            return
+        self.closed = True
+        while self._pending_pops:
+            token = self._pending_pops.popleft()
+            self._complete(token, QResult(OP_POP, self.qd, error="closed"))
+        self._ready.clear()
+        self.space_wq.pulse()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<%s qd=%d ready=%d pending=%d%s>" % (
+            type(self).__name__, self.qd, len(self._ready),
+            len(self._pending_pops), " closed" if self.closed else "")
+
+
+class MemoryQueue(DemiQueue):
+    """A host-memory queue: push completes as soon as the element lands."""
+
+    kind = "memory"
+
+    def __init__(self, libos, qd: int, capacity: Optional[int] = None):
+        super().__init__(libos, qd)
+        self.capacity = capacity
+
+    def push_sga(self, sga: Sga, token: QToken) -> None:
+        if self.closed:
+            self._complete(token, QResult(OP_PUSH, self.qd, error="closed"))
+            return
+        if not self.has_room():
+            self._complete(token, QResult(OP_PUSH, self.qd, error="full"))
+            return
+        self.pushed_elements += 1
+        self.deliver(sga)
+        self._complete(token, QResult(OP_PUSH, self.qd, nbytes=sga.nbytes))

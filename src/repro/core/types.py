@@ -1,0 +1,127 @@
+"""Demikernel core types: scatter-gather arrays, qtokens, queue results.
+
+These mirror Figure 3 of the paper: data-path calls move ``sgarray``
+values (atomic data units built from registered-memory segments) and
+return ``qtoken`` handles that ``wait_*`` resolves to results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..memory.buffer import Buffer
+
+__all__ = ["SgaSegment", "Sga", "QToken", "QResult", "DemiError", "OP_PUSH", "OP_POP"]
+
+OP_PUSH = "push"
+OP_POP = "pop"
+
+
+class DemiError(Exception):
+    """Invalid Demikernel API usage (bad qd, closed queue, bad sga...)."""
+
+
+@dataclass(frozen=True)
+class SgaSegment:
+    """One scatter-gather segment: a slice of a registered buffer."""
+
+    buf: Buffer
+    offset: int = 0
+    length: Optional[int] = None  # None = rest of the buffer
+
+    def __post_init__(self):
+        length = self.length if self.length is not None else self.buf.capacity - self.offset
+        if self.offset < 0 or length < 0 or self.offset + length > self.buf.capacity:
+            raise DemiError(
+                "segment [%d, %d) outside buffer of %d bytes"
+                % (self.offset, self.offset + length, self.buf.capacity)
+            )
+
+    @property
+    def nbytes(self) -> int:
+        if self.length is not None:
+            return self.length
+        return self.buf.capacity - self.offset
+
+    def tobytes(self) -> bytes:
+        return self.buf.read(self.offset, self.nbytes)
+
+
+class Sga:
+    """A scatter-gather array: the atomic data unit of a Demikernel queue.
+
+    However many segments it gathers, an sga pushed into a queue pops out
+    of the other end as a single element (section 4.3).
+    """
+
+    __slots__ = ("segments",)
+
+    def __init__(self, segments: List[SgaSegment]):
+        self.segments = list(segments)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(seg.nbytes for seg in self.segments)
+
+    @property
+    def nsegments(self) -> int:
+        return len(self.segments)
+
+    def tobytes(self) -> bytes:
+        """Gather the segments (timing-free; devices do this via DMA)."""
+        return b"".join(seg.tobytes() for seg in self.segments)
+
+    def buffers(self) -> List[Buffer]:
+        return [seg.buf for seg in self.segments]
+
+    def dma_ranges(self) -> List[tuple]:
+        """(addr, len) pairs for IOMMU validation of zero-copy I/O."""
+        return [(seg.buf.addr + seg.offset, max(1, seg.nbytes))
+                for seg in self.segments]
+
+    def hold_all(self) -> None:
+        """Device takes DMA references on every underlying buffer."""
+        for seg in self.segments:
+            seg.buf.hold()
+
+    def release_all(self) -> None:
+        for seg in self.segments:
+            seg.buf.release()
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_buffer(cls, buf: Buffer, length: Optional[int] = None) -> "Sga":
+        return cls([SgaSegment(buf, 0, length)])
+
+    @classmethod
+    def from_bytes(cls, mm, data: bytes) -> "Sga":
+        """Allocate a registered buffer for *data* and wrap it."""
+        if not data:
+            raise DemiError("cannot build an sga from zero bytes")
+        buf = mm.alloc(len(data))
+        buf.write(0, data)
+        return cls([SgaSegment(buf, 0, len(data))])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Sga %d segs, %d bytes>" % (self.nsegments, self.nbytes)
+
+
+#: qtokens are plain ints, unique per operation, like the paper's qtoken.
+QToken = int
+
+
+@dataclass
+class QResult:
+    """What ``wait`` returns: the completed operation and its payload."""
+
+    opcode: str                  # OP_PUSH or OP_POP
+    qd: int
+    sga: Optional[Sga] = None    # pops carry the arrived element
+    nbytes: int = 0
+    error: Optional[str] = None
+    value: object = None         # operation-specific extra (e.g. new qd)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None

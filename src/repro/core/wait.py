@@ -1,0 +1,128 @@
+"""The qtoken table and the ``wait_*`` scheduler (paper section 4.4).
+
+Every non-blocking ``push``/``pop`` mints a qtoken bound to exactly one
+queue operation.  Because tokens are per-operation (not per-descriptor
+like POSIX fds), the scheduler can guarantee the two properties the paper
+claims over epoll:
+
+1. ``wait`` returns the operation's *data* directly - no second syscall
+   to fetch it;
+2. each completion wakes exactly one waiter - no thundering herd, no
+   wasted wake-ups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..sim.engine import Completion, Simulator, any_of
+from .types import DemiError, QResult, QToken
+
+__all__ = ["QTokenTable", "WAIT_TIMEOUT"]
+
+#: sentinel result for wait_any/wait_all timeouts
+WAIT_TIMEOUT = "timeout"
+
+
+class QTokenTable:
+    """Maps live qtokens to their one-shot completions."""
+
+    def __init__(self, sim: Simulator, tracer, name: str = "qt"):
+        self.sim = sim
+        self.tracer = tracer
+        self.name = name
+        self._pending: Dict[QToken, Completion] = {}
+        self._next_token: QToken = 1
+
+    # -- creation / completion (queue side) -----------------------------------
+    def create(self) -> Tuple[QToken, Completion]:
+        """Mint a token and the completion that will carry its QResult."""
+        token = self._next_token
+        self._next_token += 1
+        done = self.sim.completion("%s.%d" % (self.name, token))
+        self._pending[token] = done
+        self.tracer.count("%s.qtokens_created" % self.name)
+        return token, done
+
+    def complete(self, token: QToken, result: QResult) -> None:
+        done = self._pending.get(token)
+        if done is None:
+            raise DemiError("completion of unknown qtoken %r" % token)
+        done.trigger(result)
+
+    def completion_of(self, token: QToken) -> Completion:
+        done = self._pending.get(token)
+        if done is None:
+            raise DemiError("unknown or already-waited qtoken %r" % token)
+        return done
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def _retire(self, token: QToken) -> None:
+        self._pending.pop(token, None)
+
+    # -- waiting (application side) ---------------------------------------------
+    def wait(self, token: QToken, charge=None) -> Generator:
+        """Sim-coroutine: block until *token* completes; returns QResult."""
+        done = self.completion_of(token)
+        result = yield done
+        self._retire(token)
+        if charge is not None:
+            yield charge()
+        self.tracer.count("%s.waits" % self.name)
+        return result
+
+    def wait_any(self, tokens: Sequence[QToken], timeout_ns: Optional[int] = None,
+                 charge=None) -> Generator:
+        """Sim-coroutine: first completion among *tokens*.
+
+        Returns ``(index, QResult)``; on timeout ``(-1, None)``.  The
+        losing tokens stay valid - wait for them later.  Exactly one
+        waiter wakes per completion because each token has exactly one
+        completion and this call consumes it.
+        """
+        if not tokens:
+            raise DemiError("wait_any on no tokens")
+        completions = [self.completion_of(t) for t in tokens]
+        events = list(completions)
+        if timeout_ns is not None:
+            events.append(self.sim.timeout(timeout_ns, WAIT_TIMEOUT))
+        which = yield any_of(self.sim, events)
+        index, value = which
+        if timeout_ns is not None and index == len(tokens):
+            self.tracer.count("%s.wait_timeouts" % self.name)
+            return -1, None
+        self._retire(tokens[index])
+        if charge is not None:
+            yield charge()
+        self.tracer.count("%s.waits" % self.name)
+        return index, value
+
+    def wait_all(self, tokens: Sequence[QToken], timeout_ns: Optional[int] = None,
+                 charge=None) -> Generator:
+        """Sim-coroutine: wait for every token; returns list of QResults.
+
+        On timeout returns None (individual tokens remain waitable).
+        """
+        if not tokens:
+            return []
+        results: List[Optional[QResult]] = [None] * len(tokens)
+        remaining = set(range(len(tokens)))
+        deadline = None if timeout_ns is None else self.sim.now + timeout_ns
+        live = list(tokens)
+        while remaining:
+            budget = None if deadline is None else max(0, deadline - self.sim.now)
+            pending_tokens = [tokens[i] for i in sorted(remaining)]
+            index_map = sorted(remaining)
+            index, value = yield from self.wait_any(pending_tokens, budget,
+                                                    charge=None)
+            if index < 0:
+                self.tracer.count("%s.wait_timeouts" % self.name)
+                return None
+            results[index_map[index]] = value
+            remaining.discard(index_map[index])
+        if charge is not None:
+            yield charge()
+        return results  # type: ignore[return-value]

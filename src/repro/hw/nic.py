@@ -1,0 +1,599 @@
+"""Simulated network interface cards.
+
+Three NIC classes model the paper's Table 1 accelerator categories:
+
+* :class:`DpdkNic` - "kernel-bypass only": raw ethernet frames through
+  descriptor rings, polled from user space.  No OS features: whoever uses
+  it must bring an entire network stack (``repro.netstack``).
+* :class:`KernelNic` - the traditional device: interrupt-driven, owned by
+  the in-kernel stack (``repro.kernelos``).
+* :class:`RdmaNic` - "+OS features": reliable delivery, QPs, memory
+  registration checks, and one-sided remote access, but *no* buffer
+  management or flow control (the libOS must add those: RNR NAKs punish
+  receivers that post too few buffers).
+
+Timing: the NIC charges device-side costs (DMA, pipeline processing)
+itself; CPU-side driver costs (doorbell writes, poll loops) are charged by
+the driver code in the kernel or libOS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..sim.engine import Completion
+from ..sim.fabric import Fabric
+from .device import Device
+from .iommu import Iommu
+
+__all__ = ["DpdkNic", "KernelNic", "RdmaNic", "HwCq", "HwQp", "RdmaPacket", "QpError"]
+
+
+# --------------------------------------------------------------------------
+# Ethernet-style NICs
+# --------------------------------------------------------------------------
+
+
+class _EthernetNic(Device):
+    """Shared TX/RX machinery for frame-oriented NICs."""
+
+    def __init__(
+        self,
+        host,
+        fabric: Fabric,
+        mac: str,
+        name: str,
+        rx_ring_size: int = 1024,
+        iommu: Optional[Iommu] = None,
+    ):
+        super().__init__(host, name)
+        self.fabric = fabric
+        self.mac = mac
+        self.rx_ring_size = rx_ring_size
+        self.iommu = iommu or Iommu(host.tracer, name + ".iommu")
+        self.port = fabric.attach(mac, self._on_wire_rx)
+        self.offload = None  # set by hw.offload.OffloadEngine.attach()
+        self._tx_free_at = 0  # the TX pipeline processes descriptors FIFO
+
+    # -- transmit ---------------------------------------------------------
+    def post_tx(
+        self,
+        dst_mac: str,
+        frame: bytes,
+        dma_addrs: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        """Device-side transmit: gather-DMA the frame, process, emit.
+
+        ``dma_addrs`` are the host-memory ranges the descriptor points at;
+        each is validated against the IOMMU (zero-copy safety).
+        """
+        if dma_addrs:
+            for addr, size in dma_addrs:
+                self.iommu.translate(addr, size)
+        nbytes = len(frame)
+        work = self.costs.dma_ns(nbytes) + self.costs.nic_process_ns
+        # The TX pipeline is serial: back-to-back descriptors queue.
+        now = self.sim.now
+        start = max(now, self._tx_free_at)
+        done = start + work
+        self._tx_free_at = done
+        self.count("tx_frames")
+        self.count("tx_bytes", nbytes)
+        self.sim.call_in(done - now, self.fabric.transmit, self.mac, dst_mac,
+                         frame, nbytes)
+
+    # -- receive ----------------------------------------------------------
+    def _on_wire_rx(self, frame: Any) -> None:
+        nbytes = len(frame)
+        delay = self.costs.nic_process_ns + self.costs.dma_ns(nbytes)
+        self.sim.call_in(delay, self._rx_ready, frame)
+
+    def _rx_ready(self, frame: Any) -> None:
+        raise NotImplementedError
+
+
+class DpdkNic(_EthernetNic):
+    """Poll-mode, kernel-bypass frame NIC (the DPDK device model).
+
+    Supports multiple RX queues with receive-side scaling: the NIC hashes
+    each arriving frame's IPv4 flow tuple and steers it to one of
+    ``n_rx_queues`` rings, so independent cores can each poll their own
+    ring without sharing - the standard kernel-bypass multi-core recipe.
+    """
+
+    kind = "dpdk-nic"
+
+    def __init__(self, host, fabric, mac, name="dpdk0", rx_ring_size=1024,
+                 iommu=None, n_rx_queues=1):
+        super().__init__(host, fabric, mac, name, rx_ring_size, iommu)
+        if n_rx_queues < 1:
+            raise ValueError("a NIC needs at least one RX queue")
+        self.n_rx_queues = n_rx_queues
+        self._rx_rings: List[Deque[bytes]] = [deque()
+                                              for _ in range(n_rx_queues)]
+        self._rx_waiters: List[List[Completion]] = [[]
+                                                    for _ in range(n_rx_queues)]
+
+    # -- receive-side scaling ----------------------------------------------
+    def _rss_queue(self, frame: bytes) -> int:
+        """Steer by the IPv4 flow tuple; non-IP traffic lands in queue 0."""
+        if self.n_rx_queues == 1:
+            return 0
+        # ethertype at [12:14]; IPv4 addresses at [26:34]; L4 ports at
+        # [34:38] for a 20-byte IP header.
+        if len(frame) < 38 or frame[12:14] != b"\x08\x00":
+            return 0
+        tuple_bytes = frame[26:38]
+        h = 0
+        for b in tuple_bytes:
+            h = (h * 31 + b) & 0xFFFFFFFF
+        return h % self.n_rx_queues
+
+    def _rx_ready(self, frame: Any) -> None:
+        queue = self._rss_queue(frame)
+        ring = self._rx_rings[queue]
+        if len(ring) >= self.rx_ring_size:
+            self.count("rx_ring_drops")
+            return
+        ring.append(frame)
+        self.count("rx_frames")
+        self.count("rxq%d_frames" % queue)
+        waiters, self._rx_waiters[queue] = self._rx_waiters[queue], []
+        for w in waiters:
+            w.trigger(None)
+
+    def rx_burst(self, max_frames: int = 32, queue: int = 0) -> List[bytes]:
+        """Dequeue up to *max_frames* from one RX ring (driver polls)."""
+        ring = self._rx_rings[queue]
+        out: List[bytes] = []
+        while ring and len(out) < max_frames:
+            out.append(ring.popleft())
+        return out
+
+    def rx_pending(self, queue: int = 0) -> int:
+        return len(self._rx_rings[queue])
+
+    def rx_signal(self, queue: int = 0) -> Completion:
+        """Completion that fires as soon as the RX ring is non-empty.
+
+        A real poll-mode driver spins; spinning in a discrete-event
+        simulator would flood the heap, so the driver blocks here and
+        charges its poll cost (``costs.dpdk_poll_ns``) when it wakes - the
+        same observable latency a ~100 ns spin loop gives.
+        """
+        done = self.sim.completion("%s.rxq%d" % (self.name, queue))
+        if self._rx_rings[queue]:
+            done.trigger(None)
+        else:
+            self._rx_waiters[queue].append(done)
+        return done
+
+
+class KernelNic(_EthernetNic):
+    """Interrupt-driven NIC owned by the legacy in-kernel stack.
+
+    Supports interrupt coalescing (`coalesce_ns` > 0): after an interrupt
+    fires, frames arriving within the window queue up and are delivered
+    together at the window's end under a single interrupt - the classic
+    NIC ITR / NAPI trade: fewer interrupts per frame under load, up to a
+    full window of added latency per frame.  Kernel-bypass polling makes
+    the dilemma disappear, which is exactly why benchmark ABL4 measures
+    both sides of it.
+    """
+
+    kind = "kernel-nic"
+
+    def __init__(self, host, fabric, mac, name="eth0", rx_ring_size=4096,
+                 iommu=None, coalesce_ns=0):
+        super().__init__(host, fabric, mac, name, rx_ring_size, iommu)
+        self.irq_handler: Optional[Callable[[bytes], None]] = None
+        self.irq_core_index = 0
+        self.coalesce_ns = coalesce_ns
+        self._window_ends_at = 0
+        self._coalesced: List[Any] = []
+
+    def _fire_interrupt(self, frames: List[Any]) -> None:
+        core = self.host.cpus[self.irq_core_index]
+        core.charge_async(self.costs.interrupt_ns)
+        self.count("rx_interrupts")
+        for frame in frames:
+            self.irq_handler(frame)
+
+    def _rx_ready(self, frame: Any) -> None:
+        self.count("rx_frames")
+        if self.irq_handler is None:
+            self.count("rx_no_handler_drops")
+            return
+        now = self.sim.now
+        if self.coalesce_ns and now < self._window_ends_at:
+            # Inside a coalescing window: park the frame for the flush.
+            self.count("rx_coalesced")
+            self._coalesced.append(frame)
+            return
+        self._fire_interrupt([frame])
+        if self.coalesce_ns:
+            self._window_ends_at = now + self.coalesce_ns
+            self.sim.call_in(self.coalesce_ns, self._flush_window)
+
+    def _flush_window(self) -> None:
+        frames, self._coalesced = self._coalesced, []
+        if frames:
+            self._fire_interrupt(frames)
+            # Frames arrived during the window: keep coalescing.
+            self._window_ends_at = self.sim.now + self.coalesce_ns
+            self.sim.call_in(self.coalesce_ns, self._flush_window)
+
+
+# --------------------------------------------------------------------------
+# RDMA NIC
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class RdmaPacket:
+    """One message on the wire between RDMA NICs."""
+
+    kind: str  # send | ack | nak_rnr | read_req | read_resp | write | write_ack
+    src_nic: str
+    src_qp: int
+    dst_qp: int
+    seq: int
+    payload: bytes = b""
+    raddr: int = 0
+    rlen: int = 0
+    wr_id: int = 0
+    imm: Any = None
+
+    @property
+    def nbytes(self) -> int:
+        # Headers are ~60B on the wire (eth+ip+udp+BTH for RoCE).
+        return 60 + len(self.payload)
+
+
+class QpError(Exception):
+    """The QP transitioned to the error state (retries exhausted...)."""
+
+
+class HwCq:
+    """A hardware completion queue: CQE list plus a poller wake-up."""
+
+    def __init__(self, sim, name: str = "cq"):
+        self.sim = sim
+        self.name = name
+        self._cqes: Deque[Dict[str, Any]] = deque()
+        self._waiters: List[Completion] = []
+
+    def push(self, cqe: Dict[str, Any]) -> None:
+        self._cqes.append(cqe)
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w.trigger(None)
+
+    def poll(self, max_cqes: int = 16) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        while self._cqes and len(out) < max_cqes:
+            out.append(self._cqes.popleft())
+        return out
+
+    def pending(self) -> int:
+        return len(self._cqes)
+
+    def signal(self) -> Completion:
+        done = self.sim.completion("%s.signal" % self.name)
+        if self._cqes:
+            done.trigger(None)
+        else:
+            self._waiters.append(done)
+        return done
+
+
+@dataclass
+class HwQp:
+    """Hardware queue-pair state (reliable-connected)."""
+
+    qpn: int
+    send_cq: HwCq
+    recv_cq: HwCq
+    remote_nic: str = ""
+    remote_qpn: int = -1
+    connected: bool = False
+    send_seq: int = 0
+    recv_expect: int = 0
+    #: posted receive buffers: (wr_id, buffer-like with .write/.capacity)
+    recv_buffers: Deque[Tuple[int, Any]] = field(default_factory=deque)
+    #: unacked sends: seq -> (packet, retries, emission-epoch)
+    inflight: Dict[int, Tuple[RdmaPacket, int, int]] = field(default_factory=dict)
+    error: bool = False
+    epoch_counter: int = 0
+
+
+class RdmaNic(Device):
+    """Reliable-connected RDMA NIC with MR-checked one-sided operations."""
+
+    kind = "rdma-nic"
+
+    MAX_RETRIES = 8
+
+    def __init__(self, host, fabric: Fabric, addr: str, name: str = "rdma0"):
+        super().__init__(host, name)
+        self.fabric = fabric
+        self.addr = addr
+        self.iommu = Iommu(host.tracer, name + ".mr")
+        self.port = fabric.attach(addr, self._on_wire_rx)
+        self.qps: Dict[int, HwQp] = {}
+        self._next_qpn = 1
+        #: host-memory access hooks for one-sided ops, installed by the
+        #: memory manager: read_mem(addr, n) -> bytes, write_mem(addr, data)
+        self.mem: Any = None
+        self.offload = None
+
+    # -- QP lifecycle -------------------------------------------------------
+    def create_qp(self, send_cq: Optional[HwCq] = None, recv_cq: Optional[HwCq] = None) -> HwQp:
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        qp = HwQp(
+            qpn=qpn,
+            send_cq=send_cq or HwCq(self.sim, "%s.qp%d.scq" % (self.name, qpn)),
+            recv_cq=recv_cq or HwCq(self.sim, "%s.qp%d.rcq" % (self.name, qpn)),
+        )
+        self.qps[qpn] = qp
+        self.count("qps_created")
+        return qp
+
+    def connect_qp(self, qp: HwQp, remote_nic: str, remote_qpn: int) -> None:
+        qp.remote_nic = remote_nic
+        qp.remote_qpn = remote_qpn
+        qp.connected = True
+
+    def destroy_qp(self, qp: HwQp) -> None:
+        self.qps.pop(qp.qpn, None)
+
+    # -- verbs: posting work ----------------------------------------------
+    def post_recv(self, qp: HwQp, wr_id: int, buffer: Any) -> None:
+        """Post a receive buffer; buffer needs .addr/.capacity/.write()."""
+        self.iommu.translate(buffer.addr, buffer.capacity)
+        qp.recv_buffers.append((wr_id, buffer))
+        self.count("posted_recvs")
+
+    def post_send(self, qp: HwQp, wr_id: int, payload: bytes,
+                  addr: Optional[int] = None) -> None:
+        """Two-sided send; completes on the send CQ once acked."""
+        self._check_qp(qp)
+        if addr is not None:
+            self.iommu.translate(addr, max(1, len(payload)))
+        seq = qp.send_seq
+        qp.send_seq += 1
+        pkt = RdmaPacket(
+            kind="send", src_nic=self.addr, src_qp=qp.qpn,
+            dst_qp=qp.remote_qpn, seq=seq, payload=payload, wr_id=wr_id,
+        )
+        self._emit(qp, pkt)
+
+    def post_write(self, qp: HwQp, wr_id: int, payload: bytes, raddr: int,
+                   addr: Optional[int] = None) -> None:
+        """One-sided RDMA write into remote registered memory."""
+        self._check_qp(qp)
+        if addr is not None:
+            self.iommu.translate(addr, max(1, len(payload)))
+        seq = qp.send_seq
+        qp.send_seq += 1
+        pkt = RdmaPacket(
+            kind="write", src_nic=self.addr, src_qp=qp.qpn,
+            dst_qp=qp.remote_qpn, seq=seq, payload=payload,
+            raddr=raddr, wr_id=wr_id,
+        )
+        self._emit(qp, pkt)
+
+    def post_read(self, qp: HwQp, wr_id: int, raddr: int, rlen: int,
+                  local_buffer: Any) -> None:
+        """One-sided RDMA read from remote registered memory."""
+        self._check_qp(qp)
+        self.iommu.translate(local_buffer.addr, max(1, rlen))
+        seq = qp.send_seq
+        qp.send_seq += 1
+        pkt = RdmaPacket(
+            kind="read_req", src_nic=self.addr, src_qp=qp.qpn,
+            dst_qp=qp.remote_qpn, seq=seq, raddr=raddr, rlen=rlen, wr_id=wr_id,
+        )
+        # Stash the landing buffer for the response.
+        pkt.imm = local_buffer
+        self._emit(qp, pkt)
+
+    def _check_qp(self, qp: HwQp) -> None:
+        if qp.error:
+            raise QpError("QP %d is in the error state" % qp.qpn)
+        if not qp.connected:
+            raise QpError("QP %d is not connected" % qp.qpn)
+
+    # -- the wire -----------------------------------------------------------
+    def _emit(self, qp: HwQp, pkt: RdmaPacket, retries: int = 0) -> None:
+        if pkt.kind in ("send", "write", "read_req"):
+            qp.epoch_counter += 1
+            epoch = qp.epoch_counter
+            qp.inflight[pkt.seq] = (pkt, retries, epoch)
+            self.sim.call_in(self._rto(), self._maybe_retransmit, qp, pkt.seq, epoch)
+        delay = self.costs.rdma_nic_process_ns + self.costs.dma_ns(len(pkt.payload))
+        self.count("tx_%s" % pkt.kind)
+        self.sim.call_in(delay, self.fabric.transmit, self.addr, qp.remote_nic,
+                         pkt, pkt.nbytes)
+
+    def _rto(self) -> int:
+        return 6 * self.costs.wire_ns(256) + 20 * self.costs.rdma_nic_process_ns
+
+    def _maybe_retransmit(self, qp: HwQp, seq: int, epoch: int) -> None:
+        entry = qp.inflight.get(seq)
+        if entry is None or qp.error:
+            return
+        pkt, retries, live_epoch = entry
+        if live_epoch != epoch:
+            return  # a newer emission owns this sequence number
+        if pkt.seq != min(qp.inflight):
+            # Blocked behind a head-of-line hole: the receiver drops
+            # out-of-order packets, so this isn't *this* packet failing.
+            # Retransmit without burning retry budget (go-back-N spirit).
+            self.count("retransmits")
+            self._emit(qp, pkt, retries)
+            return
+        if retries + 1 > self.MAX_RETRIES:
+            qp.error = True
+            del qp.inflight[seq]
+            qp.send_cq.push({"wr_id": pkt.wr_id, "status": "retry-exceeded",
+                             "opcode": pkt.kind, "qpn": qp.qpn})
+            self.count("qp_errors")
+            return
+        self.count("retransmits")
+        self._emit(qp, pkt, retries + 1)
+
+    def _on_wire_rx(self, pkt: Any) -> None:
+        if not isinstance(pkt, RdmaPacket):
+            self.count("non_rdma_frames_dropped")
+            return
+        delay = self.costs.rdma_nic_process_ns + self.costs.dma_ns(len(pkt.payload))
+        self.sim.call_in(delay, self._process_rx, pkt)
+
+    def _process_rx(self, pkt: RdmaPacket) -> None:
+        qp = self.qps.get(pkt.dst_qp)
+        if qp is None:
+            self.count("rx_unknown_qp")
+            return
+        handler = getattr(self, "_rx_" + pkt.kind, None)
+        if handler is None:
+            self.count("rx_unknown_kind")
+            return
+        handler(qp, pkt)
+
+    # requester side: completions -------------------------------------------
+    def _complete_send(self, qp: HwQp, seq: int, status: str = "ok",
+                       data: bytes = b"") -> None:
+        entry = qp.inflight.pop(seq, None)
+        if entry is None:
+            return  # duplicate ack
+        pkt, _retries, _epoch = entry
+        cqe = {"wr_id": pkt.wr_id, "status": status, "opcode": pkt.kind,
+               "qpn": qp.qpn, "nbytes": len(pkt.payload)}
+        if pkt.kind == "read_req" and status == "ok":
+            landing = pkt.imm
+            landing.write(0, data)
+            cqe["nbytes"] = len(data)
+        qp.send_cq.push(cqe)
+
+    def _rx_ack(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        self._complete_send(qp, pkt.seq, "ok")
+
+    def _rx_nak_rnr(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        """Receiver-not-ready: retry the send after a back-off."""
+        self.count("rnr_naks_received")
+        entry = qp.inflight.get(pkt.seq)
+        if entry is None:
+            return
+        orig, retries, _epoch = entry
+        if retries + 1 > self.MAX_RETRIES:
+            qp.error = True
+            del qp.inflight[pkt.seq]
+            qp.send_cq.push({"wr_id": orig.wr_id, "status": "rnr-exceeded",
+                             "opcode": orig.kind, "qpn": qp.qpn})
+            self.count("qp_errors")
+            return
+        del qp.inflight[pkt.seq]
+        backoff = self._rto()
+        self.sim.call_in(backoff, self._emit, qp, orig, retries + 1)
+
+    def _rx_read_resp(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        self._complete_send(qp, pkt.seq, "ok", pkt.payload)
+
+    def _rx_nak_remote_access(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        """Remote access violation: fatal for the QP, as on real RC QPs."""
+        self.count("remote_access_naks")
+        qp.error = True
+        self._complete_send(qp, pkt.seq, "remote-access-error")
+
+    def _rx_write_ack(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        self._complete_send(qp, pkt.seq, "ok")
+
+    # responder side ---------------------------------------------------------
+    def _reply(self, qp: HwQp, pkt: RdmaPacket, kind: str, payload: bytes = b"") -> None:
+        resp = RdmaPacket(
+            kind=kind, src_nic=self.addr, src_qp=qp.qpn,
+            dst_qp=pkt.src_qp, seq=pkt.seq, payload=payload,
+        )
+        delay = self.costs.rdma_nic_process_ns
+        self.sim.call_in(delay, self.fabric.transmit, self.addr, pkt.src_nic,
+                         resp, resp.nbytes)
+
+    def _rx_send(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        if pkt.seq < qp.recv_expect:  # duplicate delivery
+            self._reply(qp, pkt, "ack")
+            return
+        if pkt.seq > qp.recv_expect:
+            # Out of order: RC NICs drop and wait for retransmit.
+            self.count("rx_out_of_order_dropped")
+            return
+        if not qp.recv_buffers:
+            self.count("rnr_naks_sent")
+            self._reply(qp, pkt, "nak_rnr")
+            return
+        wr_id, buffer = qp.recv_buffers.popleft()
+        if len(pkt.payload) > buffer.capacity:
+            # Message too big for the posted buffer: fatal on real RC QPs.
+            qp.recv_cq.push({"wr_id": wr_id, "status": "length-error",
+                             "opcode": "recv", "qpn": qp.qpn, "nbytes": 0})
+            self.count("recv_length_errors")
+            qp.recv_expect += 1
+            self._reply(qp, pkt, "ack")
+            return
+        buffer.write(0, pkt.payload)
+        qp.recv_expect += 1
+        qp.recv_cq.push({"wr_id": wr_id, "status": "ok", "opcode": "recv",
+                         "qpn": qp.qpn, "nbytes": len(pkt.payload),
+                         "buffer": buffer})
+        self.count("rx_sends_delivered")
+        self._reply(qp, pkt, "ack")
+
+    def _one_sided_ok(self, addr: int, size: int) -> bool:
+        try:
+            self.iommu.translate(addr, max(1, size))
+            return True
+        except Exception:
+            return False
+
+    def _rx_write(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        if pkt.seq < qp.recv_expect:
+            self._reply(qp, pkt, "write_ack")
+            return
+        if pkt.seq > qp.recv_expect:
+            self.count("rx_out_of_order_dropped")
+            return
+        qp.recv_expect += 1
+        if not self._one_sided_ok(pkt.raddr, len(pkt.payload)) or self.mem is None:
+            self.count("remote_access_errors")
+            self._reply(qp, pkt, "nak_remote_access")
+            return
+        # One-sided: remote CPU never runs; the NIC writes memory itself.
+        self.mem.write_mem(pkt.raddr, pkt.payload)
+        self.count("rx_writes_applied")
+        self._reply(qp, pkt, "write_ack")
+
+    def _rx_read_req(self, qp: HwQp, pkt: RdmaPacket) -> None:
+        if pkt.seq < qp.recv_expect:
+            pass  # duplicate: re-serve the read below
+        elif pkt.seq > qp.recv_expect:
+            self.count("rx_out_of_order_dropped")
+            return
+        else:
+            qp.recv_expect += 1
+        if not self._one_sided_ok(pkt.raddr, pkt.rlen) or self.mem is None:
+            self.count("remote_access_errors")
+            self._reply(qp, pkt, "nak_remote_access")
+            return
+        data = self.mem.read_mem(pkt.raddr, pkt.rlen)
+        self.count("rx_reads_served")
+        # Response carries the data; extra DMA on the responder NIC.
+        resp = RdmaPacket(
+            kind="read_resp", src_nic=self.addr, src_qp=qp.qpn,
+            dst_qp=pkt.src_qp, seq=pkt.seq, payload=data,
+        )
+        delay = self.costs.rdma_nic_process_ns + self.costs.dma_ns(len(data))
+        self.sim.call_in(delay, self.fabric.transmit, self.addr, pkt.src_nic,
+                         resp, resp.nbytes)

@@ -1,0 +1,121 @@
+"""A simulated NVMe SSD with submission/completion queue pairs.
+
+The device models what SPDK exposes: user-space-mappable SQ/CQ pairs, so a
+libOS can submit block commands without any kernel involvement.  The
+legacy path in ``repro.kernelos.vfs`` drives the same device through the
+kernel block layer (adding its costs) - the two paths hit identical flash
+timing, isolating the software stack difference.
+
+Timing: commands occupy one of ``channels`` flash channels FIFO; each
+command costs the per-op flash latency plus per-byte transfer time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim.engine import Completion
+from .device import Device
+
+__all__ = ["NvmeDevice", "NvmeError"]
+
+
+class NvmeError(Exception):
+    """Invalid command (out-of-range LBA, bad sizes...)."""
+
+
+class NvmeDevice(Device):
+    """Block storage with parallel flash channels."""
+
+    kind = "nvme"
+
+    def __init__(
+        self,
+        host,
+        name: str = "nvme0",
+        capacity_blocks: int = 262144,
+        block_size: int = 4096,
+        channels: int = 8,
+    ):
+        super().__init__(host, name)
+        if capacity_blocks <= 0 or block_size <= 0:
+            raise NvmeError("bad geometry")
+        self.capacity_blocks = capacity_blocks
+        self.block_size = block_size
+        self._blocks: Dict[int, bytes] = {}
+        self._channel_free = [0] * channels
+        self.flushes = 0
+
+    # -- geometry helpers ----------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_blocks * self.block_size
+
+    def _check_range(self, lba: int, nblocks: int) -> None:
+        if nblocks <= 0:
+            raise NvmeError("nblocks must be positive")
+        if lba < 0 or lba + nblocks > self.capacity_blocks:
+            raise NvmeError(
+                "LBA range [%d, %d) outside device (%d blocks)"
+                % (lba, lba + nblocks, self.capacity_blocks)
+            )
+
+    def _occupy_channel(self, ns: int) -> int:
+        """FIFO-queue *ns* of work on the least-busy channel; returns the
+        completion delay from now."""
+        now = self.sim.now
+        idx = min(range(len(self._channel_free)), key=lambda i: self._channel_free[i])
+        start = max(now, self._channel_free[idx])
+        done = start + ns
+        self._channel_free[idx] = done
+        return done - now
+
+    # -- commands -----------------------------------------------------------
+    def submit_read(self, lba: int, nblocks: int) -> Completion:
+        """Read blocks; completion fires with the data (bytes)."""
+        self._check_range(lba, nblocks)
+        nbytes = nblocks * self.block_size
+        delay = self._occupy_channel(self.costs.nvme_io_ns(nbytes, write=False))
+        self.count("reads")
+        self.count("read_bytes", nbytes)
+        done = self.sim.completion("%s.read" % self.name)
+        data = b"".join(
+            self._blocks.get(lba + i, b"\x00" * self.block_size)
+            for i in range(nblocks)
+        )
+        self.sim.call_in(delay, done.trigger, data)
+        return done
+
+    def submit_write(self, lba: int, data: bytes) -> Completion:
+        """Write whole blocks; completion fires when durable in device."""
+        if len(data) % self.block_size != 0:
+            raise NvmeError(
+                "write length %d not a multiple of block size %d"
+                % (len(data), self.block_size)
+            )
+        nblocks = len(data) // self.block_size
+        self._check_range(lba, nblocks)
+        delay = self._occupy_channel(self.costs.nvme_io_ns(len(data), write=True))
+        self.count("writes")
+        self.count("write_bytes", len(data))
+        view = memoryview(data)
+        for i in range(nblocks):
+            self._blocks[lba + i] = bytes(view[i * self.block_size:(i + 1) * self.block_size])
+        done = self.sim.completion("%s.write" % self.name)
+        self.sim.call_in(delay, done.trigger, nblocks)
+        return done
+
+    def submit_flush(self) -> Completion:
+        """Barrier: completion fires after the flush latency."""
+        self.flushes += 1
+        self.count("flushes")
+        delay = self._occupy_channel(self.costs.nvme_flush_ns)
+        done = self.sim.completion("%s.flush" % self.name)
+        self.sim.call_in(delay, done.trigger, None)
+        return done
+
+    # -- test/inspection helpers --------------------------------------------
+    def peek_block(self, lba: int) -> bytes:
+        """Direct, timing-free block inspection for tests."""
+        self._check_range(lba, 1)
+        return self._blocks.get(lba, b"\x00" * self.block_size)

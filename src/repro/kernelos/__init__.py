@@ -1,0 +1,15 @@
+"""The legacy in-kernel OS baseline (sockets+copies, epoll, VFS, pipes)."""
+
+from .kernel import EWOULDBLOCK, Kernel, KernelError, Syscalls
+from .pipe import KernelPipe
+from .vfs import Inode, Vfs
+
+__all__ = [
+    "Kernel",
+    "Syscalls",
+    "KernelError",
+    "EWOULDBLOCK",
+    "Vfs",
+    "Inode",
+    "KernelPipe",
+]

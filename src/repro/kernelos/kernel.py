@@ -1,0 +1,429 @@
+"""The legacy OS kernel: the baseline the paper's Figure 1 (left) shows.
+
+Every I/O here pays the traditional taxes the Demikernel removes:
+
+* a user/kernel privilege crossing per syscall (``costs.syscall_ns``);
+* a data copy between user and kernel buffers on every send/recv
+  (``costs.copy_ns`` - the paper's 1 us / 4 KB);
+* the in-kernel network stack per packet (``kernel_net_tx/rx``) plus a
+  hardware interrupt per received frame;
+* scheduler wake-ups and context switches around blocking calls, with
+  epoll's wake-everyone behaviour on shared sockets (claim C4).
+
+Protocol behaviour is *identical* to the user-level stack (it literally
+runs ``repro.netstack``); only placement costs differ.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, Generator, List, Optional
+
+from ..hw.nic import KernelNic
+from ..netstack.stack import NetStack
+from ..sim.cpu import Core
+from ..sim.sync import WaitQueue
+
+__all__ = ["Kernel", "Syscalls", "KernelError", "EWOULDBLOCK"]
+
+#: sentinel for non-blocking operations that would block
+EWOULDBLOCK = object()
+
+
+class KernelError(Exception):
+    """Bad file descriptor, illegal socket state, and friends."""
+
+
+class _KTcpSocket:
+    kind = "tcp"
+
+    def __init__(self):
+        self.port: Optional[int] = None
+        self.listener = None      # netstack TcpListener once listening
+        self.conn = None          # netstack TcpConnection once connected
+        self.nonblocking = False
+
+    def readiness_queues(self) -> List[WaitQueue]:
+        queues = []
+        if self.listener is not None:
+            queues.append(self.listener.accept_wq)
+        if self.conn is not None:
+            queues.append(self.conn.recv_wq)
+        return queues
+
+    def readable(self) -> bool:
+        if self.listener is not None and self.listener._accept_queue:
+            return True
+        if self.conn is not None and (self.conn.readable_bytes
+                                      or self.conn.peer_closed
+                                      or self.conn.error):
+            return True
+        return False
+
+
+class _KUdpSocket:
+    kind = "udp"
+
+    def __init__(self, sim):
+        self.port: Optional[int] = None
+        self.rx: deque = deque()
+        self.wq = WaitQueue(sim, "udp.sock")
+
+    def readiness_queues(self) -> List[WaitQueue]:
+        return [self.wq]
+
+    def readable(self) -> bool:
+        return bool(self.rx)
+
+
+class _Epoll:
+    kind = "epoll"
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.interest: Dict[int, Any] = {}  # fd -> socket object
+        self.wq = WaitQueue(sim, "epoll")
+        self._hooked: List[WaitQueue] = []
+
+    def watch(self, fd: int, sock: Any) -> None:
+        self.interest[fd] = sock
+        for src in sock.readiness_queues():
+            if src not in self._hooked:
+                src.subscribe(self.wq.pulse)
+                self._hooked.append(src)
+
+    def unwatch(self, fd: int) -> None:
+        self.interest.pop(fd, None)
+
+    def scan_ready(self) -> List[int]:
+        return [fd for fd, sock in self.interest.items() if sock.readable()]
+
+
+class Kernel:
+    """One host's kernel: NIC driver, sockets, epoll, VFS glue."""
+
+    def __init__(self, host, fabric, mac: str, ip: str):
+        self.host = host
+        self.sim = host.sim
+        self.costs = host.costs
+        self.tracer = host.tracer
+        self.nic = KernelNic(host, fabric, mac, name="%s.eth0" % host.name)
+        host.nics.append(self.nic)
+        self.stack = NetStack(
+            sim=self.sim,
+            name="%s.kstack" % host.name,
+            mac=mac,
+            ip=ip,
+            send_frame=lambda dst, raw: self.nic.post_tx(dst, raw),
+            tracer=self.tracer,
+            charge=host.cpus[0].charge_async,  # softirq core
+            tx_cost_ns=self.costs.kernel_net_tx_ns,
+            rx_cost_ns=self.costs.kernel_net_rx_ns,
+        )
+        self.nic.irq_handler = self.stack.rx_frame
+        self._fds: Dict[int, Any] = {}
+        self._next_fd = 3  # 0-2 are stdio, as tradition demands
+        self.vfs = None  # attached by repro.kernelos.vfs when storage exists
+        host.kernel = self
+
+    # -- fd table -----------------------------------------------------------
+    def _install_fd(self, obj: Any) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = obj
+        return fd
+
+    def _lookup(self, fd: int, kind: Optional[str] = None) -> Any:
+        obj = self._fds.get(fd)
+        if obj is None:
+            raise KernelError("bad file descriptor %d" % fd)
+        if kind is not None and obj.kind != kind:
+            raise KernelError("fd %d is a %s, expected %s" % (fd, obj.kind, kind))
+        return obj
+
+    def thread(self, core: Optional[Core] = None) -> "Syscalls":
+        """A syscall interface bound to the calling thread's core."""
+        return Syscalls(self, core or self.host.cpu)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.tracer.count("%s.kernel.%s" % (self.host.name, name), n)
+
+
+class Syscalls:
+    """POSIX-ish syscalls as sim-coroutines, charged to one core.
+
+    Every call pays the crossing cost; blocking calls pay context-switch
+    out and wake-up + context-switch back in, like a real sleeping thread.
+    """
+
+    def __init__(self, kernel: Kernel, core: Core):
+        self.kernel = kernel
+        self.core = core
+        self.sim = kernel.sim
+        self.costs = kernel.costs
+
+    # -- accounting helpers ---------------------------------------------------
+    def _syscall(self, op_ns: int = 0):
+        self.kernel.count("syscalls")
+        return self.core.busy(self.costs.syscall_ns + op_ns)
+
+    def _block(self, wq_completion):
+        """Sleep on a kernel wait queue: switch out, later switch back in."""
+        self.kernel.count("blocks")
+        self.core.charge_async(self.costs.context_switch_ns)
+        return wq_completion
+
+    def _wakeup_charge(self):
+        self.kernel.count("wakeups")
+        return self.core.busy(self.costs.thread_wakeup_ns +
+                              self.costs.context_switch_ns)
+
+    # -- TCP sockets ----------------------------------------------------------
+    def socket(self) -> Generator:
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        return self.kernel._install_fd(_KTcpSocket())
+
+    def bind(self, fd: int, port: int) -> Generator:
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        sock = self.kernel._lookup(fd, "tcp")
+        sock.port = port
+
+    def listen(self, fd: int, backlog: int = 128) -> Generator:
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.port is None:
+            raise KernelError("listen before bind")
+        sock.listener = self.kernel.stack.tcp_listen(sock.port, backlog)
+
+    def accept(self, fd: int) -> Generator:
+        """Blocking accept; returns a new connected fd."""
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.listener is None:
+            raise KernelError("accept on non-listening socket")
+        while True:
+            conn = sock.listener.accept_nb()
+            if conn is not None:
+                break
+            yield self._block(sock.listener.accept_signal())
+            yield self._wakeup_charge()
+        child = _KTcpSocket()
+        child.conn = conn
+        return self.kernel._install_fd(child)
+
+    def connect(self, fd: int, ip: str, port: int) -> Generator:
+        """Blocking connect; returns when established (or raises)."""
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        sock = self.kernel._lookup(fd, "tcp")
+        sock.conn = self.kernel.stack.tcp_connect(ip, port)
+        yield self._block(sock.conn.established)
+        yield self._wakeup_charge()
+
+    def send(self, fd: int, data: bytes) -> Generator:
+        """Copying send: user buffer -> kernel socket buffer -> stack."""
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.conn is None:
+            raise KernelError("send on unconnected socket")
+        yield self._syscall(self.costs.kernel_sock_op_ns +
+                            self.costs.copy_ns(len(data)))
+        self.kernel.count("bytes_copied_tx", len(data))
+        sock.conn.send(bytes(data))
+        return len(data)
+
+    def recv(self, fd: int, max_bytes: int = 65536) -> Generator:
+        """Blocking copying recv; b'' means peer closed."""
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.conn is None:
+            raise KernelError("recv on unconnected socket")
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        while True:
+            data = sock.conn.recv(max_bytes)
+            if data:
+                break
+            if sock.conn.peer_closed or sock.conn.error:
+                return b""
+            yield self._block(sock.conn.recv_signal())
+            yield self._wakeup_charge()
+        yield self.core.busy(self.costs.copy_ns(len(data)))
+        self.kernel.count("bytes_copied_rx", len(data))
+        return data
+
+    def recv_nb(self, fd: int, max_bytes: int = 65536):
+        """Non-blocking recv; EWOULDBLOCK when no data is queued."""
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.conn is None:
+            raise KernelError("recv on unconnected socket")
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        data = sock.conn.recv(max_bytes)
+        if not data:
+            if sock.conn.peer_closed or sock.conn.error:
+                return b""
+            self.kernel.count("ewouldblock")
+            return EWOULDBLOCK
+        yield self.core.busy(self.costs.copy_ns(len(data)))
+        self.kernel.count("bytes_copied_rx", len(data))
+        return data
+
+    def accept_nb(self, fd: int):
+        """Non-blocking accept; EWOULDBLOCK when the queue is empty."""
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.listener is None:
+            raise KernelError("accept on non-listening socket")
+        conn = sock.listener.accept_nb()
+        if conn is None:
+            self.kernel.count("ewouldblock")
+            return EWOULDBLOCK
+        child = _KTcpSocket()
+        child.conn = conn
+        return self.kernel._install_fd(child)
+
+    def close(self, fd: int) -> Generator:
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        obj = self.kernel._fds.pop(fd, None)
+        if obj is None:
+            raise KernelError("bad file descriptor %d" % fd)
+        if getattr(obj, "conn", None) is not None:
+            obj.conn.close()
+        if getattr(obj, "listener", None) is not None:
+            obj.listener.close()
+        if getattr(obj, "port", None) is not None and obj.kind == "udp":
+            self.kernel.stack.udp_unbind(obj.port)
+
+    # -- UDP sockets -----------------------------------------------------------
+    def socket_udp(self) -> Generator:
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        return self.kernel._install_fd(_KUdpSocket(self.sim))
+
+    def bind_udp(self, fd: int, port: int) -> Generator:
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        sock = self.kernel._lookup(fd, "udp")
+        sock.port = port
+
+        def on_datagram(payload: bytes, src_ip: str, src_port: int) -> None:
+            sock.rx.append((payload, src_ip, src_port))
+            sock.wq.pulse()
+
+        self.kernel.stack.udp_bind(port, on_datagram)
+
+    def sendto(self, fd: int, data: bytes, ip: str, port: int) -> Generator:
+        sock = self.kernel._lookup(fd, "udp")
+        if sock.port is None:
+            # implicit bind to an ephemeral port on first send
+            yield from self.bind_udp(fd, 40000 + fd)
+        yield self._syscall(self.costs.kernel_sock_op_ns +
+                            self.costs.copy_ns(len(data)))
+        self.kernel.count("bytes_copied_tx", len(data))
+        self.kernel.stack.udp_send(sock.port, ip, port, bytes(data))
+        return len(data)
+
+    def recvfrom(self, fd: int) -> Generator:
+        """Blocking UDP receive: (payload, src_ip, src_port)."""
+        sock = self.kernel._lookup(fd, "udp")
+        yield self._syscall(self.costs.kernel_sock_op_ns)
+        while not sock.rx:
+            yield self._block(sock.wq.wait())
+            yield self._wakeup_charge()
+        payload, ip, port = sock.rx.popleft()
+        yield self.core.busy(self.costs.copy_ns(len(payload)))
+        self.kernel.count("bytes_copied_rx", len(payload))
+        return payload, ip, port
+
+    # -- epoll -------------------------------------------------------------------
+    def epoll_create(self) -> Generator:
+        yield self._syscall()
+        return self.kernel._install_fd(_Epoll(self.sim))
+
+    def epoll_ctl_add(self, epfd: int, fd: int) -> Generator:
+        yield self._syscall()
+        ep = self.kernel._lookup(epfd, "epoll")
+        sock = self.kernel._lookup(fd)
+        ep.watch(fd, sock)
+
+    def epoll_ctl_del(self, epfd: int, fd: int) -> Generator:
+        yield self._syscall()
+        ep = self.kernel._lookup(epfd, "epoll")
+        ep.unwatch(fd)
+
+    # -- files (VFS attached via repro.kernelos.vfs) ---------------------------
+    def creat(self, path: str) -> Generator:
+        yield self._syscall(self.costs.vfs_op_ns)
+        from .vfs import create_file
+        return self.kernel._install_fd(create_file(self.kernel, path))
+
+    def open(self, path: str) -> Generator:
+        yield self._syscall(self.costs.vfs_op_ns)
+        from .vfs import open_file
+        return self.kernel._install_fd(open_file(self.kernel, path))
+
+    def read(self, fd: int, nbytes: int) -> Generator:
+        obj = self.kernel._lookup(fd)
+        yield self._syscall(self.costs.vfs_op_ns)
+        if obj.kind == "file":
+            return (yield from self.kernel.vfs.read(self.core, obj, nbytes))
+        if obj.kind == "pipe_r":
+            return (yield from obj.pipe.read(self, nbytes))
+        raise KernelError("fd %d not readable via read()" % fd)
+
+    def write(self, fd: int, data: bytes) -> Generator:
+        obj = self.kernel._lookup(fd)
+        yield self._syscall(self.costs.vfs_op_ns)
+        if obj.kind == "file":
+            return (yield from self.kernel.vfs.write(self.core, obj, data))
+        if obj.kind == "pipe_w":
+            return (yield from obj.pipe.write(self, data))
+        raise KernelError("fd %d not writable via write()" % fd)
+
+    def fsync(self, fd: int) -> Generator:
+        obj = self.kernel._lookup(fd, "file")
+        yield self._syscall(self.costs.vfs_op_ns)
+        return (yield from self.kernel.vfs.fsync(self.core, obj))
+
+    def lseek(self, fd: int, offset: int) -> Generator:
+        obj = self.kernel._lookup(fd, "file")
+        yield self._syscall(self.costs.vfs_op_ns)
+        if offset < 0:
+            raise KernelError("negative seek")
+        obj.offset = offset
+        return offset
+
+    # -- pipes ------------------------------------------------------------------
+    def pipe(self) -> Generator:
+        """Returns (read_fd, write_fd)."""
+        yield self._syscall()
+        from .pipe import KernelPipe, make_pipe_ends
+        kpipe = KernelPipe(self.kernel)
+        read_end, write_end = make_pipe_ends(kpipe)
+        return (self.kernel._install_fd(read_end),
+                self.kernel._install_fd(write_end))
+
+    def pipe_close(self, fd: int) -> Generator:
+        yield self._syscall()
+        obj = self.kernel._fds.pop(fd, None)
+        if obj is None:
+            raise KernelError("bad file descriptor %d" % fd)
+        if obj.kind == "pipe_r":
+            obj.pipe.close_read()
+        elif obj.kind == "pipe_w":
+            obj.pipe.close_write()
+        else:
+            raise KernelError("fd %d is not a pipe end" % fd)
+
+    def epoll_wait(self, epfd: int, max_events: int = 16) -> Generator:
+        """Blocking level-triggered wait; returns ready fds.
+
+        Faithfully wakes *every* thread blocked on the same epoll fd when
+        any watched fd becomes ready - the herd the paper's wait_any
+        abstraction eliminates (one qtoken, one waiter, one wake-up).
+        """
+        ep = self.kernel._lookup(epfd, "epoll")
+        yield self._syscall()
+        while True:
+            ready = ep.scan_ready()
+            if ready:
+                yield self.core.busy(self.costs.epoll_event_ns * len(ready))
+                self.kernel.count("epoll_returns")
+                return ready[:max_events]
+            yield self._block(ep.wq.wait())
+            yield self._wakeup_charge()
+            self.kernel.count("epoll_wakeups")

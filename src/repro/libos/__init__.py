@@ -1,0 +1,24 @@
+"""Library OSes: one per kernel-bypass accelerator class (Figure 2)."""
+
+from .dpdk_libos import DpdkLibOS, ListenQueue, TcpQueue, UdpQueue
+from .mtcp_shim import MtcpShim
+from .posix_libos import PosixLibOS, PosixListenQueue, PosixTcpQueue
+from .rdma_libos import POOL_BUFFER_SIZE, POOL_BUFFERS, RdmaLibOS, RdmaQueue
+from .spdk_libos import FileQueue, SpdkLibOS
+
+__all__ = [
+    "DpdkLibOS",
+    "UdpQueue",
+    "TcpQueue",
+    "ListenQueue",
+    "PosixLibOS",
+    "PosixTcpQueue",
+    "PosixListenQueue",
+    "RdmaLibOS",
+    "RdmaQueue",
+    "POOL_BUFFERS",
+    "POOL_BUFFER_SIZE",
+    "SpdkLibOS",
+    "FileQueue",
+    "MtcpShim",
+]

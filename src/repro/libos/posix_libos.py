@@ -1,0 +1,154 @@
+"""The POSIX library OS ("Catnap"): Demikernel queues over kernel sockets.
+
+The portability floor of the Demikernel: on a host with no kernel-bypass
+hardware at all, the same Figure-3 application runs over ordinary kernel
+sockets.  Every element still pays the legacy taxes underneath (syscalls,
+copies, the in-kernel stack) - which is exactly what makes it the honest
+baseline in cross-libOS benchmarks - but the *application* is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..core.api import LibOS
+from ..core.queue import DemiQueue
+from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
+from ..kernelos.kernel import Kernel
+from ..netstack.framing import Deframer, frame_message
+
+__all__ = ["PosixLibOS", "PosixTcpQueue", "PosixListenQueue"]
+
+
+class PosixTcpQueue(DemiQueue):
+    """A kernel TCP connection behind the queue abstraction."""
+
+    kind = "posix-tcp"
+
+    def __init__(self, libos, qd: int):
+        super().__init__(libos, qd)
+        self.fd: Optional[int] = None
+        self.deframer = Deframer()
+        self._rx_pump_proc = None
+
+    def attach_fd(self, fd: int) -> None:
+        self.fd = fd
+        self._rx_pump_proc = self.libos.sim.spawn(
+            self.libos._rx_pump(self),
+            name="%s.q%d.rx" % (self.libos.name, self.qd))
+
+    def push_sga(self, sga: Sga, token: QToken) -> None:
+        if self.fd is None:
+            self._complete(token, QResult(OP_PUSH, self.qd,
+                                          error="not connected"))
+            return
+        self.libos.sim.spawn(self.libos._push_driver(self, sga, token),
+                             name="%s.q%d.tx" % (self.libos.name, self.qd))
+
+
+class PosixListenQueue(DemiQueue):
+    """A kernel listening socket behind the queue abstraction."""
+
+    kind = "posix-listen"
+
+    def __init__(self, libos, qd: int):
+        super().__init__(libos, qd)
+        self.fd: Optional[int] = None
+        self.port: Optional[int] = None
+
+    def push_sga(self, sga: Sga, token: QToken) -> None:
+        self._complete(token, QResult(OP_PUSH, self.qd,
+                                      error="push on listening queue"))
+
+
+class PosixLibOS(LibOS):
+    """Demikernel API over the legacy kernel (no bypass hardware)."""
+
+    device_kind = "legacy-kernel"
+
+    def __init__(self, host, kernel: Kernel, name: str = "catnap", core=None):
+        super().__init__(host, name, core)
+        self.kernel = kernel
+        self.sys = kernel.thread(self.core)
+
+    # -- datapath drivers ---------------------------------------------------
+    def _push_driver(self, queue: PosixTcpQueue, sga: Sga,
+                     token: QToken) -> Generator:
+        # The POSIX path cannot avoid the copy: send() copies the gathered
+        # element into the kernel socket buffer.
+        payload = sga.tobytes()
+        self.core.charge_async(self.costs.framing_ns)
+        try:
+            yield from self.sys.send(queue.fd, frame_message(payload))
+        except Exception as err:
+            self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
+                                                 error=str(err)))
+            return
+        self.count("tcp_tx_elements")
+        self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
+                                             nbytes=sga.nbytes))
+
+    def _rx_pump(self, queue: PosixTcpQueue) -> Generator:
+        sys = self.kernel.thread(self.core)
+        while not queue.closed:
+            data = yield from sys.recv(queue.fd)
+            if not data:
+                queue.mark_eof()
+                return
+            self.core.charge_async(self.costs.framing_ns)
+            for message in queue.deframer.feed(data):
+                buf = self.mm.alloc(max(1, len(message)))
+                buf.write(0, message)
+                self.count("tcp_rx_elements")
+                queue.deliver(Sga.from_buffer(buf, len(message)))
+
+    # -- control path ------------------------------------------------------------
+    def socket(self, proto: str = "tcp") -> Generator:
+        if proto != "tcp":
+            raise DemiError("%s supports only TCP sockets" % self.name)
+        queue = self._install(PosixTcpQueue)
+        queue.fd = None
+        yield self.core.busy(0)
+        return queue.qd
+
+    def bind(self, qd: int, port: int) -> Generator:
+        queue = self._lookup(qd)
+        listen_queue = PosixListenQueue(self, qd)
+        listen_queue.port = port
+        self._queues[qd] = listen_queue
+        yield self.core.busy(0)
+
+    def listen(self, qd: int, backlog: int = 128) -> Generator:
+        queue = self._lookup(qd)
+        if not isinstance(queue, PosixListenQueue) or queue.port is None:
+            raise DemiError("listen before bind on qd %d" % qd)
+        fd = yield from self.sys.socket()
+        yield from self.sys.bind(fd, queue.port)
+        yield from self.sys.listen(fd, backlog)
+        queue.fd = fd
+
+    def accept(self, qd: int) -> Generator:
+        queue = self._lookup(qd)
+        if not isinstance(queue, PosixListenQueue) or queue.fd is None:
+            raise DemiError("accept on non-listening qd %d" % qd)
+        conn_fd = yield from self.sys.accept(queue.fd)
+        new_queue = self._install(PosixTcpQueue)
+        new_queue.attach_fd(conn_fd)
+        self.count("accepts")
+        return new_queue.qd
+
+    def connect(self, qd: int, ip: str, port: int) -> Generator:
+        queue = self._lookup(qd)
+        if not isinstance(queue, PosixTcpQueue):
+            raise DemiError("connect on qd %d (%s)" % (qd, queue.kind))
+        fd = yield from self.sys.socket()
+        yield from self.sys.connect(fd, ip, port)
+        queue.attach_fd(fd)
+        self.count("connects")
+        return 0
+
+    def close(self, qd: int) -> Generator:
+        queue = self._queues.get(qd)
+        if queue is not None and getattr(queue, "fd", None) is not None:
+            yield from self.sys.close(queue.fd)
+        yield from LibOS.close(self, qd)

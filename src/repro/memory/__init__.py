@@ -1,0 +1,6 @@
+"""Demikernel memory management: transparent registration, free-protection."""
+
+from .buffer import Buffer, BufferError
+from .manager import MemoryManager, Region
+
+__all__ = ["Buffer", "BufferError", "MemoryManager", "Region"]

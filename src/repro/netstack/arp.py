@@ -1,0 +1,48 @@
+"""ARP for IPv4 over ethernet (RFC 826)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .packet import PacketError, bytes_to_ip, bytes_to_mac, ip_to_bytes, mac_to_bytes
+
+__all__ = ["ArpPacket", "ARP_REQUEST", "ARP_REPLY"]
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+_HEADER = struct.Struct("!HHBBH")  # htype, ptype, hlen, plen, oper
+
+
+@dataclass
+class ArpPacket:
+    oper: int
+    sender_mac: str
+    sender_ip: str
+    target_mac: str
+    target_ip: str
+
+    def pack(self) -> bytes:
+        return (
+            _HEADER.pack(1, 0x0800, 6, 4, self.oper)
+            + mac_to_bytes(self.sender_mac)
+            + ip_to_bytes(self.sender_ip)
+            + mac_to_bytes(self.target_mac)
+            + ip_to_bytes(self.target_ip)
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "ArpPacket":
+        if len(raw) < 28:
+            raise PacketError("ARP packet too short: %d bytes" % len(raw))
+        htype, ptype, hlen, plen, oper = _HEADER.unpack(raw[0:8])
+        if htype != 1 or ptype != 0x0800 or hlen != 6 or plen != 4:
+            raise PacketError("unsupported ARP header")
+        return cls(
+            oper=oper,
+            sender_mac=bytes_to_mac(raw[8:14]),
+            sender_ip=bytes_to_ip(raw[14:18]),
+            target_mac=bytes_to_mac(raw[18:24]),
+            target_ip=bytes_to_ip(raw[24:28]),
+        )

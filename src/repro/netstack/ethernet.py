@@ -1,0 +1,42 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .packet import PacketError, bytes_to_mac, mac_to_bytes
+
+__all__ = ["EthernetFrame", "ETHERTYPE_IPV4", "ETHERTYPE_ARP", "ETH_HEADER_LEN"]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETH_HEADER_LEN = 14
+
+
+@dataclass
+class EthernetFrame:
+    dst: str
+    src: str
+    ethertype: int
+    payload: bytes
+
+    def pack(self) -> bytes:
+        return (
+            mac_to_bytes(self.dst)
+            + mac_to_bytes(self.src)
+            + struct.pack("!H", self.ethertype)
+            + self.payload
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "EthernetFrame":
+        if len(raw) < ETH_HEADER_LEN:
+            raise PacketError("ethernet frame too short: %d bytes" % len(raw))
+        dst = bytes_to_mac(raw[0:6])
+        src = bytes_to_mac(raw[6:12])
+        (ethertype,) = struct.unpack("!H", raw[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype, payload=raw[14:])
+
+    def __len__(self) -> int:
+        return ETH_HEADER_LEN + len(self.payload)

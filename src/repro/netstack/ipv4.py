@@ -1,0 +1,85 @@
+"""IPv4 (RFC 791) - fixed 20-byte header, no fragmentation (DF always set).
+
+Datacenter stacks avoid IP fragmentation entirely (TCP segments to MSS,
+UDP callers keep datagrams under MTU), so attempting to send an oversized
+IP payload raises instead of fragmenting.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .packet import PacketError, bytes_to_ip, internet_checksum, ip_to_bytes
+
+__all__ = ["Ipv4Packet", "PROTO_TCP", "PROTO_UDP", "IPV4_HEADER_LEN", "DEFAULT_MTU"]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+IPV4_HEADER_LEN = 20
+DEFAULT_MTU = 1500
+
+_FLAG_DF = 0x4000
+
+
+@dataclass
+class Ipv4Packet:
+    src: str
+    dst: str
+    proto: int
+    payload: bytes
+    ttl: int = 64
+    ident: int = 0
+
+    def pack(self) -> bytes:
+        total_len = IPV4_HEADER_LEN + len(self.payload)
+        if total_len > 65535:
+            raise PacketError("IPv4 packet too large: %d" % total_len)
+        header_wo_csum = struct.pack(
+            "!BBHHHBBH",
+            (4 << 4) | 5,          # version + IHL
+            0,                      # DSCP/ECN
+            total_len,
+            self.ident,
+            _FLAG_DF,
+            self.ttl,
+            self.proto,
+            0,                      # checksum placeholder
+        ) + ip_to_bytes(self.src) + ip_to_bytes(self.dst)
+        csum = internet_checksum(header_wo_csum)
+        header = header_wo_csum[:10] + struct.pack("!H", csum) + header_wo_csum[12:]
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes, verify_checksum: bool = True) -> "Ipv4Packet":
+        if len(raw) < IPV4_HEADER_LEN:
+            raise PacketError("IPv4 packet too short: %d bytes" % len(raw))
+        ver_ihl, _tos, total_len, ident, _flags, ttl, proto, _csum = struct.unpack(
+            "!BBHHHBBH", raw[0:12]
+        )
+        version = ver_ihl >> 4
+        ihl = (ver_ihl & 0xF) * 4
+        if version != 4:
+            raise PacketError("not IPv4 (version=%d)" % version)
+        if ihl != IPV4_HEADER_LEN:
+            raise PacketError("IP options unsupported (ihl=%d)" % ihl)
+        if total_len > len(raw):
+            raise PacketError("truncated IPv4 packet")
+        if verify_checksum and internet_checksum(raw[0:IPV4_HEADER_LEN]) != 0:
+            raise PacketError("bad IPv4 header checksum")
+        return cls(
+            src=bytes_to_ip(raw[12:16]),
+            dst=bytes_to_ip(raw[16:20]),
+            proto=proto,
+            payload=raw[IPV4_HEADER_LEN:total_len],
+            ttl=ttl,
+            ident=ident,
+        )
+
+    def pseudo_header(self, payload_len: int) -> bytes:
+        """The TCP/UDP checksum pseudo-header for this packet's addresses."""
+        return (
+            ip_to_bytes(self.src)
+            + ip_to_bytes(self.dst)
+            + struct.pack("!BBH", 0, self.proto, payload_len)
+        )

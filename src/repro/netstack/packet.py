@@ -1,0 +1,71 @@
+"""Wire-format helpers shared by every protocol layer.
+
+Frames on the fabric are real ``bytes``: every header here packs to and
+parses from its genuine wire format (RFC 791/793/768 layouts), so the
+stack can be tested the way a real one is - by inspecting octets.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = [
+    "internet_checksum",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "ip_to_bytes",
+    "bytes_to_ip",
+    "PacketError",
+]
+
+
+class PacketError(Exception):
+    """Malformed or truncated packet."""
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement sum over 16-bit words."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def mac_to_bytes(mac: str) -> bytes:
+    """``"02:00:00:00:00:01"`` -> 6 bytes."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise PacketError("bad MAC %r" % mac)
+    try:
+        return bytes(int(p, 16) for p in parts)
+    except ValueError:
+        raise PacketError("bad MAC %r" % mac)
+
+
+def bytes_to_mac(raw: bytes) -> str:
+    if len(raw) != 6:
+        raise PacketError("MAC must be 6 bytes, got %d" % len(raw))
+    return ":".join("%02x" % b for b in raw)
+
+
+def ip_to_bytes(ip: str) -> bytes:
+    """``"10.0.0.1"`` -> 4 bytes."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        raise PacketError("bad IPv4 address %r" % ip)
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        raise PacketError("bad IPv4 address %r" % ip)
+    if any(v < 0 or v > 255 for v in values):
+        raise PacketError("bad IPv4 address %r" % ip)
+    return struct.pack("!BBBB", *values)
+
+
+def bytes_to_ip(raw: bytes) -> str:
+    if len(raw) != 4:
+        raise PacketError("IPv4 address must be 4 bytes")
+    return "%d.%d.%d.%d" % tuple(raw)

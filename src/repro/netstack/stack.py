@@ -1,0 +1,298 @@
+"""The network stack instance: ethernet + ARP + IPv4 + UDP + TCP demux.
+
+One :class:`NetStack` runs per NIC.  It is deliberately placement-neutral:
+the *same* protocol code serves as
+
+* the user-level stack inside the DPDK libOS (charged at
+  ``user_net_tx/rx`` costs, the streamlined-library regime), and
+* the in-kernel stack of ``repro.kernelos`` (charged at
+  ``kernel_net_tx/rx`` costs with interrupts and copies added by the
+  socket layer above it).
+
+That sharing is what makes the paper's comparisons apples-to-apples: both
+worlds speak identical TCP; only where the code runs and what it charges
+differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from .arp import ARP_REPLY, ARP_REQUEST, ArpPacket
+from .ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+from .ipv4 import DEFAULT_MTU, IPV4_HEADER_LEN, PROTO_TCP, PROTO_UDP, Ipv4Packet
+from .packet import PacketError
+from .tcp import TcpConnection, TcpListener, TcpSegment
+from .udp import UdpDatagram
+
+__all__ = ["NetStack", "BROADCAST_MAC"]
+
+BROADCAST_MAC = "ff:ff:ff:ff:ff:ff"
+
+ARP_RETRY_NS = 100_000
+ARP_MAX_RETRIES = 5
+
+UdpHandler = Callable[[bytes, str, int], None]
+
+
+class NetStack:
+    """An IPv4 endpoint bound to one NIC-like transmit function."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: str,
+        ip: str,
+        send_frame: Callable[[str, bytes], None],
+        tracer,
+        charge: Optional[Callable[[int], None]] = None,
+        tx_cost_ns: int = 0,
+        rx_cost_ns: int = 0,
+        mtu: int = DEFAULT_MTU,
+        verify_checksums: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.send_frame = send_frame
+        self.tracer = tracer
+        self.charge = charge or (lambda ns: None)
+        self.tx_cost_ns = tx_cost_ns
+        self.rx_cost_ns = rx_cost_ns
+        self.mtu = mtu
+        self.verify_checksums = verify_checksums
+
+        self.arp_table: Dict[str, str] = {}
+        self._arp_pending: Dict[str, List[Ipv4Packet]] = {}
+        self._udp_handlers: Dict[int, UdpHandler] = {}
+        self._tcp_listeners: Dict[int, TcpListener] = {}
+        self._tcp_conns: Dict[Tuple[str, int, str, int], TcpConnection] = {}
+        self._next_ephemeral = 49152
+        self._next_isn = 1000
+        self._ip_ident = 0
+
+    # ------------------------------------------------------------- frames
+    def rx_frame(self, raw: bytes) -> None:
+        """Entry point from the driver (poll loop or interrupt handler)."""
+        self.charge(self.rx_cost_ns)
+        self.tracer.count("%s.rx_frames" % self.name)
+        try:
+            frame = EthernetFrame.unpack(raw)
+        except PacketError:
+            self.tracer.count("%s.rx_malformed" % self.name)
+            return
+        if frame.dst not in (self.mac, BROADCAST_MAC):
+            self.tracer.count("%s.rx_wrong_mac" % self.name)
+            return
+        if frame.ethertype == ETHERTYPE_ARP:
+            self._rx_arp(frame)
+        elif frame.ethertype == ETHERTYPE_IPV4:
+            self._rx_ipv4(frame)
+        else:
+            self.tracer.count("%s.rx_unknown_ethertype" % self.name)
+
+    def _tx_frame(self, dst_mac: str, ethertype: int, payload: bytes) -> None:
+        self.charge(self.tx_cost_ns)
+        self.tracer.count("%s.tx_frames" % self.name)
+        frame = EthernetFrame(dst=dst_mac, src=self.mac,
+                              ethertype=ethertype, payload=payload)
+        self.send_frame(dst_mac, frame.pack())
+
+    # ---------------------------------------------------------------- ARP
+    def _rx_arp(self, frame: EthernetFrame) -> None:
+        try:
+            arp = ArpPacket.unpack(frame.payload)
+        except PacketError:
+            self.tracer.count("%s.rx_malformed" % self.name)
+            return
+        # Opportunistic learning.
+        self.arp_table[arp.sender_ip] = arp.sender_mac
+        self._flush_arp_pending(arp.sender_ip)
+        if arp.oper == ARP_REQUEST and arp.target_ip == self.ip:
+            reply = ArpPacket(ARP_REPLY, self.mac, self.ip,
+                              arp.sender_mac, arp.sender_ip)
+            self._tx_frame(arp.sender_mac, ETHERTYPE_ARP, reply.pack())
+
+    def _arp_resolve(self, dst_ip: str, packet: Ipv4Packet) -> None:
+        """Queue the packet and broadcast a who-has."""
+        pending = self._arp_pending.setdefault(dst_ip, [])
+        pending.append(packet)
+        if len(pending) == 1:
+            self._send_arp_request(dst_ip, 0)
+
+    def _send_arp_request(self, dst_ip: str, attempt: int) -> None:
+        if dst_ip in self.arp_table or dst_ip not in self._arp_pending:
+            return
+        if attempt >= ARP_MAX_RETRIES:
+            dropped = self._arp_pending.pop(dst_ip, [])
+            self.tracer.count("%s.arp_unresolved_drops" % self.name, len(dropped))
+            return
+        req = ArpPacket(ARP_REQUEST, self.mac, self.ip,
+                        "00:00:00:00:00:00", dst_ip)
+        self._tx_frame(BROADCAST_MAC, ETHERTYPE_ARP, req.pack())
+        self.tracer.count("%s.arp_requests" % self.name)
+        self.sim.call_in(ARP_RETRY_NS, self._send_arp_request, dst_ip, attempt + 1)
+
+    def _flush_arp_pending(self, ip: str) -> None:
+        for packet in self._arp_pending.pop(ip, []):
+            self._tx_ipv4(packet)
+
+    # --------------------------------------------------------------- IPv4
+    def _rx_ipv4(self, frame: EthernetFrame) -> None:
+        try:
+            packet = Ipv4Packet.unpack(frame.payload,
+                                       verify_checksum=self.verify_checksums)
+        except PacketError:
+            self.tracer.count("%s.rx_malformed" % self.name)
+            return
+        if packet.dst != self.ip:
+            self.tracer.count("%s.rx_wrong_ip" % self.name)
+            return
+        if packet.proto == PROTO_UDP:
+            self._rx_udp(packet)
+        elif packet.proto == PROTO_TCP:
+            self._rx_tcp(packet)
+        else:
+            self.tracer.count("%s.rx_unknown_proto" % self.name)
+
+    def _tx_ipv4(self, packet: Ipv4Packet) -> None:
+        if IPV4_HEADER_LEN + len(packet.payload) > self.mtu:
+            raise PacketError(
+                "IPv4 payload %d exceeds MTU %d (no fragmentation)"
+                % (len(packet.payload), self.mtu)
+            )
+        dst_mac = self.arp_table.get(packet.dst)
+        if dst_mac is None:
+            self._arp_resolve(packet.dst, packet)
+            return
+        self._tx_frame(dst_mac, ETHERTYPE_IPV4, packet.pack())
+
+    def _next_ident(self) -> int:
+        self._ip_ident = (self._ip_ident + 1) & 0xFFFF
+        return self._ip_ident
+
+    # ---------------------------------------------------------------- UDP
+    def udp_bind(self, port: int, handler: UdpHandler) -> None:
+        if port in self._udp_handlers:
+            raise ValueError("UDP port %d already bound" % port)
+        self._udp_handlers[port] = handler
+
+    def udp_unbind(self, port: int) -> None:
+        self._udp_handlers.pop(port, None)
+
+    def udp_send(self, src_port: int, dst_ip: str, dst_port: int,
+                 payload: bytes) -> None:
+        datagram = UdpDatagram(src_port, dst_port, payload)
+        self._tx_ipv4(Ipv4Packet(self.ip, dst_ip, PROTO_UDP,
+                                 datagram.pack(self.ip, dst_ip),
+                                 ident=self._next_ident()))
+
+    def _rx_udp(self, packet: Ipv4Packet) -> None:
+        try:
+            datagram = UdpDatagram.unpack(packet.payload)
+        except PacketError:
+            self.tracer.count("%s.rx_malformed" % self.name)
+            return
+        handler = self._udp_handlers.get(datagram.dst_port)
+        if handler is None:
+            self.tracer.count("%s.udp_no_listener" % self.name)
+            return
+        handler(datagram.payload, packet.src, datagram.src_port)
+
+    # ---------------------------------------------------------------- TCP
+    def tcp_listen(self, port: int, backlog: int = 128,
+                   recv_capacity: int = 262144) -> TcpListener:
+        if port in self._tcp_listeners:
+            raise ValueError("TCP port %d already listening" % port)
+        listener = TcpListener(self, port, backlog)
+        listener.recv_capacity = recv_capacity
+        self._tcp_listeners[port] = listener
+        return listener
+
+    def tcp_connect(self, dst_ip: str, dst_port: int,
+                    src_port: Optional[int] = None,
+                    recv_capacity: int = 262144) -> TcpConnection:
+        if src_port is None:
+            src_port = self._alloc_ephemeral()
+        key = (self.ip, src_port, dst_ip, dst_port)
+        if key in self._tcp_conns:
+            raise ValueError("connection %r already exists" % (key,))
+        conn = TcpConnection(self, (self.ip, src_port), (dst_ip, dst_port),
+                             iss=self._alloc_isn(), recv_capacity=recv_capacity)
+        self._tcp_conns[key] = conn
+        conn.start_connect()
+        return conn
+
+    def _alloc_ephemeral(self) -> int:
+        for _ in range(16384):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 65535:
+                self._next_ephemeral = 49152
+            if all(k[1] != port for k in self._tcp_conns):
+                return port
+        raise RuntimeError("out of ephemeral ports")
+
+    def _alloc_isn(self) -> int:
+        self._next_isn += 64000
+        return self._next_isn
+
+    def _rx_tcp(self, packet: Ipv4Packet) -> None:
+        try:
+            seg = TcpSegment.unpack(packet.payload)
+        except PacketError:
+            self.tracer.count("%s.rx_malformed" % self.name)
+            return
+        key = (self.ip, seg.dst_port, packet.src, seg.src_port)
+        conn = self._tcp_conns.get(key)
+        if conn is not None:
+            conn.on_segment(seg)
+            return
+        # New connection?
+        from .tcp import SYN, ACK as ACK_FLAG, RST as RST_FLAG
+        listener = self._tcp_listeners.get(seg.dst_port)
+        if listener is not None and not listener.closed and seg.flags & SYN \
+                and not seg.flags & ACK_FLAG:
+            conn = TcpConnection(self, (self.ip, seg.dst_port),
+                                 (packet.src, seg.src_port),
+                                 iss=self._alloc_isn(),
+                                 recv_capacity=getattr(listener, "recv_capacity",
+                                                       262144))
+            conn._listener = listener
+            self._tcp_conns[key] = conn
+            conn.start_passive(seg)
+            return
+        # No home for this segment: RST (unless it was itself a RST).
+        if not seg.flags & RST_FLAG:
+            self.tracer.count("%s.tcp_rst_sent" % self.name)
+            rst = TcpSegment(seg.dst_port, seg.src_port,
+                             seg.ack, seg.seq + len(seg.payload) + 1,
+                             RST_FLAG | ACK_FLAG, 0)
+            self._tx_ipv4(Ipv4Packet(self.ip, packet.src, PROTO_TCP,
+                                     rst.pack(self.ip, packet.src),
+                                     ident=self._next_ident()))
+
+    def _tcp_transmit(self, conn: TcpConnection, seg: TcpSegment) -> None:
+        self.tracer.count("%s.tcp_segments_tx" % self.name)
+        self._tx_ipv4(Ipv4Packet(conn.local[0], conn.remote[0], PROTO_TCP,
+                                 seg.pack(conn.local[0], conn.remote[0]),
+                                 ident=self._next_ident()))
+
+    def _forget_connection(self, conn: TcpConnection) -> None:
+        key = (conn.local[0], conn.local[1], conn.remote[0], conn.remote[1])
+        self._tcp_conns.pop(key, None)
+
+    def _forget_listener(self, listener: TcpListener) -> None:
+        self._tcp_listeners.pop(listener.port, None)
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def tcp_connection_count(self) -> int:
+        return len(self._tcp_conns)
+
+    def seed_arp(self, ip: str, mac: str) -> None:
+        """Pre-populate the ARP table (tests, static configurations)."""
+        self.arp_table[ip] = mac

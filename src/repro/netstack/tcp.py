@@ -1,0 +1,636 @@
+"""TCP (RFC 793): segments, connection state machine, reliability.
+
+This is a real - if compact - TCP: three-way handshake, sequence-number
+based in-order delivery with out-of-order segment buffering, cumulative
+acks with duplicate-ack fast retransmit, adaptive RTO (RFC 6298 style),
+receiver flow control with window probes, and the full close handshake
+(FIN/ACK both directions, TIME_WAIT).
+
+Congestion control is NewReno-flavoured: slow start from IW10, AIMD in
+congestion avoidance, multiplicative decrease on fast retransmit, and a
+collapse to one MSS on RTO.  Not modelled: SACK, urgent data, and exotic
+options (only MSS is sent).
+
+The connection object is transport-only; ``repro.netstack.stack.NetStack``
+owns demux and hands segments in/out.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.sync import WaitQueue
+from .packet import PacketError, internet_checksum, ip_to_bytes
+
+__all__ = [
+    "TcpSegment",
+    "TcpConnection",
+    "TcpListener",
+    "TcpError",
+    "FIN", "SYN", "RST", "PSH", "ACK",
+    "TCP_HEADER_LEN",
+    "DEFAULT_MSS",
+]
+
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+TCP_HEADER_LEN = 20
+DEFAULT_MSS = 1460
+
+# Simulation-friendly timer constants (ns).  Real stacks use 200ms+ minimum
+# RTOs; with microsecond RTTs in the simulated fabric that would only slow
+# convergence in simulated time, so we scale them to the RTT regime.
+MIN_RTO_NS = 100_000
+MAX_RTO_NS = 5_000_000
+TIME_WAIT_NS = 1_000_000
+WINDOW_PROBE_NS = 200_000
+MAX_SYN_RETRIES = 6
+MAX_DATA_RETRIES = 12
+
+
+class TcpError(Exception):
+    """Connection-fatal events surfaced to the caller (reset, timeout)."""
+
+
+@dataclass
+class TcpSegment:
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    window: int
+    payload: bytes = b""
+    mss: Optional[int] = None  # MSS option, SYN segments only
+
+    def pack(self, src_ip: str, dst_ip: str) -> bytes:
+        options = b""
+        if self.mss is not None:
+            options = struct.pack("!BBH", 2, 4, self.mss)
+        data_offset = (TCP_HEADER_LEN + len(options)) // 4
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset << 4,
+            self.flags,
+            self.window,
+            0,  # checksum placeholder
+            0,  # urgent pointer
+        ) + options
+        length = len(header) + len(self.payload)
+        pseudo = ip_to_bytes(src_ip) + ip_to_bytes(dst_ip) + struct.pack("!BBH", 0, 6, length)
+        csum = internet_checksum(pseudo + header + self.payload)
+        header = header[:16] + struct.pack("!H", csum) + header[18:]
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "TcpSegment":
+        if len(raw) < TCP_HEADER_LEN:
+            raise PacketError("TCP segment too short")
+        (src_port, dst_port, seq, ack, off_field, flags, window,
+         _csum, _urg) = struct.unpack("!HHIIBBHHH", raw[0:20])
+        data_offset = (off_field >> 4) * 4
+        if data_offset < TCP_HEADER_LEN or data_offset > len(raw):
+            raise PacketError("bad TCP data offset")
+        mss = None
+        options = raw[TCP_HEADER_LEN:data_offset]
+        i = 0
+        while i < len(options):
+            kind = options[i]
+            if kind == 0:
+                break
+            if kind == 1:
+                i += 1
+                continue
+            if i + 1 >= len(options):
+                break
+            length = options[i + 1]
+            if kind == 2 and length == 4 and i + 4 <= len(options):
+                (mss,) = struct.unpack("!H", options[i + 2:i + 4])
+            i += max(2, length)
+        return cls(
+            src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+            flags=flags, window=window, payload=raw[data_offset:], mss=mss,
+        )
+
+    def flag_names(self) -> str:
+        names = []
+        for bit, name in ((SYN, "SYN"), (ACK, "ACK"), (FIN, "FIN"),
+                          (RST, "RST"), (PSH, "PSH")):
+            if self.flags & bit:
+                names.append(name)
+        return "|".join(names) or "none"
+
+
+# Connection states
+CLOSED = "CLOSED"
+LISTEN = "LISTEN"
+SYN_SENT = "SYN_SENT"
+SYN_RCVD = "SYN_RCVD"
+ESTABLISHED = "ESTABLISHED"
+FIN_WAIT_1 = "FIN_WAIT_1"
+FIN_WAIT_2 = "FIN_WAIT_2"
+CLOSE_WAIT = "CLOSE_WAIT"
+LAST_ACK = "LAST_ACK"
+CLOSING = "CLOSING"
+TIME_WAIT = "TIME_WAIT"
+
+
+class TcpConnection:
+    """One TCP connection endpoint."""
+
+    def __init__(
+        self,
+        stack,
+        local: Tuple[str, int],
+        remote: Tuple[str, int],
+        iss: int,
+        recv_capacity: int = 262144,
+        mss: int = DEFAULT_MSS,
+    ):
+        self.stack = stack
+        self.sim = stack.sim
+        self.local = local
+        self.remote = remote
+        self.state = CLOSED
+        self.mss = mss
+
+        # send side
+        self.iss = iss
+        self.snd_una = iss
+        self.snd_nxt = iss
+        self._send_queue = bytearray()      # not yet segmented
+        self._inflight: List[Tuple[int, bytes, int]] = []  # (seq, data, flags)
+        self.peer_window = 1
+        self._dupacks = 0
+
+        # congestion control (NewReno-flavoured)
+        self.cwnd = 10 * mss                # IW10 (RFC 6928)
+        self.ssthresh = 64 * 1024 * 1024    # effectively open at start
+        self.cwnd_reductions = 0
+
+        #: TCP_NODELAY: on (the default here) sends small segments
+        #: immediately; off enables Nagle's algorithm - hold sub-MSS data
+        #: while anything is unacked.  Latency-sensitive datacenter code
+        #: always sets NODELAY, hence the default.
+        self.nodelay = True
+        self._retries = 0
+        self._rto_epoch = 0
+        self._fin_queued = False
+        self._fin_sent_seq: Optional[int] = None
+
+        # receive side
+        self.irs = 0
+        self.rcv_nxt = 0
+        self.recv_capacity = recv_capacity
+        self._recv_buffer = bytearray()
+        self._ooo: Dict[int, bytes] = {}
+        self._peer_fin = False
+
+        # RTT estimation (RFC 6298)
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = MIN_RTO_NS
+        self._rtt_probe: Optional[Tuple[int, int]] = None  # (seq, sent_at)
+
+        # wakeups
+        self.established = self.sim.completion("tcp.established")
+        self.closed = self.sim.completion("tcp.closed")
+        self.recv_wq = WaitQueue(self.sim, "tcp.recv")
+        self.send_wq = WaitQueue(self.sim, "tcp.send")
+        self.error: Optional[TcpError] = None
+
+    # ------------------------------------------------------------- public
+    @property
+    def recv_window(self) -> int:
+        # Clamped to the 16-bit header field (no window-scale option).
+        return min(65535, max(0, self.recv_capacity - len(self._recv_buffer)))
+
+    @property
+    def readable_bytes(self) -> int:
+        return len(self._recv_buffer)
+
+    @property
+    def peer_closed(self) -> bool:
+        return self._peer_fin and not self._ooo
+
+    def send(self, data: bytes) -> None:
+        """Queue bytes for transmission (stream semantics)."""
+        self._ensure_ok()
+        if self.state not in (ESTABLISHED, CLOSE_WAIT):
+            raise TcpError("send in state %s" % self.state)
+        if self._fin_queued:
+            raise TcpError("send after close")
+        self._send_queue.extend(data)
+        self._push()
+
+    def recv(self, max_bytes: int = 2**30) -> bytes:
+        """Drain up to *max_bytes* of in-order stream data (b'' if none)."""
+        self._ensure_ok()
+        if not self._recv_buffer:
+            return b""
+        take = min(max_bytes, len(self._recv_buffer))
+        data = bytes(self._recv_buffer[:take])
+        del self._recv_buffer[:take]
+        # Window opened: let the peer know if it was closed.
+        if take and self.recv_window == take:
+            self._send_ack()
+        return data
+
+    def recv_signal(self):
+        """Completion firing when data (or FIN/error) is available."""
+        done = self.sim.completion("tcp.recv_signal")
+        if self._recv_buffer or self._peer_fin or self.error:
+            done.trigger(None)
+            return done
+        return self.recv_wq.wait()
+
+    def close(self) -> None:
+        """Graceful close: FIN after any queued data."""
+        if self.state in (CLOSED, TIME_WAIT, LAST_ACK, FIN_WAIT_1, FIN_WAIT_2, CLOSING):
+            return
+        if self.state == SYN_SENT:
+            self._enter_closed()
+            return
+        self._fin_queued = True
+        if self.state == ESTABLISHED:
+            self.state = FIN_WAIT_1
+        elif self.state == CLOSE_WAIT:
+            self.state = LAST_ACK
+        self._push()
+
+    def abort(self) -> None:
+        """Hard reset."""
+        if self.state not in (CLOSED,):
+            self._emit(TcpSegment(self.local[1], self.remote[1],
+                                  self.snd_nxt, self.rcv_nxt, RST | ACK,
+                                  self.recv_window))
+        self._fail(TcpError("connection aborted"))
+
+    def _ensure_ok(self) -> None:
+        if self.error is not None:
+            raise self.error
+
+    # -------------------------------------------------------- connecting
+    def start_connect(self) -> None:
+        self.state = SYN_SENT
+        self._emit(TcpSegment(self.local[1], self.remote[1], self.iss, 0,
+                              SYN, self.recv_window, mss=self.mss))
+        self.snd_nxt = self.iss + 1
+        self._arm_rto()
+
+    def start_passive(self, syn: TcpSegment) -> None:
+        """Server side: we've received a SYN; reply SYN-ACK."""
+        self.irs = syn.seq
+        self.rcv_nxt = syn.seq + 1
+        if syn.mss:
+            self.mss = min(self.mss, syn.mss)
+        self.state = SYN_RCVD
+        self.peer_window = syn.window
+        self._emit(TcpSegment(self.local[1], self.remote[1], self.iss,
+                              self.rcv_nxt, SYN | ACK, self.recv_window,
+                              mss=self.mss))
+        self.snd_nxt = self.iss + 1
+        self._arm_rto()
+
+    # ------------------------------------------------------ segment input
+    def on_segment(self, seg: TcpSegment) -> None:
+        if seg.flags & RST:
+            if self.state != CLOSED:
+                self._fail(TcpError("connection reset by peer"))
+            return
+
+        if self.state == SYN_SENT:
+            self._on_segment_syn_sent(seg)
+            return
+        if self.state == SYN_RCVD and seg.flags & ACK and seg.ack == self.snd_nxt:
+            self.state = ESTABLISHED
+            self._retries = 0
+            if not self.established.triggered:
+                self.established.trigger(self)
+            listener = getattr(self, "_listener", None)
+            if listener is not None:
+                listener._deliver(self)
+
+        if seg.flags & ACK:
+            self._on_ack(seg)
+        if seg.payload:
+            self._on_data(seg)
+        if seg.flags & FIN:
+            self._on_fin(seg)
+
+    def _on_segment_syn_sent(self, seg: TcpSegment) -> None:
+        if seg.flags & SYN and seg.flags & ACK and seg.ack == self.snd_nxt:
+            self.irs = seg.seq
+            self.rcv_nxt = seg.seq + 1
+            self.snd_una = seg.ack
+            self.peer_window = seg.window
+            if seg.mss:
+                self.mss = min(self.mss, seg.mss)
+            self.state = ESTABLISHED
+            self._retries = 0
+            self._send_ack()
+            if not self.established.triggered:
+                self.established.trigger(self)
+            self._push()
+
+    def _on_ack(self, seg: TcpSegment) -> None:
+        self.peer_window = seg.window
+        una = self.snd_una
+        if seg.ack > una:
+            acked = seg.ack - una
+            self.snd_una = seg.ack
+            self._dupacks = 0
+            self._retries = 0
+            # Congestion window growth per newly-acked data.
+            if self.cwnd < self.ssthresh:
+                self.cwnd += min(acked, self.mss)          # slow start
+            else:
+                self.cwnd += max(1, self.mss * self.mss // self.cwnd)
+            # RTT sample (Karn: only for never-retransmitted probes)
+            if self._rtt_probe is not None and seg.ack > self._rtt_probe[0]:
+                self._rtt_sample(self.sim.now - self._rtt_probe[1])
+                self._rtt_probe = None
+            # Drop fully-acked segments from the retransmit queue.
+            self._inflight = [
+                (seq, data, flags) for (seq, data, flags) in self._inflight
+                if seq + max(1, len(data)) > seg.ack
+            ]
+            if self._inflight or self.snd_nxt > self.snd_una:
+                self._arm_rto()
+            # FIN acked?
+            if self._fin_sent_seq is not None and seg.ack > self._fin_sent_seq:
+                self._on_fin_acked()
+            self.send_wq.pulse()
+        elif seg.ack == una and self._inflight and not seg.payload:
+            self._dupacks += 1
+            if self._dupacks == 3:
+                self._fast_retransmit()
+        self._push()
+
+    def _on_data(self, seg: TcpSegment) -> None:
+        seq, payload = seg.seq, seg.payload
+        end = seq + len(payload)
+        if end <= self.rcv_nxt:
+            self._send_ack()  # pure duplicate
+            return
+        if seq > self.rcv_nxt:
+            # Out of order: buffer (bounded by window) and dup-ack.
+            if seq - self.rcv_nxt < self.recv_capacity:
+                self._ooo.setdefault(seq, payload)
+                self.stack.tracer.count("%s.tcp_ooo_buffered" % self.stack.name)
+            self._send_ack()
+            return
+        # Trim any already-received prefix.
+        if seq < self.rcv_nxt:
+            payload = payload[self.rcv_nxt - seq:]
+            seq = self.rcv_nxt
+        self._accept_data(payload)
+        # Coalesce out-of-order segments that are now in order.
+        while self.rcv_nxt in self._ooo:
+            chunk = self._ooo.pop(self.rcv_nxt)
+            self._accept_data(chunk)
+        self._send_ack()
+        self.recv_wq.pulse()
+
+    def _accept_data(self, payload: bytes) -> None:
+        room = self.recv_capacity - len(self._recv_buffer)
+        if len(payload) > room:
+            payload = payload[:room]  # receiver never advertised this; drop
+            self.stack.tracer.count("%s.tcp_window_overrun_trimmed" % self.stack.name)
+        self._recv_buffer.extend(payload)
+        self.rcv_nxt += len(payload)
+
+    def _on_fin(self, seg: TcpSegment) -> None:
+        fin_seq = seg.seq + len(seg.payload)
+        if fin_seq != self.rcv_nxt:
+            self._send_ack()
+            return  # FIN out of order; wait for retransmit
+        self.rcv_nxt += 1
+        self._peer_fin = True
+        self._send_ack()
+        if self.state == ESTABLISHED:
+            self.state = CLOSE_WAIT
+        elif self.state == FIN_WAIT_1:
+            self.state = CLOSING
+        elif self.state == FIN_WAIT_2:
+            self._enter_time_wait()
+        self.recv_wq.pulse()
+
+    def _on_fin_acked(self) -> None:
+        if self.state == FIN_WAIT_1:
+            self.state = FIN_WAIT_2
+        elif self.state == CLOSING:
+            self._enter_time_wait()
+        elif self.state == LAST_ACK:
+            self._enter_closed()
+
+    def _enter_time_wait(self) -> None:
+        self.state = TIME_WAIT
+        self.sim.call_in(TIME_WAIT_NS, self._time_wait_expired)
+
+    def _time_wait_expired(self) -> None:
+        if self.state == TIME_WAIT:
+            self._enter_closed()
+
+    def _enter_closed(self) -> None:
+        self.state = CLOSED
+        self.stack._forget_connection(self)
+        if not self.closed.triggered:
+            self.closed.trigger(None)
+
+    def _fail(self, err: TcpError) -> None:
+        self.error = err
+        self.state = CLOSED
+        self.stack._forget_connection(self)
+        if not self.established.triggered:
+            self.established.fail(err)
+        if not self.closed.triggered:
+            self.closed.trigger(err)
+        self.recv_wq.pulse()
+        self.send_wq.pulse()
+
+    # ---------------------------------------------------------- sending
+    def _push(self) -> None:
+        """Segment whatever the peer's window and MSS allow."""
+        if self.state not in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1, LAST_ACK, CLOSING):
+            return
+        while self._send_queue:
+            outstanding = self.snd_nxt - self.snd_una
+            window_room = min(self.peer_window, self.cwnd) - outstanding
+            if window_room <= 0:
+                if self.peer_window - outstanding <= 0:
+                    self._arm_window_probe()
+                # else: cwnd-limited; acks will reopen it.
+                break
+            take = min(len(self._send_queue), self.mss, window_room)
+            if (not self.nodelay and take < self.mss
+                    and self.snd_nxt > self.snd_una
+                    and not self._fin_queued):
+                # Nagle: a sub-MSS segment waits while data is unacked.
+                self.stack.tracer.count("%s.tcp_nagle_delays" % self.stack.name)
+                break
+            payload = bytes(self._send_queue[:take])
+            del self._send_queue[:take]
+            seq = self.snd_nxt
+            self.snd_nxt += take
+            self._inflight.append((seq, payload, PSH | ACK))
+            if self._rtt_probe is None:
+                self._rtt_probe = (seq, self.sim.now)
+            self._emit(TcpSegment(self.local[1], self.remote[1], seq,
+                                  self.rcv_nxt, PSH | ACK, self.recv_window,
+                                  payload))
+            self._arm_rto()
+        if self._fin_queued and not self._send_queue and self._fin_sent_seq is None:
+            seq = self.snd_nxt
+            self._fin_sent_seq = seq
+            self.snd_nxt += 1
+            self._inflight.append((seq, b"", FIN | ACK))
+            self._emit(TcpSegment(self.local[1], self.remote[1], seq,
+                                  self.rcv_nxt, FIN | ACK, self.recv_window))
+            self._arm_rto()
+
+    def _send_ack(self) -> None:
+        self._emit(TcpSegment(self.local[1], self.remote[1], self.snd_nxt,
+                              self.rcv_nxt, ACK, self.recv_window))
+
+    def _emit(self, seg: TcpSegment) -> None:
+        self.stack._tcp_transmit(self, seg)
+
+    # ------------------------------------------------------------- timers
+    def _rtt_sample(self, rtt: int) -> None:
+        if self._srtt is None:
+            self._srtt = float(rtt)
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = int(min(MAX_RTO_NS, max(MIN_RTO_NS, self._srtt + 4 * self._rttvar)))
+
+    def _arm_rto(self) -> None:
+        self._rto_epoch += 1
+        epoch = self._rto_epoch
+        self.sim.call_in(self._rto, self._rto_fired, epoch)
+
+    def _rto_fired(self, epoch: int) -> None:
+        if epoch != self._rto_epoch:
+            return
+        if self.state == CLOSED or self.error is not None:
+            return
+        if self.state == SYN_SENT:
+            self._retries += 1
+            if self._retries > MAX_SYN_RETRIES:
+                self._fail(TcpError("connection timed out (SYN)"))
+                return
+            self.stack.tracer.count("%s.tcp_retransmits" % self.stack.name)
+            self._emit(TcpSegment(self.local[1], self.remote[1], self.iss, 0,
+                                  SYN, self.recv_window, mss=self.mss))
+            self._rto = min(MAX_RTO_NS, self._rto * 2)
+            self._arm_rto()
+            return
+        if self.state == SYN_RCVD:
+            self._retries += 1
+            if self._retries > MAX_SYN_RETRIES:
+                self._fail(TcpError("connection timed out (SYN-ACK)"))
+                return
+            self.stack.tracer.count("%s.tcp_retransmits" % self.stack.name)
+            self._emit(TcpSegment(self.local[1], self.remote[1], self.iss,
+                                  self.rcv_nxt, SYN | ACK, self.recv_window,
+                                  mss=self.mss))
+            self._rto = min(MAX_RTO_NS, self._rto * 2)
+            self._arm_rto()
+            return
+        if not self._inflight:
+            return
+        self._retries += 1
+        if self._retries > MAX_DATA_RETRIES:
+            self._fail(TcpError("connection timed out (data)"))
+            return
+        self._congestion_event(to_one_mss=True)
+        self._retransmit_head()
+        self._rto = min(MAX_RTO_NS, self._rto * 2)
+        self._rtt_probe = None  # Karn's algorithm
+        self._arm_rto()
+
+    def _congestion_event(self, to_one_mss: bool) -> None:
+        """Multiplicative decrease: RTO collapses, fast-retransmit halves."""
+        outstanding = max(self.snd_nxt - self.snd_una, self.mss)
+        self.ssthresh = max(2 * self.mss, outstanding // 2)
+        self.cwnd = self.mss if to_one_mss else self.ssthresh
+        self.cwnd_reductions += 1
+        self.stack.tracer.count("%s.tcp_cwnd_reductions" % self.stack.name)
+
+    def _fast_retransmit(self) -> None:
+        self.stack.tracer.count("%s.tcp_fast_retransmits" % self.stack.name)
+        self._congestion_event(to_one_mss=False)
+        self._retransmit_head()
+
+    def _retransmit_head(self) -> None:
+        if not self._inflight:
+            return
+        seq, payload, flags = self._inflight[0]
+        self.stack.tracer.count("%s.tcp_retransmits" % self.stack.name)
+        self._emit(TcpSegment(self.local[1], self.remote[1], seq,
+                              self.rcv_nxt, flags, self.recv_window, payload))
+
+    def _arm_window_probe(self) -> None:
+        self.sim.call_in(WINDOW_PROBE_NS, self._window_probe)
+
+    def _window_probe(self) -> None:
+        if (self.state in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1) and
+                self._send_queue and
+                self.peer_window - (self.snd_nxt - self.snd_una) <= 0):
+            self.stack.tracer.count("%s.tcp_window_probes" % self.stack.name)
+            self._send_ack()  # zero-window probe (degenerate)
+            self._arm_window_probe()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<TcpConnection %s:%d->%s:%d %s>" % (
+            self.local[0], self.local[1], self.remote[0], self.remote[1], self.state)
+
+
+class TcpListener:
+    """A passive socket: SYNs become connections in the accept queue."""
+
+    def __init__(self, stack, port: int, backlog: int = 128):
+        self.stack = stack
+        self.sim = stack.sim
+        self.port = port
+        self.backlog = backlog
+        self._accept_queue: List[TcpConnection] = []
+        self.accept_wq = WaitQueue(self.sim, "tcp.accept")
+        self.closed = False
+
+    def _deliver(self, conn: TcpConnection) -> None:
+        if len(self._accept_queue) >= self.backlog:
+            conn.abort()
+            self.stack.tracer.count("%s.tcp_accept_overflow" % self.stack.name)
+            return
+        self._accept_queue.append(conn)
+        self.accept_wq.pulse()
+
+    def accept_nb(self) -> Optional[TcpConnection]:
+        """Non-blocking accept; None if the queue is empty."""
+        if self._accept_queue:
+            return self._accept_queue.pop(0)
+        return None
+
+    def accept_signal(self):
+        done = self.sim.completion("tcp.accept_signal")
+        if self._accept_queue:
+            done.trigger(None)
+            return done
+        return self.accept_wq.wait()
+
+    def close(self) -> None:
+        self.closed = True
+        self.stack._forget_listener(self)

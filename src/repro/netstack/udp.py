@@ -1,0 +1,43 @@
+"""UDP (RFC 768)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .packet import PacketError, internet_checksum, ip_to_bytes
+
+__all__ = ["UdpDatagram", "UDP_HEADER_LEN"]
+
+UDP_HEADER_LEN = 8
+
+
+@dataclass
+class UdpDatagram:
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def pack(self, src_ip: str, dst_ip: str, with_checksum: bool = True) -> bytes:
+        length = UDP_HEADER_LEN + len(self.payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        if with_checksum:
+            pseudo = (
+                ip_to_bytes(src_ip)
+                + ip_to_bytes(dst_ip)
+                + struct.pack("!BBH", 0, 17, length)
+            )
+            csum = internet_checksum(pseudo + header + self.payload)
+            if csum == 0:
+                csum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+            header = header[:6] + struct.pack("!H", csum)
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "UdpDatagram":
+        if len(raw) < UDP_HEADER_LEN:
+            raise PacketError("UDP datagram too short")
+        src_port, dst_port, length, _csum = struct.unpack("!HHHH", raw[0:8])
+        if length < UDP_HEADER_LEN or length > len(raw):
+            raise PacketError("bad UDP length %d" % length)
+        return cls(src_port=src_port, dst_port=dst_port, payload=raw[8:length])

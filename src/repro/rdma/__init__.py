@@ -1,0 +1,13 @@
+"""RDMA verbs and connection management over the simulated RDMA NIC."""
+
+from .cm import CmListener, RdmaCm
+from .verbs import MemoryRegion, ProtectionDomain, QueuePair, VerbsError
+
+__all__ = [
+    "ProtectionDomain",
+    "MemoryRegion",
+    "QueuePair",
+    "VerbsError",
+    "RdmaCm",
+    "CmListener",
+]

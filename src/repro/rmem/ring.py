@@ -1,0 +1,237 @@
+"""Remote-memory queues over one-sided RDMA (section 4.1's third I/O class).
+
+The paper lists "remote memory" beside networking and storage as a
+data-path class, and flags "writing to disaggregated memory" as an
+operation future queues must cover.  This module builds that: a
+Demikernel queue whose elements live in a *memory node's* registered
+arena, moved exclusively by one-sided RDMA - the memory node's CPU never
+runs on the data path.
+
+Layout of a ring in remote memory::
+
+    base +  0: consumer cursor (u64)  - written by the consumer, read by
+               the producer when the ring looks full
+    base + 16: slot[0] .. slot[n-1], each ``slot_size`` bytes:
+               [seq u64][length u32][payload]
+
+Single producer, single consumer.  The producer writes a whole slot
+(header+payload) with one RDMA WRITE; the sequence number acts as the
+commit marker (slot for seq *s* is slot ``(s-1) % n``, so a stale slot
+holds a seq exactly *n* smaller - never the expected one).  The consumer
+RDMA-READs the expected slot; on a seq match it consumes and periodically
+writes its cursor back for producer flow control.  An empty poll costs a
+round trip - the honest price of disaggregation - so the consumer backs
+off ``poll_interval_ns`` between misses.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Generator, Optional
+
+from ..core.queue import DemiQueue
+from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
+from ..rdma.verbs import QueuePair
+
+__all__ = ["RemoteRing", "RingProducer", "RingConsumer", "RmemQueue",
+           "RING_HEADER_BYTES", "SLOT_HEADER"]
+
+SLOT_HEADER = struct.Struct("!QI")  # seq, payload length
+RING_HEADER_BYTES = 16
+DEFAULT_POLL_INTERVAL_NS = 3000
+
+
+class RemoteRing:
+    """Geometry of a ring hosted in a memory node's arena."""
+
+    def __init__(self, base_addr: int, slot_size: int, n_slots: int):
+        if slot_size <= SLOT_HEADER.size:
+            raise DemiError("slot size must exceed the slot header")
+        if n_slots < 2:
+            raise DemiError("a ring needs at least 2 slots")
+        self.base_addr = base_addr
+        self.slot_size = slot_size
+        self.n_slots = n_slots
+
+    @property
+    def max_payload(self) -> int:
+        return self.slot_size - SLOT_HEADER.size
+
+    @property
+    def total_bytes(self) -> int:
+        return RING_HEADER_BYTES + self.slot_size * self.n_slots
+
+    def slot_addr(self, seq: int) -> int:
+        index = (seq - 1) % self.n_slots
+        return self.base_addr + RING_HEADER_BYTES + index * self.slot_size
+
+    @property
+    def cursor_addr(self) -> int:
+        return self.base_addr
+
+    @staticmethod
+    def allocate(mm, slot_size: int, n_slots: int) -> "RemoteRing":
+        """Carve a ring out of a (memory node's) registered heap."""
+        probe = RemoteRing(0, slot_size, n_slots)
+        arena = mm.alloc(probe.total_bytes)
+        return RemoteRing(arena.addr, slot_size, n_slots)
+
+
+class _OneSided:
+    """Shared helper: issue one verbs op and wait for its completion."""
+
+    def __init__(self, qp: QueuePair):
+        self.qp = qp
+        self.mm = qp.nic.host.mm
+        self.sim = qp.nic.sim
+        self._pending = {}
+
+    def _await_wr(self, wr: int) -> Generator:
+        while wr not in self._pending:
+            cqes = self.qp.send_cq.poll(16)
+            if not cqes:
+                yield self.qp.send_cq.signal()
+                continue
+            for cqe in cqes:
+                self._pending[cqe["wr_id"]] = cqe
+        cqe = self._pending.pop(wr)
+        if cqe["status"] != "ok":
+            raise DemiError("one-sided op failed: %s" % cqe["status"])
+        return cqe
+
+    def write(self, raddr: int, payload: bytes) -> Generator:
+        wr = self.qp.post_write(payload, raddr)
+        yield from self._await_wr(wr)
+
+    def read(self, raddr: int, length: int) -> Generator:
+        landing = self.mm.alloc(length)
+        wr = self.qp.post_read(raddr, length, landing)
+        yield from self._await_wr(wr)
+        data = landing.read(0, length)
+        self.mm.free(landing)
+        return data
+
+
+class RingProducer:
+    """The push side: one RDMA WRITE per element."""
+
+    def __init__(self, qp: QueuePair, ring: RemoteRing):
+        self.ring = ring
+        self.ops = _OneSided(qp)
+        self.next_seq = 1
+        self._cached_consumed = 0
+        self.full_stalls = 0
+
+    def push(self, payload: bytes,
+             poll_interval_ns: int = DEFAULT_POLL_INTERVAL_NS) -> Generator:
+        """Sim-coroutine: write one element; blocks while the ring is full."""
+        ring = self.ring
+        if len(payload) > ring.max_payload:
+            raise DemiError("element of %d bytes exceeds slot payload %d"
+                            % (len(payload), ring.max_payload))
+        # Flow control: producer may run at most n_slots ahead.
+        while self.next_seq - self._cached_consumed > ring.n_slots:
+            cursor_raw = yield from self.ops.read(ring.cursor_addr, 8)
+            (self._cached_consumed,) = struct.unpack("!Q", cursor_raw)
+            if self.next_seq - self._cached_consumed > ring.n_slots:
+                self.full_stalls += 1
+                yield self.ops.sim.timeout(poll_interval_ns)
+        slot = SLOT_HEADER.pack(self.next_seq, len(payload)) + payload
+        yield from self.ops.write(ring.slot_addr(self.next_seq), slot)
+        self.next_seq += 1
+
+
+class RingConsumer:
+    """The pop side: RDMA READ polling with cursor write-back."""
+
+    CURSOR_EVERY = 4
+
+    def __init__(self, qp: QueuePair, ring: RemoteRing,
+                 poll_interval_ns: int = DEFAULT_POLL_INTERVAL_NS):
+        self.ring = ring
+        self.ops = _OneSided(qp)
+        self.poll_interval_ns = poll_interval_ns
+        self.next_seq = 1
+        self._since_cursor_update = 0
+        self.empty_polls = 0
+
+    def pop(self) -> Generator:
+        """Sim-coroutine: return the next element's payload bytes."""
+        ring = self.ring
+        while True:
+            slot = yield from self.ops.read(ring.slot_addr(self.next_seq),
+                                            ring.slot_size)
+            seq, length = SLOT_HEADER.unpack(slot[:SLOT_HEADER.size])
+            if seq == self.next_seq:
+                break
+            self.empty_polls += 1
+            yield self.ops.sim.timeout(self.poll_interval_ns)
+        payload = slot[SLOT_HEADER.size:SLOT_HEADER.size + length]
+        self.next_seq += 1
+        self._since_cursor_update += 1
+        if self._since_cursor_update >= self.CURSOR_EVERY:
+            self._since_cursor_update = 0
+            yield from self.ops.write(ring.cursor_addr,
+                                      struct.pack("!Q", self.next_seq - 1))
+        return payload
+
+    def flush_cursor(self) -> Generator:
+        """Publish consumption progress immediately (producer unblocking)."""
+        self._since_cursor_update = 0
+        yield from self.ops.write(self.ring.cursor_addr,
+                                  struct.pack("!Q", self.next_seq - 1))
+
+
+class RmemQueue(DemiQueue):
+    """A Demikernel queue backed by a remote-memory ring.
+
+    Attach a producer, a consumer, or both.  pushes go through the
+    producer; a pump drives the consumer and delivers elements to pops -
+    so the Figure-3 API is unchanged while the bytes live on another
+    machine that never runs a CPU cycle for them.
+    """
+
+    kind = "rmem"
+
+    def __init__(self, libos, qd: int):
+        super().__init__(libos, qd)
+        self.producer: Optional[RingProducer] = None
+        self.consumer: Optional[RingConsumer] = None
+        self._pump_proc = None
+
+    def attach_producer(self, producer: RingProducer) -> None:
+        self.producer = producer
+
+    def attach_consumer(self, consumer: RingConsumer) -> None:
+        self.consumer = consumer
+        self._pump_proc = self.libos.sim.spawn(
+            self._consume_pump(), name="%s.q%d.rmem" % (self.libos.name, self.qd))
+
+    def push_sga(self, sga: Sga, token: QToken) -> None:
+        if self.producer is None:
+            self._complete(token, QResult(OP_PUSH, self.qd,
+                                          error="no producer attached"))
+            return
+        self.libos.sim.spawn(self._push_driver(sga, token),
+                             name="%s.q%d.rpush" % (self.libos.name, self.qd))
+
+    def _push_driver(self, sga: Sga, token: QToken) -> Generator:
+        try:
+            yield from self.producer.push(sga.tobytes())
+        except DemiError as err:
+            self._complete(token, QResult(OP_PUSH, self.qd, error=str(err)))
+            return
+        self.libos.count("rmem_tx_elements")
+        self._complete(token, QResult(OP_PUSH, self.qd, nbytes=sga.nbytes))
+
+    def _consume_pump(self) -> Generator:
+        while not self.closed:
+            payload = yield from self.consumer.pop()
+            buf = self.libos.mm.alloc(max(1, len(payload)))
+            buf.write(0, payload)
+            self.libos.count("rmem_rx_elements")
+            while not self.has_room() and not self.closed:
+                yield self.space_wq.wait()
+            if self.closed:
+                return
+            self.deliver(Sga.from_buffer(buf, len(payload)))

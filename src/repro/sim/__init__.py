@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate (engine, CPU, costs, fabric, host)."""
+
+from .costs import DEFAULT_COSTS, CostModel
+from .cpu import Core, CpuSet
+from .engine import (
+    Completion,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+    all_of,
+    any_of,
+)
+from .fabric import BROADCAST_ADDR, Fabric, Port
+from .host import Host
+from .rand import Rng
+from .trace import LatencyStats, Tracer
+
+__all__ = [
+    "Simulator",
+    "Completion",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "any_of",
+    "all_of",
+    "Core",
+    "CpuSet",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Fabric",
+    "Port",
+    "BROADCAST_ADDR",
+    "Host",
+    "Rng",
+    "Tracer",
+    "LatencyStats",
+]

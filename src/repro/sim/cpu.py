@@ -1,0 +1,98 @@
+"""Simulated CPU cores.
+
+A :class:`Core` is a serial resource: work charged to it executes FIFO, so
+two processes charging the same core contend and queue, exactly like two
+threads pinned to one hardware thread.  Work is charged in nanoseconds;
+:meth:`Core.cycles` converts from cycles using the core's clock rate.
+
+The model is intentionally non-preemptive at sub-slice granularity: each
+``busy()`` chunk runs to completion.  Callers that want preemptible work
+should charge it in smaller chunks (the kernel scheduler model in
+``repro.kernelos`` does this for long copies).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .engine import Completion, Simulator
+
+__all__ = ["Core", "CpuSet"]
+
+
+class Core:
+    """One hardware thread with a FIFO run queue."""
+
+    def __init__(self, sim: Simulator, index: int = 0, ghz: float = 4.0):
+        self.sim = sim
+        self.index = index
+        self.ghz = ghz
+        self._free_at = 0
+        self.busy_ns = 0
+        self.jobs = 0
+
+    def cycles(self, n: float) -> int:
+        """Convert a cycle count to nanoseconds on this core."""
+        return int(round(n / self.ghz))
+
+    def busy(self, ns: int) -> Completion:
+        """Charge *ns* of CPU time; the completion fires when the work ends.
+
+        If the core is already busy the work queues behind the in-flight
+        jobs (FIFO), modelling contention between co-located threads.
+        """
+        ns = int(ns)
+        if ns < 0:
+            raise ValueError("negative CPU charge %d" % ns)
+        now = self.sim.now
+        start = max(now, self._free_at)
+        done = start + ns
+        self._free_at = done
+        self.busy_ns += ns
+        self.jobs += 1
+        return self.sim.timeout(done - now)
+
+    def charge_async(self, ns: int) -> None:
+        """Account CPU time that nobody waits on (e.g. softirq work)."""
+        now = self.sim.now
+        start = max(now, self._free_at)
+        self._free_at = start + int(ns)
+        self.busy_ns += int(ns)
+        self.jobs += 1
+
+    @property
+    def free_at(self) -> int:
+        return self._free_at
+
+    def utilization(self, elapsed_ns: Optional[int] = None) -> float:
+        """Fraction of elapsed simulated time this core spent busy."""
+        elapsed = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns / elapsed)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Core %d busy=%dns>" % (self.index, self.busy_ns)
+
+
+class CpuSet:
+    """A host's collection of cores with a trivial least-loaded picker."""
+
+    def __init__(self, sim: Simulator, count: int = 1, ghz: float = 4.0):
+        if count < 1:
+            raise ValueError("a host needs at least one core")
+        self.sim = sim
+        self.cores: List[Core] = [Core(sim, i, ghz) for i in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __getitem__(self, i: int) -> Core:
+        return self.cores[i]
+
+    def pick(self) -> Core:
+        """The core that frees up soonest (used for unpinned work)."""
+        return min(self.cores, key=lambda c: c.free_at)
+
+    def total_busy_ns(self) -> int:
+        return sum(c.busy_ns for c in self.cores)

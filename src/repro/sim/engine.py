@@ -1,0 +1,373 @@
+"""Discrete-event simulation engine.
+
+This is the foundation every other subsystem runs on.  Time is an integer
+number of nanoseconds; all hardware latencies and CPU costs in the
+repository are expressed in this unit.
+
+The engine implements a small, simpy-like coroutine model built on plain
+generators:
+
+* A :class:`Simulator` owns the event heap and the clock.
+* A *process* is a generator driven by the engine.  It advances by
+  ``yield``-ing :class:`Completion` objects (or :class:`Timeout`, which is
+  a completion triggered by the clock).  When the completion fires, the
+  process resumes and receives the completion's value as the result of the
+  ``yield`` expression.
+* Sub-routines compose with ``yield from`` and return values with
+  ``return``, so simulated call stacks read like ordinary Python.
+
+Example::
+
+    sim = Simulator()
+
+    def pinger():
+        yield sim.timeout(100)
+        return sim.now
+
+    proc = sim.spawn(pinger())
+    sim.run()
+    assert proc.value == 100
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Completion",
+    "Timeout",
+    "Process",
+    "SimulationError",
+    "Interrupt",
+    "any_of",
+    "all_of",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Delivered into a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Completion:
+    """A one-shot event that processes can wait on.
+
+    A completion starts *pending*; it may be triggered exactly once with a
+    value (or failed with an exception).  Any number of processes and
+    callbacks may subscribe; they all run when it fires.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_done", "_callbacks", "label")
+
+    def __init__(self, sim: "Simulator", label: str = ""):
+        self.sim = sim
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._done = False
+        self._callbacks: List[Callable[["Completion"], None]] = []
+        self.label = label
+
+    # -- inspection ----------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError("completion %r not yet triggered" % self.label)
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        return self._done and self._exc is not None
+
+    # -- firing --------------------------------------------------------
+    def trigger(self, value: Any = None) -> "Completion":
+        """Fire the completion now, delivering *value* to all waiters."""
+        if self._done:
+            raise SimulationError("completion %r triggered twice" % self.label)
+        self._done = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Completion":
+        """Fire the completion with an exception instead of a value."""
+        if self._done:
+            raise SimulationError("completion %r triggered twice" % self.label)
+        self._done = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    # -- subscription ----------------------------------------------------
+    def subscribe(self, callback: Callable[["Completion"], None]) -> None:
+        """Run *callback(completion)* when this fires (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return "<Completion %s %s>" % (self.label or hex(id(self)), state)
+
+
+class Timeout(Completion):
+    """A completion triggered by the clock after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative timeout %r" % delay)
+        super().__init__(sim, label="timeout(%d)" % delay)
+        self.delay = delay
+        sim._schedule_at(sim.now + int(delay), self.trigger, value)
+
+
+class Process(Completion):
+    """A running coroutine; also a completion that fires on termination.
+
+    The process's ``return`` value becomes the completion value, so other
+    processes can ``yield proc`` to join it.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on", "_interrupts", "alive")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, label="process(%s)" % (name or "anon"))
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "proc")
+        self._waiting_on: Optional[Completion] = None
+        self._interrupts: List[Interrupt] = []
+        self.alive = True
+        # First step happens through the event loop so that spawn() inside
+        # a running process doesn't reentrantly execute the child.
+        sim._schedule_at(sim.now, self._step, None, None)
+
+    # -- driving ---------------------------------------------------------
+    def _resume(self, completion: Completion) -> None:
+        if not self.alive:
+            return
+        self._waiting_on = None
+        if completion._exc is not None:
+            self._step(None, completion._exc)
+        else:
+            self._step(completion._value, None)
+
+    #: consecutive already-triggered yields before declaring a livelock
+    #: (a process spinning on instantly-ready completions never lets the
+    #: clock advance; fail loudly instead of hanging the simulation)
+    MAX_SYNC_CONTINUATIONS = 100_000
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.alive:
+            return
+        sim = self.sim
+        sim._active = self
+        sync_spins = 0
+        try:
+            while True:
+                if self._interrupts and exc is None:
+                    exc = self._interrupts.pop(0)
+                if exc is not None:
+                    target = self.gen.throw(exc)
+                else:
+                    target = self.gen.send(value)
+                exc = None
+                if not isinstance(target, Completion):
+                    raise SimulationError(
+                        "process %s yielded %r; processes must yield "
+                        "Completion objects" % (self.name, target)
+                    )
+                if target.triggered:
+                    # Already done: continue synchronously with its value.
+                    sync_spins += 1
+                    if sync_spins > self.MAX_SYNC_CONTINUATIONS:
+                        raise SimulationError(
+                            "process %s looks livelocked: %d consecutive "
+                            "yields of already-triggered completions "
+                            "without simulated time advancing"
+                            % (self.name, sync_spins))
+                    if target._exc is not None:
+                        value, exc = None, target._exc
+                        continue
+                    value = target._value
+                    continue
+                self._waiting_on = target
+                target.subscribe(self._resume)
+                return
+        except StopIteration as stop:
+            self.alive = False
+            self.trigger(stop.value)
+        except BaseException as err:  # propagate failures to joiners
+            self.alive = False
+            if not self._callbacks and not isinstance(err, Interrupt):
+                # Nobody is joining this process: surface the crash.
+                self.fail(err)
+                raise
+            self.fail(err)
+        finally:
+            sim._active = None
+
+    # -- control ---------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point."""
+        if not self.alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        waiting = self._waiting_on
+        if waiting is not None:
+            self._waiting_on = None
+            # Detach from whatever it was waiting on and resume with the
+            # interrupt at the next event-loop turn.
+            try:
+                waiting._callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self.sim._schedule_at(self.sim.now, self._step, None, None)
+
+
+class _MultiWait(Completion):
+    """Shared machinery for :func:`any_of` / :func:`all_of`."""
+
+    __slots__ = ("remaining", "mode", "results")
+
+    def __init__(self, sim: "Simulator", events: List[Completion], mode: str):
+        super().__init__(sim, label="%s(%d)" % (mode, len(events)))
+        self.mode = mode
+        self.results: List[Any] = [None] * len(events)
+        self.remaining = len(events)
+        if not events:
+            self.trigger([])
+            return
+        for i, ev in enumerate(events):
+            ev.subscribe(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Completion], None]:
+        def cb(ev: Completion) -> None:
+            if self.triggered:
+                return
+            if ev._exc is not None:
+                self.fail(ev._exc)
+                return
+            self.results[index] = ev._value
+            self.remaining -= 1
+            if self.mode == "any":
+                self.trigger((index, ev._value))
+            elif self.remaining == 0:
+                self.trigger(list(self.results))
+
+        return cb
+
+
+def any_of(sim: "Simulator", events: Iterable[Completion]) -> Completion:
+    """Completion firing with ``(index, value)`` of the first event done."""
+    return _MultiWait(sim, list(events), "any")
+
+
+def all_of(sim: "Simulator", events: Iterable[Completion]) -> Completion:
+    """Completion firing with the list of all values once every event fires."""
+    return _MultiWait(sim, list(events), "all")
+
+
+class Simulator:
+    """The event loop: a heap of ``(time, seq, fn, args)`` entries."""
+
+    def __init__(self) -> None:
+        self._heap: List[Any] = []
+        self._now = 0
+        self._seq = 0
+        self._active: Optional[Process] = None
+        self.processes_spawned = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule_at(self, when: int, fn: Callable, *args: Any) -> None:
+        if when < self._now:
+            raise SimulationError("cannot schedule into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+
+    def call_in(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after *delay* ns of simulated time."""
+        self._schedule_at(self._now + int(delay), fn, *args)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """A completion that fires *delay* ns from now."""
+        return Timeout(self, delay, value)
+
+    def completion(self, label: str = "") -> Completion:
+        """A fresh untriggered completion."""
+        return Completion(self, label)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start *gen* as a new process; returns its join handle."""
+        self.processes_spawned += 1
+        return Process(self, gen, name)
+
+    # -- running ------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the event heap; optionally stop once the clock passes *until*.
+
+        Returns the simulated time at which the run stopped.
+        """
+        heap = self._heap
+        while heap:
+            when, _seq, fn, args = heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(heap)
+            self._now = when
+            fn(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, proc: Process, limit: int = 10**15) -> Any:
+        """Run until *proc* finishes (or the time limit trips) and return
+        its value."""
+        heap = self._heap
+        while heap and not proc.triggered:
+            when, _seq, fn, args = heapq.heappop(heap)
+            if when > limit:
+                heapq.heappush(heap, (when, _seq, fn, args))
+                break
+            self._now = when
+            fn(*args)
+        if not proc.triggered:
+            raise SimulationError(
+                "process %s did not finish within %d ns" % (proc.name, limit)
+            )
+        return proc.value
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,112 @@
+"""The simulated network fabric.
+
+A :class:`Fabric` behaves like a single datacenter switch: NIC ports
+attach with a link-layer address, and frames submitted by one port are
+delivered to the destination port after propagation plus serialization
+delay.  Egress links serialize (back-to-back frames queue), loss can be
+injected for protocol tests, and a broadcast address reaches every other
+port (ARP needs this).
+
+The fabric is payload-agnostic: it moves opaque ``frame`` objects plus a
+byte count.  The byte count, not Python object size, drives timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .costs import CostModel, DEFAULT_COSTS
+from .engine import Simulator
+from .rand import Rng
+from .trace import Tracer
+
+__all__ = ["Fabric", "Port", "BROADCAST_ADDR"]
+
+BROADCAST_ADDR = "ff:ff:ff:ff:ff:ff"
+
+
+class Port:
+    """One attachment point: an address plus a delivery callback."""
+
+    def __init__(self, addr: str, deliver: Callable[[Any], None]):
+        self.addr = addr
+        self.deliver = deliver
+        self._egress_free_at = 0
+        self.tx_frames = 0
+        self.rx_frames = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+
+class Fabric:
+    """A single switch connecting all attached ports."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel = DEFAULT_COSTS,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[Rng] = None,
+        drop_rate: float = 0.0,
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.tracer = tracer or Tracer()
+        self.rng = rng or Rng(7)
+        self.drop_rate = drop_rate
+        self.ports: Dict[str, Port] = {}
+
+    def attach(self, addr: str, deliver: Callable[[Any], None]) -> Port:
+        """Attach a NIC port; *deliver(frame)* runs on frame arrival."""
+        if addr in self.ports:
+            raise ValueError("address %r already attached" % addr)
+        if addr == BROADCAST_ADDR:
+            raise ValueError("cannot attach at the broadcast address")
+        port = Port(addr, deliver)
+        self.ports[addr] = port
+        return port
+
+    def detach(self, addr: str) -> None:
+        self.ports.pop(addr, None)
+
+    def transmit(self, src_addr: str, dst_addr: str, frame: Any, nbytes: int) -> None:
+        """Submit a frame from *src_addr* toward *dst_addr*.
+
+        Timing: the source egress link serializes frames FIFO at the link
+        rate; each frame then takes the propagation latency to arrive.
+        """
+        src = self.ports.get(src_addr)
+        if src is None:
+            raise ValueError("unknown source port %r" % src_addr)
+        serialize = int(nbytes * self.costs.link_ns_per_byte)
+        now = self.sim.now
+        start = max(now, src._egress_free_at)
+        src._egress_free_at = start + serialize
+        arrive = start + serialize + self.costs.link_latency_ns
+        src.tx_frames += 1
+        src.tx_bytes += nbytes
+        self.tracer.count("fabric.tx_frames")
+        self.tracer.count("fabric.tx_bytes", nbytes)
+
+        if self.drop_rate and self.rng.chance(self.drop_rate):
+            self.tracer.count("fabric.dropped_frames")
+            return
+
+        if dst_addr == BROADCAST_ADDR:
+            for addr, port in list(self.ports.items()):
+                if addr != src_addr:
+                    self.sim.call_in(arrive - now, self._arrive, port, frame, nbytes)
+            return
+
+        dst = self.ports.get(dst_addr)
+        if dst is None:
+            # Like a real switch: frames to unknown addresses vanish.
+            self.tracer.count("fabric.unknown_dst_frames")
+            return
+        self.sim.call_in(arrive - now, self._arrive, dst, frame, nbytes)
+
+    def _arrive(self, port: Port, frame: Any, nbytes: int) -> None:
+        port.rx_frames += 1
+        port.rx_bytes += nbytes
+        self.tracer.count("fabric.rx_frames")
+        port.deliver(frame)

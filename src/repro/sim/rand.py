@@ -1,0 +1,93 @@
+"""Deterministic randomness for reproducible experiments.
+
+Every stochastic choice in the simulator (drop decisions, workload key
+selection, jitter) draws from a :class:`Rng` seeded explicitly, so a run
+is a pure function of (seed, parameters).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Rng"]
+
+
+class Rng:
+    """A seeded random source with the distributions experiments need."""
+
+    def __init__(self, seed: int = 0xDEADBEEF):
+        self.seed = seed
+        self._r = random.Random(seed)
+
+    def fork(self, salt: int) -> "Rng":
+        """An independent stream derived from this one (stable per salt)."""
+        return Rng((self.seed * 1000003 + salt) & 0xFFFFFFFFFFFF)
+
+    # -- primitives --------------------------------------------------------
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._r.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._r.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._r.random()
+
+    def chance(self, p: float) -> bool:
+        """True with probability *p*."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self._r.random() < p
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._r.choice(seq)
+
+    def shuffle(self, seq: List[T]) -> None:
+        self._r.shuffle(seq)
+
+    def bytes(self, n: int) -> bytes:
+        return self._r.getrandbits(8 * n).to_bytes(n, "little") if n else b""
+
+    # -- distributions ------------------------------------------------------
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival sample with the given mean."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self._r.expovariate(1.0 / mean)
+
+    def zipf_index(self, n: int, skew: float = 0.99) -> int:
+        """A Zipf-distributed index in [0, n) (hot-key workloads)."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if skew <= 0:
+            return self._r.randrange(n)
+        # Inverse-CDF over the generalized harmonic weights, computed lazily
+        # and cached per (n, skew).
+        key = (n, skew)
+        cdf = _ZIPF_CACHE.get(key)
+        if cdf is None:
+            weights = [1.0 / ((i + 1) ** skew) for i in range(n)]
+            total = sum(weights)
+            acc = 0.0
+            cdf = []
+            for w in weights:
+                acc += w / total
+                cdf.append(acc)
+            _ZIPF_CACHE[key] = cdf
+        u = self._r.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+_ZIPF_CACHE: dict = {}

@@ -1,0 +1,140 @@
+"""Counters, traces, and latency statistics.
+
+Experiments reason about *why* a path is slow, not just how slow it is, so
+every subsystem increments named counters on a shared :class:`Tracer`
+(syscalls made, bytes copied, wake-ups wasted, frames dropped...).  Tests
+assert on the counters; benchmark reports print them next to latencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["Tracer", "LatencyStats"]
+
+
+class Tracer:
+    """Named counters plus an optional bounded event log."""
+
+    def __init__(self, keep_events: bool = False, max_events: int = 100000):
+        self.counters: Dict[str, int] = defaultdict(int)
+        self.keep_events = keep_events
+        self.max_events = max_events
+        self.events: List[Tuple[int, str, Any]] = []
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] += n
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def record(self, now: int, event: str, detail: Any = None) -> None:
+        if self.keep_events and len(self.events) < self.max_events:
+            self.events.append((now, event, detail))
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.events.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.counters)
+
+    def diff(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since a :meth:`snapshot`."""
+        out: Dict[str, int] = {}
+        for name, value in self.counters.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+
+class LatencyStats:
+    """Streaming collection of latency samples with percentile queries."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def extend(self, values) -> None:
+        self.samples.extend(float(v) for v in values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= p <= 100:
+            raise ValueError("percentile out of range: %r" % p)
+        ordered = sorted(self.samples)
+        if p == 0:
+            return ordered[0]
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def stdev(self) -> float:
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((s - mu) ** 2 for s in self.samples) / (n - 1))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def describe(self, unit: str = "ns") -> str:
+        if not self.samples:
+            return "%s: no samples" % (self.name or "stats")
+        return "%s: n=%d mean=%.0f%s p50=%.0f%s p99=%.0f%s" % (
+            self.name or "stats",
+            self.count,
+            self.mean,
+            unit,
+            self.p50,
+            unit,
+            self.p99,
+            unit,
+        )

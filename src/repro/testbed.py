@@ -1,0 +1,235 @@
+"""Testbed builders: assembled simulated clusters for experiments.
+
+Everything here is composition - hosts, NICs, kernels, libOSes wired to
+one fabric - so tests, examples, and benchmarks build identical worlds
+from one place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .hw.nic import DpdkNic, KernelNic, RdmaNic
+from .hw.nvme import NvmeDevice
+from .hw.offload import OffloadEngine
+from .memory.manager import MemoryManager
+from .sim.costs import CostModel, DEFAULT_COSTS
+from .sim.engine import Simulator
+from .sim.fabric import Fabric
+from .sim.host import Host
+from .sim.rand import Rng
+from .sim.trace import Tracer
+
+__all__ = [
+    "World",
+    "NetHost",
+    "make_kernel_pair",
+    "make_net_pair",
+    "make_dpdk_libos_pair",
+    "make_posix_libos_pair",
+    "make_rdma_libos_pair",
+    "make_spdk_libos",
+    "make_mtcp_pair",
+]
+
+
+class World:
+    """A simulator + fabric + a set of hosts."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS, drop_rate: float = 0.0,
+                 seed: int = 42):
+        self.sim = Simulator()
+        self.costs = costs
+        self.tracer = Tracer()
+        self.fabric = Fabric(self.sim, costs, tracer=self.tracer,
+                             rng=Rng(seed), drop_rate=drop_rate)
+        self.hosts = {}
+
+    def add_host(self, name: str, cores: int = 4) -> Host:
+        host = Host(self.sim, name, self.costs, cores=cores,
+                    tracer=self.tracer)
+        MemoryManager(host)
+        self.hosts[name] = host
+        return host
+
+    def add_dpdk(self, host: Host, mac: Optional[str] = None) -> DpdkNic:
+        nic = DpdkNic(host, self.fabric, mac or ("%s-dpdk" % host.name),
+                      name="%s.dpdk0" % host.name)
+        host.nics.append(nic)
+        host.mm.attach_device(nic)
+        return nic
+
+    def add_kernel_nic(self, host: Host, mac: Optional[str] = None) -> KernelNic:
+        nic = KernelNic(host, self.fabric, mac or ("%s-eth" % host.name),
+                        name="%s.eth0" % host.name)
+        host.nics.append(nic)
+        return nic
+
+    def add_rdma(self, host: Host, addr: Optional[str] = None) -> RdmaNic:
+        nic = RdmaNic(host, self.fabric, addr or ("%s-rdma" % host.name),
+                      name="%s.rdma0" % host.name)
+        host.nics.append(nic)
+        host.mm.attach_device(nic)
+        return nic
+
+    def add_nvme(self, host: Host, **kw) -> NvmeDevice:
+        nvme = NvmeDevice(host, name="%s.nvme0" % host.name, **kw)
+        host.nvme = nvme
+        return nvme
+
+    def run(self, until: Optional[int] = None) -> int:
+        return self.sim.run(until)
+
+
+class NetHost:
+    """A host with a DPDK NIC, a user-level NetStack, and an RX poll loop."""
+
+    _next_mac = 1
+
+    def __init__(self, world: World, name: str, ip: str, user_costs: bool = True):
+        from .netstack.stack import NetStack
+
+        self.world = world
+        self.host = world.add_host(name)
+        mac = "02:00:00:00:00:%02x" % NetHost._next_mac
+        NetHost._next_mac = (NetHost._next_mac % 250) + 1
+        self.nic = world.add_dpdk(self.host, mac=mac)
+        costs = world.costs
+        self.stack = NetStack(
+            sim=world.sim,
+            name="%s.stack" % name,
+            mac=mac,
+            ip=ip,
+            send_frame=lambda dst, raw: self.nic.post_tx(dst, raw),
+            tracer=world.tracer,
+            charge=self.host.cpu.charge_async,
+            tx_cost_ns=costs.user_net_tx_ns if user_costs else costs.kernel_net_tx_ns,
+            rx_cost_ns=costs.user_net_rx_ns if user_costs else costs.kernel_net_rx_ns,
+        )
+        world.sim.spawn(self._poll_loop(), name="%s.rxpoll" % name)
+
+    def _poll_loop(self):
+        while True:
+            yield self.nic.rx_signal()
+            for frame in self.nic.rx_burst(64):
+                self.stack.rx_frame(frame)
+
+
+def make_kernel_pair(drop_rate: float = 0.0, seed: int = 42, cores: int = 4,
+                     costs: CostModel = DEFAULT_COSTS):
+    """Two hosts running the legacy kernel: (world, client, server)."""
+    from .kernelos.kernel import Kernel
+
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    a = w.add_host("client", cores=cores)
+    b = w.add_host("server", cores=cores)
+    ka = Kernel(a, w.fabric, "02:00:00:00:01:01", "10.0.0.1")
+    kb = Kernel(b, w.fabric, "02:00:00:00:01:02", "10.0.0.2")
+    return w, ka, kb
+
+
+def make_net_pair(drop_rate: float = 0.0, seed: int = 42):
+    """Two raw NetStack hosts: (world, client NetHost, server NetHost)."""
+    w = World(drop_rate=drop_rate, seed=seed)
+    a = NetHost(w, "client", "10.0.0.1")
+    b = NetHost(w, "server", "10.0.0.2")
+    return w, a, b
+
+
+def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
+                         with_offload: bool = False,
+                         costs: CostModel = DEFAULT_COSTS):
+    """Two hosts with DPDK libOSes: (world, client libOS, server libOS)."""
+    from .libos.dpdk_libos import DpdkLibOS
+
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    liboses = []
+    for i, (name, ip) in enumerate((("client", "10.0.0.1"),
+                                    ("server", "10.0.0.2"))):
+        host = w.add_host(name)
+        nic = w.add_dpdk(host, mac="02:00:00:00:10:%02x" % (i + 1))
+        if with_offload:
+            OffloadEngine(host, name="%s.offload" % name).attach(nic)
+        liboses.append(DpdkLibOS(host, nic, ip, name="%s.catnip" % name))
+    return w, liboses[0], liboses[1]
+
+
+def make_posix_libos_pair(drop_rate: float = 0.0, seed: int = 42,
+                          costs: CostModel = DEFAULT_COSTS):
+    """Two hosts with POSIX libOSes over legacy kernels."""
+    from .libos.posix_libos import PosixLibOS
+
+    w, ka, kb = make_kernel_pair(drop_rate=drop_rate, seed=seed, costs=costs)
+    la = PosixLibOS(ka.host, ka, name="client.catnap")
+    lb = PosixLibOS(kb.host, kb, name="server.catnap")
+    return w, la, lb
+
+
+def make_rdma_libos_pair(drop_rate: float = 0.0, seed: int = 42,
+                         costs: CostModel = DEFAULT_COSTS):
+    """Two hosts with RDMA libOSes over verbs + a shared CM."""
+    from .libos.rdma_libos import RdmaLibOS
+    from .rdma.cm import RdmaCm
+
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    cm = RdmaCm(w.sim)
+    liboses = []
+    for name in ("client", "server"):
+        host = w.add_host(name)
+        nic = w.add_rdma(host)
+        liboses.append(RdmaLibOS(host, nic, cm, name="%s.catmint" % name))
+    return w, liboses[0], liboses[1]
+
+
+def make_spdk_libos(seed: int = 42, costs: CostModel = DEFAULT_COSTS):
+    """One host with an NVMe device and an SPDK libOS: (world, libOS)."""
+    from .libos.spdk_libos import SpdkLibOS
+
+    w = World(costs=costs, seed=seed)
+    host = w.add_host("h")
+    nvme = w.add_nvme(host)
+    libos = SpdkLibOS(host, nvme, name="h.catfish")
+    return w, libos
+
+
+def make_rmem_world(slot_size: int = 4096, n_slots: int = 16,
+                    seed: int = 42, costs: CostModel = DEFAULT_COSTS):
+    """Producer + consumer + passive memory node, ring in the node's arena.
+
+    Returns (world, producer RingProducer, consumer RingConsumer,
+    memnode Host).
+    """
+    from .rdma.verbs import ProtectionDomain, QueuePair
+    from .rmem.ring import RemoteRing, RingConsumer, RingProducer
+
+    w = World(costs=costs, seed=seed)
+    hosts = {name: w.add_host(name) for name in ("producer", "consumer",
+                                                 "memnode")}
+    nics = {name: w.add_rdma(host) for name, host in hosts.items()}
+
+    def connect(a, b):
+        qp_a = QueuePair(ProtectionDomain(nics[a]))
+        qp_b = QueuePair(ProtectionDomain(nics[b]))
+        qp_a.connect(nics[b].addr, qp_b.hw.qpn)
+        qp_b.connect(nics[a].addr, qp_a.hw.qpn)
+        return qp_a
+
+    ring = RemoteRing.allocate(hosts["memnode"].mm, slot_size, n_slots)
+    producer = RingProducer(connect("producer", "memnode"), ring)
+    consumer = RingConsumer(connect("consumer", "memnode"), ring)
+    return w, producer, consumer, hosts["memnode"]
+
+
+def make_mtcp_pair(drop_rate: float = 0.0, seed: int = 42,
+                   costs: CostModel = DEFAULT_COSTS):
+    """Two hosts with mTCP-style shims: (world, client shim, server shim)."""
+    from .libos.mtcp_shim import MtcpShim
+
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    shims = []
+    for i, (name, ip) in enumerate((("client", "10.0.0.1"),
+                                    ("server", "10.0.0.2"))):
+        host = w.add_host(name)
+        nic = w.add_dpdk(host, mac="02:00:00:00:20:%02x" % (i + 1))
+        shims.append(MtcpShim(host, nic, ip, name="%s.mtcp" % name))
+    return w, shims[0], shims[1]

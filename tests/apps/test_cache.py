@@ -1,0 +1,168 @@
+"""Tests for the memcached-like cache server on the event loop."""
+
+from repro.apps.cache import (
+    ST_DELETED,
+    ST_HIT,
+    ST_MISS,
+    ST_STORED,
+    CacheServer,
+    cache_client,
+    encode_delete,
+    encode_get,
+    encode_set,
+)
+
+from ..conftest import make_dpdk_libos_pair
+
+
+def run_requests(requests, max_entries=1024, extra_sim_ns=0):
+    w, client, server_libos = make_dpdk_libos_pair()
+    server = CacheServer(server_libos, max_entries=max_entries)
+    w.sim.spawn(server.start(), name="cache-server")
+    cp = w.sim.spawn(cache_client(client, "10.0.0.2", requests))
+    w.sim.run_until_complete(cp, limit=10**13)
+    if extra_sim_ns:
+        w.run(until=w.sim.now + extra_sim_ns)
+    server.stop()
+    return w, server, cp.value
+
+
+class TestBasicOps:
+    def test_set_then_get(self):
+        _w, server, replies = run_requests([
+            encode_set(b"k", b"cached-value"),
+            encode_get(b"k"),
+        ])
+        assert replies[0] == (ST_STORED, None)
+        assert replies[1] == (ST_HIT, b"cached-value")
+        assert server.stats.hits == 1
+
+    def test_get_missing_misses(self):
+        _w, server, replies = run_requests([encode_get(b"nope")])
+        assert replies == [(ST_MISS, None)]
+        assert server.stats.misses == 1
+
+    def test_delete(self):
+        _w, server, replies = run_requests([
+            encode_set(b"k", b"v"),
+            encode_delete(b"k"),
+            encode_get(b"k"),
+            encode_delete(b"k"),
+        ])
+        assert replies[1] == (ST_DELETED, None)
+        assert replies[2] == (ST_MISS, None)
+        assert replies[3] == (ST_MISS, None)
+
+    def test_overwrite(self):
+        _w, _server, replies = run_requests([
+            encode_set(b"k", b"old"),
+            encode_set(b"k", b"new"),
+            encode_get(b"k"),
+        ])
+        assert replies[2] == (ST_HIT, b"new")
+
+
+class TestLru:
+    def test_eviction_at_capacity(self):
+        requests = [encode_set(b"key-%d" % i, b"v") for i in range(6)]
+        requests.append(encode_get(b"key-0"))  # evicted (oldest)
+        requests.append(encode_get(b"key-5"))  # still present
+        _w, server, replies = run_requests(requests, max_entries=4)
+        assert server.stats.evictions == 2
+        assert replies[-2] == (ST_MISS, None)
+        assert replies[-1] == (ST_HIT, b"v")
+
+    def test_get_refreshes_lru_position(self):
+        requests = [
+            encode_set(b"a", b"1"),
+            encode_set(b"b", b"2"),
+            encode_get(b"a"),          # touch a: b becomes LRU
+            encode_set(b"c", b"3"),    # evicts b
+            encode_get(b"a"),
+            encode_get(b"b"),
+        ]
+        _w, _server, replies = run_requests(requests, max_entries=2)
+        assert replies[-2] == (ST_HIT, b"1")
+        assert replies[-1] == (ST_MISS, None)
+
+
+class TestTtl:
+    def test_expired_entry_misses_on_access(self):
+        w, client, server_libos = make_dpdk_libos_pair()
+        server = CacheServer(server_libos)
+        w.sim.spawn(server.start(), name="cache-server")
+
+        def scenario():
+            replies = yield from cache_client(
+                client, "10.0.0.2", [encode_set(b"t", b"v", ttl_ms=1)])
+            yield w.sim.timeout(2_000_000)  # 2 ms > 1 ms TTL
+            replies += yield from cache_client(
+                client, "10.0.0.2", [encode_get(b"t")])
+            return replies
+
+        p = w.sim.spawn(scenario())
+        w.sim.run_until_complete(p, limit=10**13)
+        server.stop()
+        assert p.value[0] == (ST_STORED, None)
+        assert p.value[1] == (ST_MISS, None)
+        assert server.stats.expirations >= 1
+
+    def test_timer_sweep_removes_expired_entries(self):
+        w, client, server_libos = make_dpdk_libos_pair()
+        server = CacheServer(server_libos)
+        w.sim.spawn(server.start(), name="cache-server")
+
+        def scenario():
+            yield from cache_client(client, "10.0.0.2", [
+                encode_set(b"short", b"v", ttl_ms=1),
+                encode_set(b"forever", b"v"),
+            ])
+            # Let the periodic sweep (1 ms cadence) run past the TTL.
+            yield w.sim.timeout(5_000_000)
+            return server.entry_count
+
+        p = w.sim.spawn(scenario())
+        w.sim.run_until_complete(p, limit=10**13)
+        server.stop()
+        assert p.value == 1  # only the TTL-free entry survives
+        assert server.stats.expirations == 1
+
+    def test_ttl_zero_never_expires(self):
+        w, client, server_libos = make_dpdk_libos_pair()
+        server = CacheServer(server_libos)
+        w.sim.spawn(server.start(), name="cache-server")
+
+        def scenario():
+            yield from cache_client(client, "10.0.0.2",
+                                    [encode_set(b"k", b"v", ttl_ms=0)])
+            yield w.sim.timeout(10_000_000)
+            return (yield from cache_client(client, "10.0.0.2",
+                                            [encode_get(b"k")]))
+
+        p = w.sim.spawn(scenario())
+        w.sim.run_until_complete(p, limit=10**13)
+        server.stop()
+        assert p.value == [(ST_HIT, b"v")]
+
+
+class TestMultipleClients:
+    def test_two_connections_share_the_cache(self):
+        w, client, server_libos = make_dpdk_libos_pair()
+        server = CacheServer(server_libos)
+        w.sim.spawn(server.start(), name="cache-server")
+
+        def writer():
+            return (yield from cache_client(
+                client, "10.0.0.2", [encode_set(b"shared", b"data")]))
+
+        wp = w.sim.spawn(writer())
+        w.sim.run_until_complete(wp, limit=10**13)
+
+        def reader():
+            return (yield from cache_client(
+                client, "10.0.0.2", [encode_get(b"shared")]))
+
+        rp = w.sim.spawn(reader())
+        w.sim.run_until_complete(rp, limit=10**13)
+        server.stop()
+        assert rp.value == [(ST_HIT, b"data")]

@@ -1,0 +1,143 @@
+"""Tests for worker pools (C4) and steering pipelines (C6)."""
+
+from repro.apps.eventloop import EpollWorkerPool, WaitAnyWorkerPool
+from repro.apps.steering import SteeringPipeline, partition_of
+from repro.core.api import LibOS
+
+from ..conftest import World, make_kernel_pair
+
+
+class TestEpollWorkerPool:
+    def _run(self, n_workers, n_requests):
+        w, ka, kb = make_kernel_pair(cores=n_workers + 2)
+        pool = EpollWorkerPool(kb, n_workers)
+
+        def client():
+            sys = ka.thread()
+            fd = yield from sys.socket()
+            yield from sys.connect(fd, "10.0.0.2", 80)
+            for i in range(n_requests):
+                yield from sys.send(fd, b"req-%d" % i)
+                yield from sys.recv(fd)  # wait for the echo
+
+        def server_main():
+            sys = kb.thread()
+            lfd = yield from sys.socket()
+            yield from sys.bind(lfd, 80)
+            yield from sys.listen(lfd)
+            conn_fd = yield from sys.accept(lfd)
+            epfd = yield from sys.epoll_create()
+            yield from sys.epoll_ctl_add(epfd, conn_fd)
+            pool.start(epfd, conn_fd)
+
+        w.sim.spawn(server_main())
+        cp = w.sim.spawn(client())
+        w.sim.run_until_complete(cp, limit=10**12)
+        pool.stop()
+        w.run(until=w.sim.now + 1_000_000)
+        return pool
+
+    def test_serves_all_requests(self):
+        pool = self._run(n_workers=2, n_requests=5)
+        assert pool.requests_served == 5
+
+    def test_herd_wastes_wakeups(self):
+        pool = self._run(n_workers=4, n_requests=10)
+        assert pool.requests_served == 10
+        # Every request woke more workers than it fed.
+        assert pool.wasted_wakeups > 0
+        assert pool.wakeups > pool.requests_served
+
+
+class TestWaitAnyWorkerPool:
+    def _run(self, n_workers, n_requests):
+        w = World()
+        host = w.add_host("h", cores=n_workers + 1)
+        libos = LibOS(host, "demi")
+        qd = libos.queue()
+        pool = WaitAnyWorkerPool(libos, n_workers)
+        pool.start(qd, reply=False)
+
+        def producer():
+            for i in range(n_requests):
+                yield from libos.blocking_push(
+                    qd, libos.sga_alloc(b"req-%d" % i))
+                yield w.sim.timeout(10_000)
+
+        pp = w.sim.spawn(producer())
+        w.sim.run_until_complete(pp, limit=10**12)
+        w.run(until=w.sim.now + 1_000_000)
+        pool.stop()
+        w.run(until=w.sim.now + 1_000_000)
+        return pool
+
+    def test_serves_all_requests(self):
+        pool = self._run(n_workers=2, n_requests=5)
+        assert pool.requests_served == 5
+
+    def test_zero_wasted_wakeups(self):
+        """The C4 contrast: same N workers, zero waste."""
+        pool = self._run(n_workers=4, n_requests=10)
+        assert pool.requests_served == 10
+        assert pool.wasted_wakeups == 0
+        assert pool.wakeups == pool.requests_served
+
+
+class TestSteering:
+    def _make(self, with_offload):
+        w = World()
+        host = w.add_host("h")
+        libos = LibOS(host, "demi")
+        if with_offload:
+            from repro.hw.offload import OffloadEngine
+            libos.offload_engine = OffloadEngine(host)
+        return w, libos
+
+    def test_elements_reach_their_partition(self):
+        w, libos = self._make(False)
+        pipeline = SteeringPipeline(libos, n_partitions=4)
+        payloads = [bytes([i]) + b"-data" for i in range(16)]
+
+        def proc():
+            yield from pipeline.inject(payloads)
+            out = {}
+            for p in range(4):
+                out[p] = yield from pipeline.drain_partition(p, 4)
+            return out
+
+        pr = w.sim.spawn(proc())
+        w.sim.run_until_complete(pr, limit=10**12)
+        out = pr.value
+        for p in range(4):
+            assert len(out[p]) == 4
+            for payload in out[p]:
+                assert payload[0] % 4 == p
+        assert pipeline.routed == 16
+
+    def test_device_placement_saves_host_cpu(self):
+        def host_cpu(with_offload):
+            w, libos = self._make(with_offload)
+            pipeline = SteeringPipeline(libos, n_partitions=2)
+            payloads = [bytes([i % 2]) + b"x" * 63 for i in range(200)]
+
+            def proc():
+                yield from pipeline.inject(payloads)
+                yield from pipeline.drain_partition(0, 100)
+                yield from pipeline.drain_partition(1, 100)
+
+            pr = w.sim.spawn(proc())
+            w.sim.run_until_complete(pr, limit=10**12)
+            pipeline.stop()
+            return libos.core.busy_ns
+
+        cpu_placed = host_cpu(False)
+        device_placed = host_cpu(True)
+        expected_saving = 200 * 250  # elements x pipeline_element_cpu_ns
+        assert cpu_placed - device_placed >= expected_saving * 0.9
+
+    def test_partition_of_is_stable(self, world):
+        host = world.add_host("h")
+        libos = LibOS(host, "demi")
+        sga = libos.sga_alloc(bytes([7]) + b"xyz")
+        assert partition_of(sga, 4) == 3
+        assert partition_of(sga, 2) == 1

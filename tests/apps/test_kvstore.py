@@ -1,0 +1,172 @@
+"""Tests for the Redis-like KV store on both frontends."""
+
+from repro.apps.kvstore import (
+    OP_GET,
+    OP_PUT,
+    DemiKvServer,
+    KvEngine,
+    decode_response,
+    demi_kv_client,
+    encode_get,
+    encode_put,
+    kv_workload,
+    posix_kv_client,
+    posix_kv_server,
+)
+from repro.sim.rand import Rng
+
+from ..conftest import make_dpdk_libos_pair, make_kernel_pair
+
+
+class TestCodec:
+    def test_get_roundtrip(self):
+        from repro.apps.kvstore import decode_request
+        op, key, value = decode_request(encode_get(b"mykey"))
+        assert (op, key, value) == (OP_GET, b"mykey", None)
+
+    def test_put_roundtrip(self):
+        from repro.apps.kvstore import decode_request
+        op, key, value = decode_request(encode_put(b"k", b"v" * 100))
+        assert (op, key, value) == (OP_PUT, b"k", b"v" * 100)
+
+    def test_response_decode(self):
+        import struct
+        ok, value = decode_response(struct.pack("!BI", ord("K"), 3) + b"abc")
+        assert ok and value == b"abc"
+        ok, value = decode_response(bytes([ord("N")]))
+        assert not ok and value is None
+
+
+class TestEngine:
+    def test_put_get(self, world):
+        host = world.add_host("h")
+        engine = KvEngine(host)
+        engine.put(b"k", b"value")
+        assert engine.get(b"k").read(0, 5) == b"value"
+        assert engine.misses == 0
+
+    def test_miss_counted(self, world):
+        host = world.add_host("h")
+        engine = KvEngine(host)
+        assert engine.get(b"nope") is None
+        assert engine.misses == 1
+
+    def test_put_swaps_buffer_and_frees_old(self, world):
+        host = world.add_host("h")
+        engine = KvEngine(host)
+        old = engine.put(b"k", b"old")
+        new = engine.put(b"k", b"new")
+        assert old is not new
+        assert old.freed          # section 4.5: old buffer freed on swap
+        assert not new.freed
+
+    def test_put_with_inflight_dma_defers_free(self, world):
+        """Free-protection in the Redis pattern: the swapped-out value is
+        mid-DMA (a zero-copy GET response); the free defers."""
+        host = world.add_host("h")
+        engine = KvEngine(host)
+        old = engine.put(b"k", b"old-value")
+        old.hold()  # NIC is sending this value right now
+        engine.put(b"k", b"new-value")
+        assert old.freed and not old.deallocated
+        old.release()
+        assert old.deallocated
+        assert world.tracer.get("mm.deferred_frees") == 1
+
+
+class TestDemiKvServer:
+    def run_ops(self, operations):
+        w, client, server_libos = make_dpdk_libos_pair()
+        server = DemiKvServer(server_libos)
+        w.sim.spawn(server.run(), name="kv-server")
+        cp = w.sim.spawn(demi_kv_client(client, "10.0.0.2", operations))
+        w.sim.run_until_complete(cp, limit=10**12)
+        server.stop()
+        w.run(until=w.sim.now + 10_000_000)
+        return w, server, cp.value
+
+    def test_put_then_get(self):
+        ops = [(OP_PUT, b"hello", b"world"), (OP_GET, b"hello", None)]
+        _w, server, (results, _stats) = self.run_ops(ops)
+        assert results[1] == (True, b"world")
+        assert server.requests_served == 2
+
+    def test_get_missing_key(self):
+        ops = [(OP_GET, b"ghost", None)]
+        _w, _server, (results, _) = self.run_ops(ops)
+        assert results[0] == (False, None)
+
+    def test_overwrite_returns_new_value(self):
+        ops = [
+            (OP_PUT, b"k", b"v1"),
+            (OP_PUT, b"k", b"v2-new"),
+            (OP_GET, b"k", None),
+        ]
+        _w, _server, (results, _) = self.run_ops(ops)
+        assert results[2] == (True, b"v2-new")
+
+    def test_many_operations(self):
+        rng = Rng(7)
+        ops = kv_workload(rng, 50, n_keys=10, value_size=128,
+                          get_fraction=0.5)
+        _w, server, (results, stats) = self.run_ops(ops)
+        assert server.requests_served == 50
+        assert stats.count == 50
+        # GETs on keys already PUT must return their latest values.
+        latest = {}
+        for (op, key, value), result in zip(ops, results):
+            if op == OP_PUT:
+                latest[key] = value
+            else:
+                ok, got = result
+                if key in latest:
+                    assert ok and got == latest[key]
+
+
+class TestPosixKvServer:
+    def test_put_then_get(self):
+        w, ka, kb = make_kernel_pair()
+        engine = KvEngine(kb.host)
+        ops = [(OP_PUT, b"hello", b"world"), (OP_GET, b"hello", None)]
+        w.sim.spawn(posix_kv_server(kb, engine, max_requests=2))
+        cp = w.sim.spawn(posix_kv_client(ka, "10.0.0.2", ops))
+        w.run()
+        results, _ = cp.value
+        assert results[1] == (True, b"world")
+
+    def test_posix_get_copies_value(self):
+        w, ka, kb = make_kernel_pair()
+        engine = KvEngine(kb.host)
+        ops = [(OP_PUT, b"k", b"v" * 4096), (OP_GET, b"k", None)]
+        w.sim.spawn(posix_kv_server(kb, engine, max_requests=2))
+        cp = w.sim.spawn(posix_kv_client(ka, "10.0.0.2", ops))
+        w.run()
+        assert w.tracer.get("server.kernel.kv_value_copies") == 1
+
+    def test_copy_overhead_shows_in_latency(self):
+        """Claim C2's mechanism: POSIX GET latency grows with value size
+        faster than the zero-copy Demikernel GET."""
+        def posix_get_rtt(value_size):
+            w, ka, kb = make_kernel_pair()
+            engine = KvEngine(kb.host)
+            ops = ([(OP_PUT, b"k", b"v" * value_size)]
+                   + [(OP_GET, b"k", None)] * 5)
+            w.sim.spawn(posix_kv_server(kb, engine, max_requests=6))
+            cp = w.sim.spawn(posix_kv_client(ka, "10.0.0.2", ops))
+            w.run()
+            return cp.value[1].p50
+
+        def demi_get_rtt(value_size):
+            w, client, server_libos = make_dpdk_libos_pair()
+            server = DemiKvServer(server_libos)
+            w.sim.spawn(server.run())
+            ops = ([(OP_PUT, b"k", b"v" * value_size)]
+                   + [(OP_GET, b"k", None)] * 5)
+            cp = w.sim.spawn(demi_kv_client(client, "10.0.0.2", ops))
+            w.sim.run_until_complete(cp, limit=10**12)
+            server.stop()
+            return cp.value[1].p50
+
+        posix_delta = posix_get_rtt(8192) - posix_get_rtt(64)
+        demi_delta = demi_get_rtt(8192) - demi_get_rtt(64)
+        assert posix_delta > demi_delta * 1.5

@@ -1,0 +1,94 @@
+"""Tests for the qconnect relay: three hosts, two hops, zero app code."""
+
+from repro.apps.echo import demi_echo_server
+from repro.apps.relay import run_relay
+from repro.libos.dpdk_libos import DpdkLibOS
+from repro.testbed import World
+
+
+def build_three_hosts():
+    """client <-> relay <-> backend, all DPDK libOSes on one fabric."""
+    w = World()
+    liboses = {}
+    for i, (name, ip) in enumerate((("client", "10.0.0.1"),
+                                    ("relay", "10.0.0.2"),
+                                    ("backend", "10.0.0.3"))):
+        host = w.add_host(name)
+        nic = w.add_dpdk(host, mac="02:00:00:00:70:%02x" % (i + 1))
+        liboses[name] = DpdkLibOS(host, nic, ip, name="%s.catnip" % name)
+    return w, liboses
+
+
+class TestRelay:
+    def test_end_to_end_through_the_relay(self):
+        w, liboses = build_three_hosts()
+        # Backend: a plain echo server.
+        w.sim.spawn(demi_echo_server(liboses["backend"], port=9))
+        # Relay: listen on 7, forward to backend:9.
+        relay_proc = w.sim.spawn(
+            run_relay(liboses["relay"], 7, "10.0.0.3", 9))
+
+        def client_proc():
+            client = liboses["client"]
+            qd = yield from client.socket()
+            yield from client.connect(qd, "10.0.0.2", 7)
+            out = []
+            for i in range(5):
+                yield from client.blocking_push(
+                    qd, client.sga_alloc(b"via-relay-%d" % i))
+                result = yield from client.blocking_pop(qd)
+                out.append(result.sga.tobytes())
+            return out
+
+        cp = w.sim.spawn(client_proc())
+        w.sim.run_until_complete(cp, limit=10**13)
+        assert cp.value == [b"via-relay-%d" % i for i in range(5)]
+        forward, backward = relay_proc.value
+        assert forward.moved == 5
+        assert backward.moved == 5
+
+    def test_relay_adds_one_hop_of_latency(self):
+        # Direct: client -> backend.
+        w1, liboses1 = build_three_hosts()
+        w1.sim.spawn(demi_echo_server(liboses1["backend"], port=9))
+
+        def direct_client():
+            client = liboses1["client"]
+            qd = yield from client.socket()
+            yield from client.connect(qd, "10.0.0.3", 9)
+            # warm up, then measure
+            for _ in range(2):
+                yield from client.blocking_push(qd, client.sga_alloc(b"w"))
+                yield from client.blocking_pop(qd)
+            start = w1.sim.now
+            yield from client.blocking_push(qd, client.sga_alloc(b"m"))
+            yield from client.blocking_pop(qd)
+            return w1.sim.now - start
+
+        p1 = w1.sim.spawn(direct_client())
+        w1.sim.run_until_complete(p1, limit=10**13)
+        direct_rtt = p1.value
+
+        # Relayed: client -> relay -> backend.
+        w2, liboses2 = build_three_hosts()
+        w2.sim.spawn(demi_echo_server(liboses2["backend"], port=9))
+        w2.sim.spawn(run_relay(liboses2["relay"], 7, "10.0.0.3", 9))
+
+        def relayed_client():
+            client = liboses2["client"]
+            qd = yield from client.socket()
+            yield from client.connect(qd, "10.0.0.2", 7)
+            for _ in range(2):
+                yield from client.blocking_push(qd, client.sga_alloc(b"w"))
+                yield from client.blocking_pop(qd)
+            start = w2.sim.now
+            yield from client.blocking_push(qd, client.sga_alloc(b"m"))
+            yield from client.blocking_pop(qd)
+            return w2.sim.now - start
+
+        p2 = w2.sim.spawn(relayed_client())
+        w2.sim.run_until_complete(p2, limit=10**13)
+        relayed_rtt = p2.value
+
+        # One extra network hop each way: roughly up to 2x, never less.
+        assert direct_rtt < relayed_rtt < 3 * direct_rtt

@@ -1,0 +1,70 @@
+"""Tests for the log-writer storage workload on both stacks."""
+
+from repro.apps.storelog import demi_log_writer, posix_log_writer
+from repro.kernelos.kernel import Kernel
+from repro.kernelos.vfs import Vfs
+
+from ..conftest import World, make_spdk_libos
+
+RECORDS = [b"record-%04d-" % i + b"x" * 500 for i in range(32)]
+
+
+def make_vfs_host():
+    w = World()
+    host = w.add_host("h")
+    kernel = Kernel(host, w.fabric, "02:00:00:00:03:01", "10.0.0.9")
+    nvme = w.add_nvme(host)
+    Vfs(kernel, nvme)
+    return w, kernel
+
+
+class TestDemiLogWriter:
+    def test_writes_and_reads_back(self):
+        w, libos = make_spdk_libos()
+        p = w.sim.spawn(demi_log_writer(libos, RECORDS, sync_every=8))
+        w.run()
+        stats, readback = p.value
+        assert readback == RECORDS
+        assert stats.count == 4  # 32 records / 8 per sync
+
+    def test_no_kernel_involvement(self):
+        w, libos = make_spdk_libos()
+        p = w.sim.spawn(demi_log_writer(libos, RECORDS[:8]))
+        w.run()
+        assert all("kernel" not in key for key in w.tracer.counters)
+
+
+class TestPosixLogWriter:
+    def test_writes_and_reads_back(self):
+        w, kernel = make_vfs_host()
+        p = w.sim.spawn(posix_log_writer(kernel, RECORDS, sync_every=8))
+        w.run()
+        stats, readback = p.value
+        assert readback == RECORDS
+        assert stats.count == 4
+
+    def test_pays_syscalls_and_copies(self):
+        w, kernel = make_vfs_host()
+        p = w.sim.spawn(posix_log_writer(kernel, RECORDS[:8]))
+        w.run()
+        assert w.tracer.get("h.kernel.syscalls") > 8
+        total = sum(len(r) for r in RECORDS[:8])
+        assert w.tracer.get("h.kernel.bytes_copied_tx") == total
+
+
+class TestStorShape:
+    def test_demikernel_storage_path_is_faster(self):
+        """The STOR experiment's expected shape."""
+        w1, libos = make_spdk_libos()
+        p1 = w1.sim.spawn(demi_log_writer(libos, RECORDS, sync_every=4))
+        w1.run()
+        demi_batch = p1.value[0].mean
+
+        w2, kernel = make_vfs_host()
+        p2 = w2.sim.spawn(posix_log_writer(kernel, RECORDS, sync_every=4))
+        w2.run()
+        posix_batch = p2.value[0].mean
+
+        # Flash time dominates both, but the kernel adds block-layer and
+        # syscall overhead per operation: strictly slower.
+        assert posix_batch > demi_batch

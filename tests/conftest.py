@@ -1,0 +1,25 @@
+"""Shared fixtures: the simulation builders live in repro.testbed."""
+
+import pytest
+
+from repro.testbed import (  # noqa: F401 - re-exported for test modules
+    NetHost,
+    World,
+    make_dpdk_libos_pair,
+    make_kernel_pair,
+    make_mtcp_pair,
+    make_net_pair,
+    make_posix_libos_pair,
+    make_rdma_libos_pair,
+    make_spdk_libos,
+)
+
+
+@pytest.fixture
+def world():
+    return World()
+
+
+@pytest.fixture
+def net_pair():
+    return make_net_pair()

@@ -1,0 +1,71 @@
+"""Tests for kernel-NIC interrupt coalescing."""
+
+from ..conftest import World
+
+
+def make_pair(coalesce_ns=0):
+    from repro.hw.nic import KernelNic
+
+    w = World()
+    a, b = w.add_host("a"), w.add_host("b")
+    nic_a = KernelNic(a, w.fabric, "02:00:00:00:80:01", name="a.eth0")
+    nic_b = KernelNic(b, w.fabric, "02:00:00:00:80:02", name="b.eth0",
+                      coalesce_ns=coalesce_ns)
+    return w, nic_a, nic_b
+
+
+class TestCoalescing:
+    def test_disabled_by_default_one_interrupt_per_frame(self):
+        w, nic_a, nic_b = make_pair()
+        got = []
+        nic_b.irq_handler = got.append
+        for i in range(5):
+            nic_a.post_tx(nic_b.mac, b"f%d" % i)
+        w.run()
+        assert len(got) == 5
+        assert w.tracer.get("b.eth0.rx_interrupts") == 5
+
+    def test_burst_within_window_coalesces(self):
+        w, nic_a, nic_b = make_pair(coalesce_ns=50_000)
+        got = []
+        nic_b.irq_handler = got.append
+        for i in range(10):
+            nic_a.post_tx(nic_b.mac, b"f%d" % i)
+        w.run()
+        assert len(got) == 10  # everything still delivered
+        # First frame interrupts; the burst flushes under one more.
+        assert w.tracer.get("b.eth0.rx_interrupts") == 2
+        assert w.tracer.get("b.eth0.rx_coalesced") == 9
+
+    def test_coalesced_frames_delayed_to_window_end(self):
+        w, nic_a, nic_b = make_pair(coalesce_ns=50_000)
+        arrivals = []
+        nic_b.irq_handler = lambda f: arrivals.append(w.sim.now)
+        nic_a.post_tx(nic_b.mac, b"first")
+        nic_a.post_tx(nic_b.mac, b"second")
+        w.run()
+        # The second frame waited for the window boundary.
+        assert arrivals[1] - arrivals[0] >= 40_000
+
+    def test_spaced_frames_each_interrupt(self):
+        w, nic_a, nic_b = make_pair(coalesce_ns=10_000)
+        got = []
+        nic_b.irq_handler = got.append
+        for i in range(3):
+            w.sim.call_in(i * 1_000_000, nic_a.post_tx, nic_b.mac, b"f")
+        w.run()
+        assert len(got) == 3
+        assert w.tracer.get("b.eth0.rx_interrupts") == 3
+        assert w.tracer.get("b.eth0.rx_coalesced") == 0
+
+    def test_sustained_stream_keeps_flushing(self):
+        w, nic_a, nic_b = make_pair(coalesce_ns=20_000)
+        got = []
+        nic_b.irq_handler = got.append
+        for i in range(30):
+            w.sim.call_in(i * 5_000, nic_a.post_tx, nic_b.mac, b"f%d" % i)
+        w.run()
+        assert len(got) == 30
+        interrupts = w.tracer.get("b.eth0.rx_interrupts")
+        # Far fewer interrupts than frames, but enough flushes to deliver.
+        assert 1 < interrupts < 15

@@ -1,0 +1,243 @@
+"""Tests for the kernel VFS (files, page cache, fsync) and pipes."""
+
+import pytest
+
+from repro.hw.nvme import NvmeDevice
+from repro.kernelos.kernel import Kernel, KernelError
+from repro.kernelos.vfs import Vfs
+
+from ..conftest import World
+
+
+def make_fs_host():
+    w = World()
+    host = w.add_host("h")
+    kernel = Kernel(host, w.fabric, "02:00:00:00:02:01", "10.0.0.9")
+    nvme = NvmeDevice(host, name="h.nvme0")
+    host.nvme = nvme
+    vfs = Vfs(kernel, nvme)
+    return w, kernel, vfs, nvme
+
+
+def run(w, gen):
+    p = w.sim.spawn(gen)
+    w.run()
+    return p.value
+
+
+class TestVfs:
+    def test_create_write_read_roundtrip(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/data/log")
+            yield from sys.write(fd, b"persistent bytes")
+            yield from sys.lseek(fd, 0)
+            return (yield from sys.read(fd, 100))
+
+        assert run(w, proc()) == b"persistent bytes"
+
+    def test_open_missing_file_raises(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            with pytest.raises(KernelError):
+                yield from sys.open("/missing")
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_create_duplicate_raises(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            yield from sys.creat("/x")
+            with pytest.raises(KernelError):
+                yield from sys.creat("/x")
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_write_is_cached_until_fsync(self):
+        w, kernel, vfs, nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/f")
+            yield from sys.write(fd, b"d" * 8192)
+            assert vfs.dirty_blocks == 2
+            assert nvme.tracer.get("h.nvme0.writes") == 0
+            flushed = yield from sys.fsync(fd)
+            return flushed
+
+        assert run(w, proc()) == 2
+        assert nvme.tracer.get("h.nvme0.writes") == 2
+        assert nvme.flushes == 1
+
+    def test_data_durable_on_device_after_fsync(self):
+        w, kernel, vfs, nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/f")
+            yield from sys.write(fd, b"A" * 4096)
+            yield from sys.fsync(fd)
+
+        run(w, proc())
+        inode = vfs.lookup("/f")
+        lba = inode.blocks[0]
+        assert nvme.peek_block(lba) == b"A" * 4096
+
+    def test_reread_after_cache_drop_hits_device(self):
+        w, kernel, vfs, nvme = make_fs_host()
+
+        def write_phase():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/f")
+            yield from sys.write(fd, b"B" * 4096)
+            yield from sys.fsync(fd)
+
+        run(w, write_phase())
+        vfs._cache.clear()  # simulate memory pressure eviction
+
+        def read_phase():
+            sys = kernel.thread()
+            fd = yield from sys.open("/f")
+            return (yield from sys.read(fd, 4096))
+
+        assert run(w, read_phase()) == b"B" * 4096
+        assert w.tracer.get("h.kernel.page_cache_misses") >= 1
+        assert nvme.tracer.get("h.nvme0.reads") >= 1
+
+    def test_read_past_eof_returns_empty(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/f")
+            yield from sys.write(fd, b"abc")
+            return (yield from sys.read(fd, 10))
+
+        assert run(w, proc()) == b""
+
+    def test_unaligned_write_spanning_blocks(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/f")
+            yield from sys.lseek(fd, 4090)
+            yield from sys.write(fd, b"0123456789")
+            yield from sys.lseek(fd, 4090)
+            return (yield from sys.read(fd, 10))
+
+        assert run(w, proc()) == b"0123456789"
+
+    def test_file_io_charges_copies_and_syscalls(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            fd = yield from sys.creat("/f")
+            yield from sys.write(fd, b"z" * 4096)
+
+        run(w, proc())
+        assert w.tracer.get("h.kernel.bytes_copied_tx") == 4096
+        assert w.tracer.get("h.kernel.syscalls") == 2
+
+
+class TestPipes:
+    def test_pipe_write_then_read(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            rfd, wfd = yield from sys.pipe()
+            yield from sys.write(wfd, b"through the pipe")
+            return (yield from sys.read(rfd, 100))
+
+        assert run(w, proc()) == b"through the pipe"
+
+    def test_pipe_blocks_reader_until_data(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+        order = []
+
+        def reader(sys, rfd):
+            data = yield from sys.read(rfd, 10)
+            order.append(("read", data, w.sim.now))
+
+        def writer(sys, wfd):
+            yield w.sim.timeout(500_000)
+            order.append(("write", w.sim.now))
+            yield from sys.write(wfd, b"late")
+
+        def main():
+            sys = kernel.thread()
+            rfd, wfd = yield from sys.pipe()
+            w.sim.spawn(reader(kernel.thread(kernel.host.cpus[1]), rfd))
+            w.sim.spawn(writer(kernel.thread(kernel.host.cpus[2]), wfd))
+
+        w.sim.spawn(main())
+        w.run()
+        assert order[0][0] == "write"
+        assert order[1][1] == b"late"
+
+    def test_pipe_backpressure_blocks_writer(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+        from repro.kernelos.pipe import PIPE_CAPACITY
+        progress = []
+
+        def writer(sys, wfd):
+            yield from sys.write(wfd, b"x" * (PIPE_CAPACITY + 100))
+            progress.append(("writer-done", w.sim.now))
+
+        def reader(sys, rfd):
+            yield w.sim.timeout(1_000_000)
+            total = 0
+            while total < PIPE_CAPACITY + 100:
+                data = yield from sys.read(rfd, 8192)
+                total += len(data)
+            progress.append(("reader-done", w.sim.now))
+
+        def main():
+            sys = kernel.thread()
+            rfd, wfd = yield from sys.pipe()
+            w.sim.spawn(writer(kernel.thread(kernel.host.cpus[1]), wfd))
+            w.sim.spawn(reader(kernel.thread(kernel.host.cpus[2]), rfd))
+
+        w.sim.spawn(main())
+        w.run()
+        names = [p[0] for p in progress]
+        assert "writer-done" in names and "reader-done" in names
+
+    def test_read_from_closed_empty_pipe_returns_eof(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            rfd, wfd = yield from sys.pipe()
+            yield from sys.write(wfd, b"tail")
+            yield from sys.pipe_close(wfd)
+            first = yield from sys.read(rfd, 100)
+            second = yield from sys.read(rfd, 100)
+            return first, second
+
+        first, second = run(w, proc())
+        assert first == b"tail"
+        assert second == b""
+
+    def test_write_to_closed_read_end_raises(self):
+        w, kernel, _vfs, _nvme = make_fs_host()
+
+        def proc():
+            sys = kernel.thread()
+            rfd, wfd = yield from sys.pipe()
+            yield from sys.pipe_close(rfd)
+            with pytest.raises(KernelError):
+                yield from sys.write(wfd, b"no listener")
+            return "checked"
+
+        assert run(w, proc()) == "checked"

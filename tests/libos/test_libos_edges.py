@@ -1,0 +1,222 @@
+"""Edge-case tests across the library OSes: errors, close paths, misuse."""
+
+import pytest
+
+from repro.core.types import DemiError
+
+from ..conftest import (
+    make_dpdk_libos_pair,
+    make_mtcp_pair,
+    make_posix_libos_pair,
+    make_rdma_libos_pair,
+)
+
+
+def run(w, gen, limit=10**12):
+    p = w.sim.spawn(gen)
+    w.sim.run_until_complete(p, limit=limit)
+    return p.value
+
+
+class TestDpdkEdges:
+    def test_unknown_protocol_rejected(self):
+        w, client, _server = make_dpdk_libos_pair()
+
+        def proc():
+            with pytest.raises(DemiError):
+                yield from client.socket("sctp")
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_push_before_connect_errors(self):
+        w, client, _server = make_dpdk_libos_pair()
+
+        def proc():
+            qd = yield from client.socket()
+            result = yield from client.blocking_push(
+                qd, client.sga_alloc(b"x"))
+            return result.error
+
+        assert run(w, proc()) == "not connected"
+
+    def test_udp_push_without_remote_errors(self):
+        w, client, _server = make_dpdk_libos_pair()
+
+        def proc():
+            qd = yield from client.socket("udp")
+            result = yield from client.blocking_push(
+                qd, client.sga_alloc(b"x"))
+            return result.error
+
+        assert run(w, proc()) == "no remote address"
+
+    def test_push_to_on_tcp_rejected(self):
+        w, client, _server = make_dpdk_libos_pair()
+
+        def proc():
+            qd = yield from client.socket("tcp")
+            with pytest.raises(DemiError):
+                client.push_to(qd, client.sga_alloc(b"x"), ("10.0.0.2", 1))
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_push_on_listening_queue_errors(self):
+        w, _client, server = make_dpdk_libos_pair()
+
+        def proc():
+            qd = yield from server.socket()
+            yield from server.bind(qd, 80)
+            yield from server.listen(qd)
+            result = yield from server.blocking_push(
+                qd, server.sga_alloc(b"x"))
+            return result.error
+
+        assert run(w, proc()) == "push on listening queue"
+
+    def test_listen_without_bind_rejected(self):
+        w, _client, server = make_dpdk_libos_pair()
+
+        def proc():
+            qd = yield from server.socket()
+            with pytest.raises(DemiError):
+                yield from server.listen(qd)
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_accept_on_connected_queue_rejected(self):
+        w, client, server = make_dpdk_libos_pair()
+
+        def server_proc():
+            qd = yield from server.socket()
+            yield from server.bind(qd, 80)
+            yield from server.listen(qd)
+            yield from server.accept(qd)
+
+        def client_proc():
+            qd = yield from client.socket()
+            yield from client.connect(qd, "10.0.0.2", 80)
+            with pytest.raises(DemiError):
+                yield from client.accept(qd)
+            return "checked"
+
+        w.sim.spawn(server_proc())
+        assert run(w, client_proc()) == "checked"
+
+    def test_close_listening_queue_releases_port(self):
+        w, _client, server = make_dpdk_libos_pair()
+
+        def proc():
+            qd = yield from server.socket()
+            yield from server.bind(qd, 80)
+            yield from server.listen(qd)
+            yield from server.close(qd)
+            # Port 80 is free again:
+            qd2 = yield from server.socket()
+            yield from server.bind(qd2, 80)
+            yield from server.listen(qd2)
+            return "rebound"
+
+        assert run(w, proc()) == "rebound"
+
+
+class TestRdmaEdges:
+    def test_push_before_connect_errors(self):
+        w, client, _server = make_rdma_libos_pair()
+
+        def proc():
+            qd = yield from client.socket()
+            result = yield from client.blocking_push(
+                qd, client.sga_alloc(b"x"))
+            return result.error
+
+        assert run(w, proc()) == "not connected"
+
+    def test_connect_refused_without_listener(self):
+        from repro.rdma.verbs import VerbsError
+        w, client, _server = make_rdma_libos_pair()
+
+        def proc():
+            qd = yield from client.socket()
+            with pytest.raises(VerbsError):
+                yield from client.connect(qd, "server-rdma", 99)
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_close_connected_queue(self):
+        w, client, server = make_rdma_libos_pair()
+
+        def server_proc():
+            lqd = yield from server.socket()
+            yield from server.bind(lqd, 1)
+            yield from server.listen(lqd)
+            yield from server.accept(lqd)
+
+        def client_proc():
+            qd = yield from client.socket()
+            yield from client.connect(qd, "server-rdma", 1)
+            yield from client.close(qd)
+            with pytest.raises(DemiError):
+                client.pop(qd)
+            return "checked"
+
+        w.sim.spawn(server_proc())
+        assert run(w, client_proc()) == "checked"
+
+
+class TestPosixLibosEdges:
+    def test_only_tcp_supported(self):
+        w, client, _server = make_posix_libos_pair()
+
+        def proc():
+            with pytest.raises(DemiError):
+                yield from client.socket("udp")
+            return "checked"
+
+        assert run(w, proc()) == "checked"
+
+    def test_push_before_connect_errors(self):
+        w, client, _server = make_posix_libos_pair()
+
+        def proc():
+            qd = yield from client.socket()
+            result = yield from client.blocking_push(
+                qd, client.sga_alloc(b"x"))
+            return result.error
+
+        assert run(w, proc()) == "not connected"
+
+
+class TestMtcpEdges:
+    def test_exchange_waits_for_cycle_boundary(self):
+        w, client, _server = make_mtcp_pair()
+        cycle = w.costs.mtcp_cycle_ns
+
+        def proc():
+            start = w.sim.now
+            yield from client._exchange()
+            return w.sim.now - start
+
+        p = w.sim.spawn(proc())
+        w.sim.run_until_complete(p, limit=10**12)
+        # Hop + wait-to-boundary + hop; at t=0 the wait is a full cycle.
+        assert p.value >= cycle
+
+    def test_recv_after_close_returns_empty(self):
+        w, client, server = make_mtcp_pair()
+
+        def server_proc():
+            listener = server.listen(7)
+            conn = yield from server.accept(listener)
+            yield from conn.close()
+
+        def client_proc():
+            conn = yield from client.connect("10.0.0.2", 7)
+            data = yield from conn.recv()
+            return data
+
+        w.sim.spawn(server_proc())
+        assert run(w, client_proc()) == b""

@@ -1,0 +1,80 @@
+"""Tests for TCP congestion control (slow start, AIMD, decrease events)."""
+
+from ..conftest import make_net_pair
+
+
+def connect(w, a, b, port=80):
+    listener = b.stack.tcp_listen(port)
+    client = a.stack.tcp_connect("10.0.0.2", port)
+    w.run()
+    return client, listener.accept_nb()
+
+
+class TestSlowStart:
+    def test_cwnd_starts_at_iw10(self):
+        w, a, b = make_net_pair()
+        client, _server = connect(w, a, b)
+        assert client.cwnd == 10 * client.mss
+
+    def test_cwnd_grows_during_bulk_transfer(self):
+        w, a, b = make_net_pair()
+        client, server = connect(w, a, b)
+        initial = client.cwnd
+        client.send(b"g" * 60000)
+        w.run()
+        assert server.recv() == b"g" * 60000
+        assert client.cwnd > initial
+        assert client.cwnd_reductions == 0
+
+    def test_cwnd_limits_initial_burst(self):
+        """Only ~IW10 bytes leave before the first acks come back."""
+        w, a, b = make_net_pair()
+        client, server = connect(w, a, b)
+        sent_before = w.tracer.get("client.stack.tcp_segments_tx")
+        client.send(b"h" * 60000)
+        # Stop time just after the burst leaves, before acks return.
+        w.run(until=w.sim.now + 3_000)
+        burst = w.tracer.get("client.stack.tcp_segments_tx") - sent_before
+        assert burst <= 10 + 1  # IW10 segments (+1 for rounding)
+        w.run()
+        assert server.recv() == b"h" * 60000
+
+
+class TestDecrease:
+    def test_loss_reduces_cwnd(self):
+        w, a, b = make_net_pair(drop_rate=0.15, seed=5)
+        client, server = connect(w, a, b)
+        payload = b"l" * 80000
+        client.send(payload)
+        w.run()
+        assert server.recv() == payload
+        assert client.cwnd_reductions > 0
+        assert w.tracer.get("client.stack.tcp_cwnd_reductions") > 0
+
+    def test_rto_collapses_to_one_mss(self):
+        w, a, b = make_net_pair()
+        client, _server = connect(w, a, b)
+        client.snd_nxt = client.snd_una + 5 * client.mss  # fake outstanding
+        client._congestion_event(to_one_mss=True)
+        assert client.cwnd == client.mss
+        assert client.ssthresh == (5 * client.mss) // 2
+        client.snd_nxt = client.snd_una  # restore
+
+    def test_fast_retransmit_halves_not_collapses(self):
+        w, a, b = make_net_pair()
+        client, _server = connect(w, a, b)
+        client.snd_nxt = client.snd_una + 8 * client.mss
+        client._congestion_event(to_one_mss=False)
+        assert client.cwnd == client.ssthresh == 4 * client.mss
+        client.snd_nxt = client.snd_una
+
+    def test_recovery_reopens_window(self):
+        """After a lossy phase the transfer still completes and cwnd has
+        re-grown past one MSS."""
+        w, a, b = make_net_pair(drop_rate=0.2, seed=9)
+        client, server = connect(w, a, b)
+        payload = b"r" * 50000
+        client.send(payload)
+        w.run()
+        assert server.recv() == payload
+        assert client.cwnd > client.mss

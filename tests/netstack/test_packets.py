@@ -1,0 +1,168 @@
+"""Wire-format unit tests: ethernet, ARP, IPv4, UDP, TCP segments."""
+
+import pytest
+
+from repro.netstack.arp import ARP_REPLY, ARP_REQUEST, ArpPacket
+from repro.netstack.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.netstack.ipv4 import Ipv4Packet, PROTO_UDP
+from repro.netstack.packet import (
+    PacketError,
+    bytes_to_ip,
+    bytes_to_mac,
+    internet_checksum,
+    ip_to_bytes,
+    mac_to_bytes,
+)
+from repro.netstack.tcp import ACK, PSH, SYN, TcpSegment
+from repro.netstack.udp import UdpDatagram
+
+
+class TestAddressCodecs:
+    def test_mac_roundtrip(self):
+        mac = "02:0a:ff:00:10:01"
+        assert bytes_to_mac(mac_to_bytes(mac)) == mac
+
+    def test_bad_mac_rejected(self):
+        with pytest.raises(PacketError):
+            mac_to_bytes("not-a-mac")
+        with pytest.raises(PacketError):
+            mac_to_bytes("02:00:00:00:00")
+        with pytest.raises(PacketError):
+            mac_to_bytes("zz:00:00:00:00:00")
+
+    def test_ip_roundtrip(self):
+        assert bytes_to_ip(ip_to_bytes("10.0.0.1")) == "10.0.0.1"
+
+    def test_bad_ip_rejected(self):
+        for bad in ("10.0.0", "256.1.1.1", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(PacketError):
+                ip_to_bytes(bad)
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # RFC 1071 example data
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == 0x220D
+
+    def test_checksum_of_packet_with_checksum_is_zero(self):
+        data = b"\x45\x00\x00\x14" + b"\x00" * 16
+        csum = internet_checksum(data)
+        patched = data[:10] + bytes([csum >> 8, csum & 0xFF]) + data[12:]
+        assert internet_checksum(patched) == 0
+
+    def test_odd_length_padded(self):
+        assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame("02:00:00:00:00:02", "02:00:00:00:00:01",
+                              ETHERTYPE_IPV4, b"payload")
+        parsed = EthernetFrame.unpack(frame.pack())
+        assert parsed == frame
+
+    def test_too_short_rejected(self):
+        with pytest.raises(PacketError):
+            EthernetFrame.unpack(b"\x00" * 10)
+
+    def test_len_includes_header(self):
+        frame = EthernetFrame("02:00:00:00:00:02", "02:00:00:00:00:01",
+                              ETHERTYPE_IPV4, b"12345")
+        assert len(frame) == 14 + 5
+
+
+class TestArp:
+    def test_request_roundtrip(self):
+        pkt = ArpPacket(ARP_REQUEST, "02:00:00:00:00:01", "10.0.0.1",
+                        "00:00:00:00:00:00", "10.0.0.2")
+        assert ArpPacket.unpack(pkt.pack()) == pkt
+
+    def test_reply_roundtrip(self):
+        pkt = ArpPacket(ARP_REPLY, "02:00:00:00:00:02", "10.0.0.2",
+                        "02:00:00:00:00:01", "10.0.0.1")
+        assert ArpPacket.unpack(pkt.pack()) == pkt
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            ArpPacket.unpack(b"\x00" * 20)
+
+
+class TestIpv4:
+    def test_roundtrip(self):
+        pkt = Ipv4Packet("10.0.0.1", "10.0.0.2", PROTO_UDP, b"hello", ident=7)
+        parsed = Ipv4Packet.unpack(pkt.pack())
+        assert (parsed.src, parsed.dst, parsed.proto, parsed.payload) == (
+            "10.0.0.1", "10.0.0.2", PROTO_UDP, b"hello")
+        assert parsed.ident == 7
+
+    def test_checksum_verified(self):
+        raw = bytearray(Ipv4Packet("10.0.0.1", "10.0.0.2", PROTO_UDP, b"x").pack())
+        raw[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(PacketError):
+            Ipv4Packet.unpack(bytes(raw))
+
+    def test_corruption_ignored_when_not_verifying(self):
+        raw = bytearray(Ipv4Packet("10.0.0.1", "10.0.0.2", PROTO_UDP, b"x").pack())
+        raw[8] ^= 0xFF
+        pkt = Ipv4Packet.unpack(bytes(raw), verify_checksum=False)
+        assert pkt.payload == b"x"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            Ipv4Packet.unpack(b"\x45\x00")
+
+    def test_non_ipv4_rejected(self):
+        raw = bytearray(Ipv4Packet("10.0.0.1", "10.0.0.2", PROTO_UDP, b"x").pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(PacketError):
+            Ipv4Packet.unpack(bytes(raw), verify_checksum=False)
+
+
+class TestUdp:
+    def test_roundtrip(self):
+        datagram = UdpDatagram(1111, 2222, b"data")
+        parsed = UdpDatagram.unpack(datagram.pack("10.0.0.1", "10.0.0.2"))
+        assert (parsed.src_port, parsed.dst_port, parsed.payload) == (1111, 2222, b"data")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            UdpDatagram.unpack(b"\x00\x01")
+
+    def test_length_field_limits_payload(self):
+        raw = UdpDatagram(1, 2, b"abcd").pack("10.0.0.1", "10.0.0.2")
+        parsed = UdpDatagram.unpack(raw + b"trailing-garbage")
+        assert parsed.payload == b"abcd"
+
+
+class TestTcpSegment:
+    def test_roundtrip_with_payload(self):
+        seg = TcpSegment(80, 12345, seq=1000, ack=2000, flags=PSH | ACK,
+                         window=8192, payload=b"GET /")
+        parsed = TcpSegment.unpack(seg.pack("10.0.0.1", "10.0.0.2"))
+        assert (parsed.src_port, parsed.dst_port) == (80, 12345)
+        assert (parsed.seq, parsed.ack) == (1000, 2000)
+        assert parsed.flags == PSH | ACK
+        assert parsed.window == 8192
+        assert parsed.payload == b"GET /"
+        assert parsed.mss is None
+
+    def test_syn_carries_mss_option(self):
+        seg = TcpSegment(80, 12345, seq=0, ack=0, flags=SYN, window=100, mss=1460)
+        parsed = TcpSegment.unpack(seg.pack("10.0.0.1", "10.0.0.2"))
+        assert parsed.mss == 1460
+        assert parsed.flags & SYN
+
+    def test_sequence_numbers_wrap_32_bits(self):
+        seg = TcpSegment(1, 2, seq=2**32 + 5, ack=2**33 + 9, flags=ACK, window=1)
+        parsed = TcpSegment.unpack(seg.pack("10.0.0.1", "10.0.0.2"))
+        assert parsed.seq == 5
+        assert parsed.ack == 9
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            TcpSegment.unpack(b"\x00" * 10)
+
+    def test_flag_names(self):
+        seg = TcpSegment(1, 2, 0, 0, SYN | ACK, 0)
+        assert seg.flag_names() == "SYN|ACK"

@@ -1,0 +1,186 @@
+"""Property-based tests on Demikernel core and substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import LibOS
+from repro.core.types import Sga, SgaSegment
+from repro.sim.rand import Rng
+from repro.sim.trace import LatencyStats
+from repro.testbed import World
+
+
+def fresh_libos():
+    w = World()
+    host = w.add_host("h")
+    return w, LibOS(host, "demi")
+
+
+class TestQueueProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=256), min_size=1,
+                    max_size=30))
+    @settings(max_examples=40)
+    def test_fifo_order_preserved(self, elements):
+        """Whatever is pushed pops out whole, in order."""
+        w, libos = fresh_libos()
+        qd = libos.queue()
+
+        def proc():
+            for element in elements:
+                yield from libos.blocking_push(qd, libos.sga_alloc(element))
+            out = []
+            for _ in elements:
+                result = yield from libos.blocking_pop(qd)
+                out.append(result.sga.tobytes())
+            return out
+
+        p = w.sim.spawn(proc())
+        w.run()
+        assert p.value == elements
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=20),
+           st.integers(0, 3))
+    @settings(max_examples=30)
+    def test_interleaved_push_pop_conservation(self, elements, extra_pops):
+        """Elements are conserved: pops return exactly what was pushed."""
+        w, libos = fresh_libos()
+        qd = libos.queue()
+
+        def proc():
+            popped = []
+            pop_tokens = [libos.pop(qd) for _ in range(extra_pops)]
+            for element in elements:
+                yield from libos.blocking_push(qd, libos.sga_alloc(element))
+            needed = len(elements) - extra_pops
+            for _ in range(max(0, needed)):
+                result = yield from libos.blocking_pop(qd)
+                popped.append(result.sga.tobytes())
+            for token in pop_tokens[:len(elements)]:
+                result = yield from libos.wait(token)
+                popped.append(result.sga.tobytes())
+            return popped
+
+        p = w.sim.spawn(proc())
+        w.run()
+        assert sorted(p.value) == sorted(elements)
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=15))
+    @settings(max_examples=30)
+    def test_sort_queue_emits_in_key_order(self, elements):
+        w, libos = fresh_libos()
+        src = libos.queue()
+        sorted_qd = libos.sort(src, key=lambda sga: sga.tobytes())
+
+        def proc():
+            for element in elements:
+                yield from libos.blocking_push(src, libos.sga_alloc(element))
+            yield w.sim.timeout(1_000_000)  # let the pump drain
+            out = []
+            for _ in elements:
+                result = yield from libos.blocking_pop(sorted_qd)
+                out.append(result.sga.tobytes())
+            return out
+
+        p = w.sim.spawn(proc())
+        w.run()
+        assert p.value == sorted(elements)
+
+
+class TestSgaProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=8))
+    def test_multi_segment_gather_equals_concatenation(self, chunks):
+        w, libos = fresh_libos()
+        segments = []
+        for chunk in chunks:
+            buf = libos.mm.alloc(len(chunk))
+            buf.write(0, chunk)
+            segments.append(SgaSegment(buf, 0, len(chunk)))
+        sga = Sga(segments)
+        assert sga.tobytes() == b"".join(chunks)
+        assert sga.nbytes == sum(len(c) for c in chunks)
+        assert sga.nsegments == len(chunks)
+
+
+class TestMemoryProperties:
+    @given(st.lists(st.integers(1, 8192), min_size=1, max_size=60))
+    @settings(max_examples=40)
+    def test_allocations_never_overlap(self, sizes):
+        w = World()
+        host = w.add_host("h")
+        buffers = [host.mm.alloc(size) for size in sizes]
+        ranges = sorted((b.addr, b.addr + b.capacity) for b in buffers)
+        for (start1, end1), (start2, _end2) in zip(ranges, ranges[1:]):
+            assert end1 <= start2
+
+    @given(st.lists(st.integers(1, 4096), min_size=1, max_size=40),
+           st.data())
+    @settings(max_examples=40)
+    def test_alloc_free_accounting_balances(self, sizes, data):
+        w = World()
+        host = w.add_host("h")
+        live = []
+        for size in sizes:
+            live.append(host.mm.alloc(size))
+            if live and data.draw(st.booleans()):
+                victim = live.pop(data.draw(
+                    st.integers(0, len(live) - 1)))
+                host.mm.free(victim)
+        assert host.mm.live_buffer_count == len(live)
+        assert host.mm.live_bytes == sum(b.capacity for b in live)
+        for buf in live:
+            host.mm.free(buf)
+        assert host.mm.live_buffer_count == 0
+        assert host.mm.live_bytes == 0
+
+    @given(st.lists(st.integers(1, 2048), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_resolve_finds_every_live_buffer(self, sizes):
+        w = World()
+        host = w.add_host("h")
+        buffers = [host.mm.alloc(size) for size in sizes]
+        for buf in buffers:
+            found, offset = host.mm.resolve(buf.addr, buf.capacity)
+            assert found is buf and offset == 0
+            if buf.capacity > 1:
+                found, offset = host.mm.resolve(buf.addr + 1, buf.capacity - 1)
+                assert found is buf and offset == 1
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_percentiles_are_ordered_and_within_range(self, samples):
+        stats = LatencyStats()
+        stats.extend(samples)
+        assert stats.minimum <= stats.p50 <= stats.p95 <= stats.p99 <= stats.maximum
+        eps = 1e-9 * max(1.0, stats.maximum)  # float summation slack
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=100))
+    def test_percentile_100_is_max(self, samples):
+        stats = LatencyStats()
+        stats.extend(samples)
+        assert stats.percentile(100) == stats.maximum
+        assert stats.percentile(0) == stats.minimum
+
+
+class TestRngProperties:
+    @given(st.integers(0, 2**32), st.integers(1, 500))
+    def test_zipf_index_in_range(self, seed, n):
+        rng = Rng(seed)
+        for _ in range(20):
+            assert 0 <= rng.zipf_index(n) < n
+
+    @given(st.integers(0, 2**32))
+    def test_same_seed_same_stream(self, seed):
+        a, b = Rng(seed), Rng(seed)
+        assert [a.randint(0, 1000) for _ in range(10)] == \
+               [b.randint(0, 1000) for _ in range(10)]
+
+    @given(st.integers(0, 2**20), st.integers(0, 64))
+    def test_bytes_length(self, seed, n):
+        assert len(Rng(seed).bytes(n)) == n

@@ -1,0 +1,129 @@
+"""Property-based tests on the log store and the NVMe device."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.nvme import NvmeDevice
+from repro.storage.log import LogStore
+
+from ..conftest import World
+
+records_strategy = st.lists(st.binary(min_size=1, max_size=6000),
+                            min_size=1, max_size=20)
+
+
+def make_store():
+    w = World()
+    host = w.add_host("h")
+    nvme = NvmeDevice(host, name="h.nvme0")
+    return w, LogStore(nvme, host.cpu), nvme
+
+
+def run(w, gen):
+    p = w.sim.spawn(gen)
+    w.run()
+    return p.value
+
+
+class TestLogStoreProperties:
+    @given(records_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_append_read_roundtrip_any_payloads(self, records):
+        w, store, _ = make_store()
+
+        def proc():
+            ids = []
+            for record in records:
+                ids.append((yield from store.append(record)))
+            yield from store.sync()
+            out = []
+            for rid in ids:
+                out.append((yield from store.read(rid)))
+            return out
+
+        assert run(w, proc()) == records
+
+    @given(records_strategy, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_syncs_preserve_all_records(self, records, data):
+        """Records survive any pattern of intermediate syncs."""
+        w, store, _ = make_store()
+        sync_after = {i for i in range(len(records))
+                      if data.draw(st.booleans())}
+
+        def proc():
+            ids = []
+            for i, record in enumerate(records):
+                ids.append((yield from store.append(record)))
+                if i in sync_after:
+                    yield from store.sync()
+            yield from store.sync()
+            out = []
+            for rid in ids:
+                out.append((yield from store.read(rid)))
+            return out
+
+        assert run(w, proc()) == records
+
+    @given(records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_recovery_finds_exactly_synced_records(self, records):
+        w, store, nvme = make_store()
+
+        def write_phase():
+            for record in records:
+                yield from store.append(record)
+            yield from store.sync()
+
+        run(w, write_phase())
+        recovered = LogStore(nvme, store.core)
+
+        def recover_phase():
+            ids = yield from recovered.mount()
+            out = []
+            for rid in ids:
+                out.append((yield from recovered.read(rid)))
+            return out
+
+        assert run(w, recover_phase()) == records
+
+    @given(records_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_record_ids_strictly_increase(self, records):
+        w, store, _ = make_store()
+
+        def proc():
+            ids = []
+            for record in records:
+                ids.append((yield from store.append(record)))
+            return ids
+
+        ids = run(w, proc())
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestNvmeProperties:
+    @given(st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_blocks_hold_last_write(self, data):
+        w = World()
+        host = w.add_host("h")
+        dev = NvmeDevice(host, name="h.nvme0", capacity_blocks=64)
+        expected = {}
+
+        def proc():
+            n_writes = data.draw(st.integers(1, 15))
+            for _ in range(n_writes):
+                lba = data.draw(st.integers(0, 63))
+                fill = data.draw(st.integers(0, 255))
+                payload = bytes([fill]) * dev.block_size
+                expected[lba] = payload
+                yield dev.submit_write(lba, payload)
+            for lba, payload in expected.items():
+                got = yield dev.submit_read(lba, 1)
+                assert got == payload
+
+        p = w.sim.spawn(proc())
+        w.run()
+        assert p.triggered

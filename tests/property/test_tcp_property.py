@@ -1,0 +1,75 @@
+"""Property-based tests over the whole TCP stack: stream integrity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from ..conftest import make_net_pair
+
+payload_lists = st.lists(st.binary(min_size=1, max_size=4000),
+                         min_size=1, max_size=12)
+
+
+def open_connection(w, a, b):
+    listener = b.stack.tcp_listen(80)
+    client = a.stack.tcp_connect("10.0.0.2", 80)
+    w.run()
+    server = listener.accept_nb()
+    assert server is not None
+    return client, server
+
+
+class TestStreamIntegrity:
+    @given(payload_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_sends_concatenate_exactly(self, payloads):
+        w, a, b = make_net_pair()
+        client, server = open_connection(w, a, b)
+        for payload in payloads:
+            client.send(payload)
+        w.run()
+        received = server.recv()
+        assert received == b"".join(payloads)
+
+    @given(payload_lists, st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_lossy_link_never_corrupts_stream(self, payloads, seed):
+        w, a, b = make_net_pair(drop_rate=0.15, seed=seed)
+        client, server = open_connection(w, a, b)
+        for payload in payloads:
+            client.send(payload)
+        w.run()
+        collected = bytearray()
+        for _ in range(50):
+            chunk = server.recv()
+            if chunk:
+                collected.extend(chunk)
+            if len(collected) >= sum(len(p) for p in payloads):
+                break
+            w.run(until=w.sim.now + 1_000_000)
+        assert bytes(collected) == b"".join(payloads)
+
+    @given(payload_lists, payload_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_duplex_streams_are_independent(self, to_server, to_client):
+        w, a, b = make_net_pair()
+        client, server = open_connection(w, a, b)
+        for payload in to_server:
+            client.send(payload)
+        for payload in to_client:
+            server.send(payload)
+        w.run()
+        assert server.recv() == b"".join(to_server)
+        assert client.recv() == b"".join(to_client)
+
+    @given(st.lists(st.binary(min_size=1, max_size=1000), min_size=1,
+                    max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_close_after_sends_delivers_everything_then_eof(self, payloads):
+        w, a, b = make_net_pair()
+        client, server = open_connection(w, a, b)
+        for payload in payloads:
+            client.send(payload)
+        client.close()
+        w.run()
+        assert server.recv() == b"".join(payloads)
+        assert server.peer_closed

@@ -1,0 +1,210 @@
+"""Tests for disaggregated-memory ring queues over one-sided RDMA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import DemiError
+from repro.rmem.ring import RemoteRing, RmemQueue
+from repro.testbed import make_rmem_world
+
+
+class TestRingGeometry:
+    def test_slot_addresses_wrap(self):
+        ring = RemoteRing(0x1000, slot_size=128, n_slots=4)
+        assert ring.slot_addr(1) == ring.slot_addr(5)
+        assert ring.slot_addr(1) != ring.slot_addr(2)
+        addrs = {ring.slot_addr(s) for s in range(1, 5)}
+        assert len(addrs) == 4
+
+    def test_degenerate_geometry_rejected(self):
+        with pytest.raises(DemiError):
+            RemoteRing(0, slot_size=8, n_slots=4)
+        with pytest.raises(DemiError):
+            RemoteRing(0, slot_size=128, n_slots=1)
+
+    def test_max_payload_excludes_header(self):
+        ring = RemoteRing(0, slot_size=128, n_slots=4)
+        assert ring.max_payload == 128 - 12
+
+
+class TestProduceConsume:
+    def test_single_element_through_remote_memory(self):
+        w, producer, consumer, memnode = make_rmem_world()
+
+        def produce():
+            yield from producer.push(b"disaggregated")
+
+        def consume():
+            return (yield from consumer.pop())
+
+        w.sim.spawn(produce())
+        cp = w.sim.spawn(consume())
+        w.sim.run_until_complete(cp, limit=10**12)
+        assert cp.value == b"disaggregated"
+
+    def test_memory_node_cpu_never_runs(self):
+        w, producer, consumer, memnode = make_rmem_world()
+        w.run()  # drain arena-registration charges
+        cpu_before = memnode.cpu.busy_ns
+
+        def produce():
+            for i in range(10):
+                yield from producer.push(b"element-%d" % i)
+
+        def consume():
+            out = []
+            for _ in range(10):
+                out.append((yield from consumer.pop()))
+            return out
+
+        w.sim.spawn(produce())
+        cp = w.sim.spawn(consume())
+        w.sim.run_until_complete(cp, limit=10**12)
+        assert cp.value == [b"element-%d" % i for i in range(10)]
+        assert memnode.cpu.busy_ns == cpu_before  # one-sided only
+
+    def test_ring_wrap_preserves_order(self):
+        w, producer, consumer, memnode = make_rmem_world(n_slots=4)
+        n = 20  # 5x around the 4-slot ring
+
+        def produce():
+            for i in range(n):
+                yield from producer.push(b"wrap-%02d" % i)
+
+        def consume():
+            out = []
+            for _ in range(n):
+                out.append((yield from consumer.pop()))
+            return out
+
+        w.sim.spawn(produce())
+        cp = w.sim.spawn(consume())
+        w.sim.run_until_complete(cp, limit=10**13)
+        assert cp.value == [b"wrap-%02d" % i for i in range(n)]
+
+    def test_full_ring_applies_backpressure(self):
+        w, producer, consumer, memnode = make_rmem_world(n_slots=4)
+        produced = []
+
+        def produce():
+            for i in range(12):
+                yield from producer.push(b"bp-%02d" % i)
+                produced.append(i)
+
+        def slow_consume():
+            out = []
+            for _ in range(12):
+                yield w.sim.timeout(100_000)
+                out.append((yield from consumer.pop()))
+            return out
+
+        w.sim.spawn(produce())
+        cp = w.sim.spawn(slow_consume())
+        w.sim.run_until_complete(cp, limit=10**13)
+        assert cp.value == [b"bp-%02d" % i for i in range(12)]
+        assert producer.full_stalls > 0
+
+    def test_oversized_element_rejected(self):
+        w, producer, _consumer, _memnode = make_rmem_world(slot_size=64)
+
+        def produce():
+            with pytest.raises(DemiError):
+                yield from producer.push(b"x" * 100)
+            return "checked"
+
+        p = w.sim.spawn(produce())
+        w.sim.run_until_complete(p, limit=10**12)
+        assert p.value == "checked"
+
+    def test_empty_polls_counted(self):
+        w, producer, consumer, _memnode = make_rmem_world()
+
+        def consume():
+            return (yield from consumer.pop())
+
+        cp = w.sim.spawn(consume())
+        w.sim.call_in(50_000, lambda: w.sim.spawn(_late_producer()))
+
+        def _late_producer():
+            yield from producer.push(b"late")
+
+        w.sim.run_until_complete(cp, limit=10**12)
+        assert cp.value == b"late"
+        assert consumer.empty_polls > 0
+
+    @given(st.lists(st.binary(min_size=1, max_size=500), min_size=1,
+                    max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_any_payload_sequence_roundtrips(self, payloads):
+        w, producer, consumer, _memnode = make_rmem_world(
+            slot_size=600, n_slots=6)
+
+        def produce():
+            for payload in payloads:
+                yield from producer.push(payload)
+
+        def consume():
+            out = []
+            for _ in payloads:
+                out.append((yield from consumer.pop()))
+            return out
+
+        w.sim.spawn(produce())
+        cp = w.sim.spawn(consume())
+        w.sim.run_until_complete(cp, limit=10**13)
+        assert cp.value == payloads
+
+
+class TestRmemQueueApi:
+    def make_queue_world(self):
+        from repro.core.api import LibOS
+        w, producer, consumer, memnode = make_rmem_world()
+        # Two libOSes: one on the producer host, one on the consumer host.
+        prod_libos = LibOS(w.hosts["producer"], "prod")
+        cons_libos = LibOS(w.hosts["consumer"], "cons")
+        push_q = RmemQueue(prod_libos, 100)
+        prod_libos._queues[100] = push_q
+        push_q.attach_producer(producer)
+        pop_q = RmemQueue(cons_libos, 200)
+        cons_libos._queues[200] = pop_q
+        pop_q.attach_consumer(consumer)
+        return w, prod_libos, cons_libos
+
+    def test_figure3_api_over_remote_memory(self):
+        w, prod_libos, cons_libos = self.make_queue_world()
+
+        def produce():
+            for i in range(5):
+                yield from prod_libos.blocking_push(
+                    100, prod_libos.sga_alloc(b"api-%d" % i))
+
+        def consume():
+            out = []
+            for _ in range(5):
+                result = yield from cons_libos.blocking_pop(200)
+                out.append(result.sga.tobytes())
+            return out
+
+        w.sim.spawn(produce())
+        cp = w.sim.spawn(consume())
+        w.sim.run_until_complete(cp, limit=10**13)
+        assert cp.value == [b"api-%d" % i for i in range(5)]
+        assert w.tracer.get("prod.rmem_tx_elements") == 5
+        assert w.tracer.get("cons.rmem_rx_elements") == 5
+
+    def test_push_without_producer_errors(self):
+        from repro.core.api import LibOS
+        w, _p, _c, memnode = make_rmem_world()
+        libos = LibOS(memnode, "demi")
+        queue = RmemQueue(libos, 1)
+        libos._queues[1] = queue
+
+        def proc():
+            result = yield from libos.blocking_push(
+                1, libos.sga_alloc(b"nowhere"))
+            return result.error
+
+        p = w.sim.spawn(proc())
+        w.sim.run_until_complete(p, limit=10**12)
+        assert p.value == "no producer attached"

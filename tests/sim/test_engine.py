@@ -1,0 +1,330 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    Completion,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(250)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == 250
+    assert sim.now == 250
+
+
+def test_zero_timeout_runs_same_timestep():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    assert p.value == 0
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_in(300, order.append, "c")
+    sim.call_in(100, order.append, "a")
+    sim.call_in(200, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_fire_in_fifo_order():
+    sim = Simulator()
+    order = []
+    for tag in ("x", "y", "z"):
+        sim.call_in(50, order.append, tag)
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    fired = []
+    sim.call_in(1000, fired.append, 1)
+    sim.run(until=500)
+    assert fired == []
+    assert sim.now == 500
+    sim.run()
+    assert fired == [1]
+
+
+def test_process_return_value_joinable():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(10)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        return value + 1
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == 43
+
+
+def test_yield_from_subroutine_composes():
+    sim = Simulator()
+
+    def sub(n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def main():
+        a = yield from sub(5)
+        b = yield from sub(7)
+        return (a, b, sim.now)
+
+    p = sim.spawn(main())
+    sim.run()
+    assert p.value == (10, 14, 12)
+
+
+def test_completion_delivers_value():
+    sim = Simulator()
+    done = sim.completion("x")
+
+    def waiter():
+        value = yield done
+        return value
+
+    p = sim.spawn(waiter())
+    sim.call_in(100, done.trigger, "payload")
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_completion_trigger_twice_raises():
+    sim = Simulator()
+    done = sim.completion()
+    done.trigger(1)
+    with pytest.raises(SimulationError):
+        done.trigger(2)
+
+
+def test_already_triggered_completion_resumes_immediately():
+    sim = Simulator()
+    done = sim.completion()
+    done.trigger("early")
+
+    def waiter():
+        value = yield done
+        return (value, sim.now)
+
+    p = sim.spawn(waiter())
+    sim.run()
+    assert p.value == ("early", 0)
+
+
+def test_completion_failure_propagates_into_process():
+    sim = Simulator()
+    done = sim.completion()
+
+    def waiter():
+        try:
+            yield done
+        except RuntimeError as err:
+            return "caught:%s" % err
+        return "no-error"
+
+    p = sim.spawn(waiter())
+    sim.call_in(5, done.fail, RuntimeError("boom"))
+    sim.run()
+    assert p.value == "caught:boom"
+
+
+def test_process_crash_propagates_to_joiner():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("child died")
+
+    def parent():
+        try:
+            yield sim.spawn(child())
+        except ValueError:
+            return "observed"
+
+    p = sim.spawn(parent())
+    sim.run()
+    assert p.value == "observed"
+
+
+def test_unjoined_process_crash_surfaces_from_run():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("unobserved")
+
+    sim.spawn(child())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_any_of_returns_first_completion():
+    sim = Simulator()
+    slow = sim.timeout(100, "slow")
+    fast = sim.timeout(10, "fast")
+
+    def waiter():
+        index, value = yield any_of(sim, [slow, fast])
+        return (index, value, sim.now)
+
+    p = sim.spawn(waiter())
+    sim.run()
+    assert p.value == (1, "fast", 10)
+
+
+def test_all_of_waits_for_every_completion():
+    sim = Simulator()
+    events = [sim.timeout(t, t) for t in (30, 10, 20)]
+
+    def waiter():
+        values = yield all_of(sim, events)
+        return (values, sim.now)
+
+    p = sim.spawn(waiter())
+    sim.run()
+    assert p.value == ([30, 10, 20], 30)
+
+
+def test_all_of_empty_list_fires_immediately():
+    sim = Simulator()
+
+    def waiter():
+        values = yield all_of(sim, [])
+        return values
+
+    p = sim.spawn(waiter())
+    sim.run()
+    assert p.value == []
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(10**9)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    p = sim.spawn(sleeper())
+    sim.call_in(77, p.interrupt, "wakeup")
+    sim.run()
+    assert p.value == ("interrupted", "wakeup", 77)
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+        return "done"
+
+    p = sim.spawn(quick())
+    sim.run()
+    p.interrupt("late")
+    sim.run()
+    assert p.value == "done"
+
+
+def test_yielding_garbage_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 12345
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(500)
+        return "ok"
+
+    p = sim.spawn(proc())
+    assert sim.run_until_complete(p) == "ok"
+
+
+def test_run_until_complete_respects_limit():
+    sim = Simulator()
+    blocked = sim.completion()
+
+    def proc():
+        yield blocked
+
+    def feeder():
+        while True:
+            yield sim.timeout(1000)
+
+    p = sim.spawn(proc())
+    sim.spawn(feeder())
+    with pytest.raises(SimulationError):
+        sim.run_until_complete(p, limit=10000)
+
+
+def test_many_processes_independent_clocks():
+    sim = Simulator()
+    results = {}
+
+    def proc(name, delay):
+        yield sim.timeout(delay)
+        results[name] = sim.now
+
+    for i in range(50):
+        sim.spawn(proc(i, i * 10))
+    sim.run()
+    assert results == {i: i * 10 for i in range(50)}
+
+
+def test_livelock_detection_raises_instead_of_hanging():
+    """A process spinning on instantly-triggered completions fails loudly."""
+    sim = Simulator()
+
+    def spinner():
+        while True:
+            done = sim.completion()
+            done.trigger(None)
+            yield done  # already triggered: resumes synchronously forever
+
+    sim.spawn(spinner())
+    with pytest.raises(SimulationError, match="livelocked"):
+        sim.run()

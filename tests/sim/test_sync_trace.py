@@ -1,0 +1,165 @@
+"""Tests for WaitQueue synchronization and the Tracer."""
+
+from repro.sim.engine import Simulator
+from repro.sim.sync import WaitQueue
+from repro.sim.trace import LatencyStats, Tracer
+
+import pytest
+
+
+class TestWaitQueue:
+    def test_pulse_wakes_all_waiters(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        woken = []
+
+        def waiter(name):
+            value = yield wq.wait()
+            woken.append((name, value))
+
+        for name in ("a", "b", "c"):
+            sim.spawn(waiter(name))
+        sim.call_in(10, wq.pulse, "go")
+        sim.run()
+        assert sorted(woken) == [("a", "go"), ("b", "go"), ("c", "go")]
+
+    def test_pulse_one_wakes_fifo(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        woken = []
+
+        def waiter(name):
+            yield wq.wait()
+            woken.append(name)
+
+        for name in ("first", "second"):
+            sim.spawn(waiter(name))
+        sim.call_in(10, wq.pulse_one)
+        sim.run()
+        assert woken == ["first"]
+        assert wq.waiting == 1
+
+    def test_pulse_one_on_empty_returns_false(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        assert wq.pulse_one() is False
+
+    def test_pulse_returns_wake_count(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+
+        def waiter():
+            yield wq.wait()
+
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.run()  # both block
+        assert wq.pulse() == 2
+        assert wq.pulses == 1
+
+    def test_observers_run_on_every_pulse(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        observed = []
+        wq.subscribe(lambda: observed.append(sim.now))
+        wq.pulse()
+        wq.pulse()
+        assert len(observed) == 2
+
+    def test_unsubscribe_stops_observation(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        observed = []
+        callback = lambda: observed.append(1)
+        wq.subscribe(callback)
+        wq.pulse()
+        wq.unsubscribe(callback)
+        wq.pulse()
+        assert len(observed) == 1
+
+    def test_unsubscribe_unknown_is_noop(self):
+        sim = Simulator()
+        wq = WaitQueue(sim)
+        wq.unsubscribe(lambda: None)  # must not raise
+
+
+class TestTracer:
+    def test_count_and_get(self):
+        t = Tracer()
+        t.count("x")
+        t.count("x", 4)
+        assert t.get("x") == 5
+        assert t.get("missing") == 0
+
+    def test_snapshot_diff(self):
+        t = Tracer()
+        t.count("a", 3)
+        snap = t.snapshot()
+        t.count("a", 2)
+        t.count("b", 7)
+        t.count("c", 0)
+        assert t.diff(snap) == {"a": 2, "b": 7}
+
+    def test_events_recorded_when_enabled(self):
+        t = Tracer(keep_events=True)
+        t.record(100, "frame_rx", {"len": 64})
+        t.record(200, "frame_tx")
+        assert t.events == [(100, "frame_rx", {"len": 64}),
+                            (200, "frame_tx", None)]
+
+    def test_events_dropped_when_disabled(self):
+        t = Tracer(keep_events=False)
+        t.record(1, "ignored")
+        assert t.events == []
+
+    def test_event_cap_respected(self):
+        t = Tracer(keep_events=True, max_events=3)
+        for i in range(10):
+            t.record(i, "e")
+        assert len(t.events) == 3
+
+    def test_reset_clears_everything(self):
+        t = Tracer(keep_events=True)
+        t.count("x")
+        t.record(1, "e")
+        t.reset()
+        assert t.get("x") == 0
+        assert t.events == []
+
+
+class TestLatencyStats:
+    def test_empty_stats_are_nan(self):
+        import math
+        stats = LatencyStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.p50)
+
+    def test_describe_mentions_name(self):
+        stats = LatencyStats("rtt")
+        stats.add(100)
+        assert "rtt" in stats.describe()
+        assert "n=1" in stats.describe()
+
+    def test_describe_empty(self):
+        assert "no samples" in LatencyStats("x").describe()
+
+    def test_percentile_bounds_checked(self):
+        stats = LatencyStats()
+        stats.add(1)
+        with pytest.raises(ValueError):
+            stats.percentile(101)
+
+    def test_stdev(self):
+        stats = LatencyStats()
+        stats.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert 2.0 <= stats.stdev() <= 2.3
+        single = LatencyStats()
+        single.add(5)
+        assert single.stdev() == 0.0
+
+    def test_summary_keys(self):
+        stats = LatencyStats()
+        stats.extend([1, 2, 3])
+        summary = stats.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1 and summary["max"] == 3
