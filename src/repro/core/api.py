@@ -86,9 +86,18 @@ class LibOS:
         queue = self._lookup(qd)
         self.core.charge_async(self.costs.libos_pop_ns + self.costs.qtoken_ns)
         self.count("pops")
-        token, _done = self.qtokens.create()
+        token, _done = self.qtokens.create(on_cancel=queue.cancel_pop)
         queue.pop_sga(token)
         return token
+
+    def cancel(self, token: QToken) -> None:
+        """Abandon a not-yet-completed qtoken (e.g. a pop on a stalled
+        device).  The token retires immediately, its queue forgets the
+        operation, and a late device completion is dropped - it can never
+        wake a waiter."""
+        self.core.charge_async(self.costs.qtoken_ns)
+        self.count("cancels")
+        self.qtokens.cancel(token)
 
     def _wait_charge(self):
         return self.core.busy(self.costs.wait_dispatch_ns)

@@ -83,6 +83,18 @@ class DemiQueue:
             return
         self._ready.append((sga, value))
 
+    def cancel_pop(self, token: QToken) -> None:
+        """Unregister a pending pop (the qtoken-cancellation path).
+
+        The pop simply stops being a match candidate: an element arriving
+        later buffers in ``_ready`` (or matches a younger pop) instead of
+        completing a dead token, so no data is lost.
+        """
+        try:
+            self._pending_pops.remove(token)
+        except ValueError:
+            pass
+
     def mark_eof(self) -> None:
         """No more elements will ever arrive: fail outstanding pops."""
         if self.eof or self.closed:

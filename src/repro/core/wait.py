@@ -13,7 +13,7 @@ claims over epoll:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from ..sim.engine import Completion, Simulator, any_of
 from .types import DemiError, QResult, QToken
@@ -32,23 +32,68 @@ class QTokenTable:
         self.tracer = tracer
         self.name = name
         self._pending: Dict[QToken, Completion] = {}
+        self._on_cancel: Dict[QToken, Callable[[QToken], None]] = {}
+        self._cancelled: Set[QToken] = set()
         self._next_token: QToken = 1
+        # Lifecycle accounting: every minted token must end up exactly one
+        # of completed or cancelled - chaos tests assert the identity
+        # ``created == completed + cancelled + in_flight``.
+        self.created = 0
+        self.completed = 0
+        self.cancelled = 0
 
     # -- creation / completion (queue side) -----------------------------------
-    def create(self) -> Tuple[QToken, Completion]:
-        """Mint a token and the completion that will carry its QResult."""
+    def create(self, on_cancel: Optional[Callable[[QToken], None]] = None
+               ) -> Tuple[QToken, Completion]:
+        """Mint a token and the completion that will carry its QResult.
+
+        *on_cancel* runs if the token is cancelled before completing, so
+        the owning queue can unregister the operation.
+        """
         token = self._next_token
         self._next_token += 1
         done = self.sim.completion("%s.%d" % (self.name, token))
         self._pending[token] = done
+        if on_cancel is not None:
+            self._on_cancel[token] = on_cancel
+        self.created += 1
         self.tracer.count("%s.qtokens_created" % self.name)
         return token, done
 
     def complete(self, token: QToken, result: QResult) -> None:
         done = self._pending.get(token)
         if done is None:
+            if token in self._cancelled:
+                # The operation raced its own cancellation (e.g. a stalled
+                # device finally finished).  The token's waiter is gone;
+                # dropping the result here is what keeps cancel safe.
+                self.tracer.count("%s.late_completions_dropped" % self.name)
+                return
             raise DemiError("completion of unknown qtoken %r" % token)
+        self.completed += 1
+        self.tracer.count("%s.qtokens_completed" % self.name)
         done.trigger(result)
+
+    def cancel(self, token: QToken) -> None:
+        """Abandon a not-yet-completed operation.
+
+        The token is retired immediately: its completion will never fire,
+        no waiter can wake on it, and a late completion from the device is
+        silently dropped.  Cancelling a token whose operation already
+        completed is an error - wait for it instead.
+        """
+        done = self._pending.get(token)
+        if done is None:
+            raise DemiError("cancel of unknown qtoken %r" % token)
+        if done.triggered:
+            raise DemiError("cancel of already-completed qtoken %r" % token)
+        del self._pending[token]
+        self._cancelled.add(token)
+        self.cancelled += 1
+        on_cancel = self._on_cancel.pop(token, None)
+        if on_cancel is not None:
+            on_cancel(token)
+        self.tracer.count("%s.qtokens_cancelled" % self.name)
 
     def completion_of(self, token: QToken) -> Completion:
         done = self._pending.get(token)
@@ -60,8 +105,14 @@ class QTokenTable:
     def outstanding(self) -> int:
         return len(self._pending)
 
+    @property
+    def in_flight(self) -> int:
+        """Tokens whose operation has neither completed nor cancelled."""
+        return sum(1 for d in self._pending.values() if not d.triggered)
+
     def _retire(self, token: QToken) -> None:
         self._pending.pop(token, None)
+        self._on_cancel.pop(token, None)
 
     # -- waiting (application side) ---------------------------------------------
     def wait(self, token: QToken, charge=None) -> Generator:

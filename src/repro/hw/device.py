@@ -21,6 +21,8 @@ class Device:
         self.costs = host.costs
         self.tracer = host.tracer
         self.name = name
+        #: set by repro.sim.faults.FaultInjector; None = no faults
+        self.faults = None
 
     def count(self, counter: str, n: int = 1) -> None:
         self.tracer.count("%s.%s" % (self.name, counter), n)

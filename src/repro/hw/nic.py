@@ -74,8 +74,10 @@ class _EthernetNic(Device):
                 self.iommu.translate(addr, size)
         nbytes = len(frame)
         work = self.costs.dma_ns(nbytes) + self.costs.nic_process_ns
-        # The TX pipeline is serial: back-to-back descriptors queue.
         now = self.sim.now
+        if self.faults is not None:
+            work += self.faults.stall_ns(now)
+        # The TX pipeline is serial: back-to-back descriptors queue.
         start = max(now, self._tx_free_at)
         done = start + work
         self._tx_free_at = done
@@ -88,6 +90,8 @@ class _EthernetNic(Device):
     def _on_wire_rx(self, frame: Any) -> None:
         nbytes = len(frame)
         delay = self.costs.nic_process_ns + self.costs.dma_ns(nbytes)
+        if self.faults is not None:
+            delay += self.faults.stall_ns(self.sim.now)
         self.sim.call_in(delay, self._rx_ready, frame)
 
     def _rx_ready(self, frame: Any) -> None:
@@ -134,7 +138,10 @@ class DpdkNic(_EthernetNic):
     def _rx_ready(self, frame: Any) -> None:
         queue = self._rss_queue(frame)
         ring = self._rx_rings[queue]
-        if len(ring) >= self.rx_ring_size:
+        limit = self.rx_ring_size
+        if self.faults is not None:
+            limit = self.faults.ring_limit(self.sim.now, limit)
+        if len(ring) >= limit:
             self.count("rx_ring_drops")
             return
         ring.append(frame)
@@ -451,6 +458,8 @@ class RdmaNic(Device):
             self.count("non_rdma_frames_dropped")
             return
         delay = self.costs.rdma_nic_process_ns + self.costs.dma_ns(len(pkt.payload))
+        if self.faults is not None:
+            delay += self.faults.stall_ns(self.sim.now)
         self.sim.call_in(delay, self._process_rx, pkt)
 
     def _process_rx(self, pkt: RdmaPacket) -> None:

@@ -64,6 +64,8 @@ class NvmeDevice(Device):
         """FIFO-queue *ns* of work on the least-busy channel; returns the
         completion delay from now."""
         now = self.sim.now
+        if self.faults is not None:
+            ns = int(ns * self.faults.io_factor(now))
         idx = min(range(len(self._channel_free)), key=lambda i: self._channel_free[i])
         start = max(now, self._channel_free[idx])
         done = start + ns

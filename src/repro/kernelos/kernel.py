@@ -102,7 +102,8 @@ class _Epoll:
 class Kernel:
     """One host's kernel: NIC driver, sockets, epoll, VFS glue."""
 
-    def __init__(self, host, fabric, mac: str, ip: str):
+    def __init__(self, host, fabric, mac: str, ip: str,
+                 verify_checksums: bool = False):
         self.host = host
         self.sim = host.sim
         self.costs = host.costs
@@ -119,6 +120,7 @@ class Kernel:
             charge=host.cpus[0].charge_async,  # softirq core
             tx_cost_ns=self.costs.kernel_net_tx_ns,
             rx_cost_ns=self.costs.kernel_net_rx_ns,
+            verify_checksums=verify_checksums,
         )
         self.nic.irq_handler = self.stack.rx_frame
         self._fds: Dict[int, Any] = {}

@@ -97,7 +97,8 @@ class DpdkLibOS(LibOS):
     device_kind = "kernel-bypass"
 
     def __init__(self, host, nic: DpdkNic, ip: str, name: str = "catnip",
-                 core=None, rx_burst_size: int = 32):
+                 core=None, rx_burst_size: int = 32,
+                 verify_checksums: bool = False):
         super().__init__(host, name, core)
         self.nic = nic
         self.ip = ip
@@ -113,6 +114,7 @@ class DpdkLibOS(LibOS):
             charge=self.core.charge_async,
             tx_cost_ns=self.costs.user_net_tx_ns,
             rx_cost_ns=self.costs.user_net_rx_ns,
+            verify_checksums=verify_checksums,
         )
         self._poll_proc = self.sim.spawn(self._poll_loop(),
                                          name="%s.poll" % name)
@@ -293,3 +295,7 @@ class DpdkLibOS(LibOS):
         if isinstance(queue, UdpQueue) and queue.port is not None:
             self.stack.udp_unbind(queue.port)
         yield from LibOS.close(self, qd)
+        # The pump may be parked on recv_signal forever if the peer is
+        # unreachable (e.g. a partition that never heals); reap it.
+        if isinstance(queue, TcpQueue) and queue._rx_pump_proc is not None:
+            queue._rx_pump_proc.interrupt("close")

@@ -152,3 +152,6 @@ class PosixLibOS(LibOS):
         if queue is not None and getattr(queue, "fd", None) is not None:
             yield from self.sys.close(queue.fd)
         yield from LibOS.close(self, qd)
+        # Reap a pump parked in recv() against an unreachable peer.
+        if isinstance(queue, PosixTcpQueue) and queue._rx_pump_proc is not None:
+            queue._rx_pump_proc.interrupt("close")

@@ -232,3 +232,6 @@ class RdmaLibOS(LibOS):
         if isinstance(queue, RdmaListenQueue) and queue.listener is not None:
             queue.listener.close()
         yield from LibOS.close(self, qd)
+        # Reap a pump parked on an empty CQ of a dead connection.
+        if isinstance(queue, RdmaQueue) and queue._rx_pump_proc is not None:
+            queue._rx_pump_proc.interrupt("close")

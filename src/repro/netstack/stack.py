@@ -23,8 +23,8 @@ from .arp import ARP_REPLY, ARP_REQUEST, ArpPacket
 from .ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
 from .ipv4 import DEFAULT_MTU, IPV4_HEADER_LEN, PROTO_TCP, PROTO_UDP, Ipv4Packet
 from .packet import PacketError
-from .tcp import TcpConnection, TcpListener, TcpSegment
-from .udp import UdpDatagram
+from .tcp import TcpConnection, TcpListener, TcpSegment, tcp_checksum_ok
+from .udp import UdpDatagram, udp_checksum_ok
 
 __all__ = ["NetStack", "BROADCAST_MAC"]
 
@@ -191,6 +191,10 @@ class NetStack:
                                  ident=self._next_ident()))
 
     def _rx_udp(self, packet: Ipv4Packet) -> None:
+        if self.verify_checksums and not udp_checksum_ok(
+                packet.payload, packet.src, packet.dst):
+            self.tracer.count("%s.udp_bad_checksum_drops" % self.name)
+            return
         try:
             datagram = UdpDatagram.unpack(packet.payload)
         except PacketError:
@@ -241,6 +245,12 @@ class NetStack:
         return self._next_isn
 
     def _rx_tcp(self, packet: Ipv4Packet) -> None:
+        if self.verify_checksums and not tcp_checksum_ok(
+                packet.payload, packet.src, packet.dst):
+            # Corrupted segment: discard silently; the sender's RTO or
+            # fast retransmit recovers, exactly as on a real stack.
+            self.tracer.count("%s.tcp_bad_checksum_drops" % self.name)
+            return
         try:
             seg = TcpSegment.unpack(packet.payload)
         except PacketError:

@@ -29,6 +29,7 @@ __all__ = [
     "TcpConnection",
     "TcpListener",
     "TcpError",
+    "tcp_checksum_ok",
     "FIN", "SYN", "RST", "PSH", "ACK",
     "TCP_HEADER_LEN",
     "DEFAULT_MSS",
@@ -56,6 +57,15 @@ MAX_DATA_RETRIES = 12
 
 class TcpError(Exception):
     """Connection-fatal events surfaced to the caller (reset, timeout)."""
+
+
+def tcp_checksum_ok(raw: bytes, src_ip: str, dst_ip: str) -> bool:
+    """Verify a raw TCP segment's checksum over the IPv4 pseudo-header."""
+    if len(raw) < TCP_HEADER_LEN:
+        return False
+    pseudo = (ip_to_bytes(src_ip) + ip_to_bytes(dst_ip)
+              + struct.pack("!BBH", 0, 6, len(raw)))
+    return internet_checksum(pseudo + raw) == 0
 
 
 @dataclass

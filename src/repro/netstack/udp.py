@@ -7,9 +7,24 @@ from dataclasses import dataclass
 
 from .packet import PacketError, internet_checksum, ip_to_bytes
 
-__all__ = ["UdpDatagram", "UDP_HEADER_LEN"]
+__all__ = ["UdpDatagram", "UDP_HEADER_LEN", "udp_checksum_ok"]
 
 UDP_HEADER_LEN = 8
+
+
+def udp_checksum_ok(raw: bytes, src_ip: str, dst_ip: str) -> bool:
+    """Verify a raw UDP datagram's checksum over the IPv4 pseudo-header.
+
+    A stored checksum of zero means the sender opted out (RFC 768) and
+    always verifies.
+    """
+    if len(raw) < UDP_HEADER_LEN:
+        return False
+    if raw[6:8] == b"\x00\x00":
+        return True
+    pseudo = (ip_to_bytes(src_ip) + ip_to_bytes(dst_ip)
+              + struct.pack("!BBH", 0, 17, len(raw)))
+    return internet_checksum(pseudo + raw) == 0
 
 
 @dataclass

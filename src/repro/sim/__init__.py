@@ -13,6 +13,7 @@ from .engine import (
     any_of,
 )
 from .fabric import BROADCAST_ADDR, Fabric, Port
+from .faults import DeviceFaultView, FaultEvent, FaultInjector, FaultPlan
 from .host import Host
 from .rand import Rng
 from .trace import LatencyStats, Tracer
@@ -33,6 +34,10 @@ __all__ = [
     "Fabric",
     "Port",
     "BROADCAST_ADDR",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "DeviceFaultView",
     "Host",
     "Rng",
     "Tracer",

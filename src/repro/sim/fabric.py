@@ -13,7 +13,7 @@ byte count.  The byte count, not Python object size, drives timing.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .costs import CostModel, DEFAULT_COSTS
 from .engine import Simulator
@@ -36,6 +36,8 @@ class Port:
         self.rx_frames = 0
         self.tx_bytes = 0
         self.rx_bytes = 0
+        #: frames destined for this port that the switch dropped
+        self.dropped_frames = 0
 
 
 class Fabric:
@@ -55,6 +57,15 @@ class Fabric:
         self.rng = rng or Rng(7)
         self.drop_rate = drop_rate
         self.ports: Dict[str, Port] = {}
+        #: optional per-(frame, destination) decision hook, consulted after
+        #: the legacy ``drop_rate`` draw.  Signature:
+        #: ``hook(src_addr, dst_addr, frame, nbytes) -> None | [(extra_ns,
+        #: frame), ...]`` - None leaves the frame untouched, an empty list
+        #: drops it, multiple entries duplicate it.  Installed by
+        #: :class:`repro.sim.faults.FaultInjector`.
+        self.fault_filter: Optional[
+            Callable[[str, str, Any, int],
+                     Optional[List[Tuple[int, Any]]]]] = None
 
     def attach(self, addr: str, deliver: Callable[[Any], None]) -> Port:
         """Attach a NIC port; *deliver(frame)* runs on frame arrival."""
@@ -88,14 +99,13 @@ class Fabric:
         self.tracer.count("fabric.tx_frames")
         self.tracer.count("fabric.tx_bytes", nbytes)
 
-        if self.drop_rate and self.rng.chance(self.drop_rate):
-            self.tracer.count("fabric.dropped_frames")
-            return
-
         if dst_addr == BROADCAST_ADDR:
+            # Drop decisions are per destination: one replica being lost
+            # must not silently lose the copies to every other port.
             for addr, port in list(self.ports.items()):
                 if addr != src_addr:
-                    self.sim.call_in(arrive - now, self._arrive, port, frame, nbytes)
+                    self._deliver_one(src_addr, port, frame, nbytes,
+                                      arrive - now)
             return
 
         dst = self.ports.get(dst_addr)
@@ -103,7 +113,29 @@ class Fabric:
             # Like a real switch: frames to unknown addresses vanish.
             self.tracer.count("fabric.unknown_dst_frames")
             return
-        self.sim.call_in(arrive - now, self._arrive, dst, frame, nbytes)
+        self._deliver_one(src_addr, dst, frame, nbytes, arrive - now)
+
+    def _deliver_one(self, src_addr: str, dst: Port, frame: Any,
+                     nbytes: int, base_delay: int) -> None:
+        """Decide and schedule one (frame, destination) delivery."""
+        if self.drop_rate and self.rng.chance(self.drop_rate):
+            self._drop(dst)
+            return
+        if self.fault_filter is not None:
+            fate = self.fault_filter(src_addr, dst.addr, frame, nbytes)
+            if fate is not None:
+                if not fate:
+                    self._drop(dst)
+                    return
+                for extra_ns, out_frame in fate:
+                    self.sim.call_in(base_delay + extra_ns, self._arrive,
+                                     dst, out_frame, nbytes)
+                return
+        self.sim.call_in(base_delay, self._arrive, dst, frame, nbytes)
+
+    def _drop(self, dst: Port) -> None:
+        dst.dropped_frames += 1
+        self.tracer.count("fabric.dropped_frames")
 
     def _arrive(self, port: Port, frame: Any, nbytes: int) -> None:
         port.rx_frames += 1

@@ -8,6 +8,7 @@ is a pure function of (seed, parameters).
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -25,6 +26,14 @@ class Rng:
     def fork(self, salt: int) -> "Rng":
         """An independent stream derived from this one (stable per salt)."""
         return Rng((self.seed * 1000003 + salt) & 0xFFFFFFFFFFFF)
+
+    def fork_named(self, label: str) -> "Rng":
+        """An independent stream keyed by a string label.
+
+        Subsystems fork by name ("faults", "workload") so adding a new
+        consumer never shifts an existing stream.
+        """
+        return self.fork(zlib.crc32(label.encode("utf-8")))
 
     # -- primitives --------------------------------------------------------
     def uniform(self, lo: float, hi: float) -> float:

@@ -8,6 +8,7 @@ assert on the counters; benchmark reports print them next to latencies.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import defaultdict
 from typing import Any, Dict, List, Tuple
@@ -49,6 +50,19 @@ class Tracer:
             if delta:
                 out[name] = delta
         return out
+
+    def signature(self) -> str:
+        """A stable digest of counters + event timeline.
+
+        Two runs of the same (seed, plan) must produce the same
+        signature; chaos tests compare these to prove reproducibility.
+        """
+        digest = hashlib.sha1()
+        for name in sorted(self.counters):
+            digest.update(("%s=%d;" % (name, self.counters[name])).encode())
+        for now, event, detail in self.events:
+            digest.update(("%d:%s:%r;" % (now, event, detail)).encode())
+        return digest.hexdigest()
 
 
 class LatencyStats:

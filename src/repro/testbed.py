@@ -44,6 +44,18 @@ class World:
         self.fabric = Fabric(self.sim, costs, tracer=self.tracer,
                              rng=Rng(seed), drop_rate=drop_rate)
         self.hosts = {}
+        self.injector = None  # set by install_faults
+
+    def install_faults(self, plan):
+        """Attach a fault plan: fabric hook + device views on every host.
+
+        Call after all hosts/NICs are built so device matching sees them.
+        Returns the :class:`repro.sim.faults.FaultInjector`.
+        """
+        from .sim.faults import FaultInjector
+
+        self.injector = FaultInjector(plan, tracer=self.tracer)
+        return self.injector.install(self)
 
     def add_host(self, name: str, cores: int = 4) -> Host:
         host = Host(self.sim, name, self.costs, cores=cores,
@@ -116,15 +128,18 @@ class NetHost:
 
 
 def make_kernel_pair(drop_rate: float = 0.0, seed: int = 42, cores: int = 4,
-                     costs: CostModel = DEFAULT_COSTS):
+                     costs: CostModel = DEFAULT_COSTS,
+                     verify_checksums: bool = False):
     """Two hosts running the legacy kernel: (world, client, server)."""
     from .kernelos.kernel import Kernel
 
     w = World(costs=costs, drop_rate=drop_rate, seed=seed)
     a = w.add_host("client", cores=cores)
     b = w.add_host("server", cores=cores)
-    ka = Kernel(a, w.fabric, "02:00:00:00:01:01", "10.0.0.1")
-    kb = Kernel(b, w.fabric, "02:00:00:00:01:02", "10.0.0.2")
+    ka = Kernel(a, w.fabric, "02:00:00:00:01:01", "10.0.0.1",
+                verify_checksums=verify_checksums)
+    kb = Kernel(b, w.fabric, "02:00:00:00:01:02", "10.0.0.2",
+                verify_checksums=verify_checksums)
     return w, ka, kb
 
 
@@ -138,7 +153,8 @@ def make_net_pair(drop_rate: float = 0.0, seed: int = 42):
 
 def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
                          with_offload: bool = False,
-                         costs: CostModel = DEFAULT_COSTS):
+                         costs: CostModel = DEFAULT_COSTS,
+                         verify_checksums: bool = False):
     """Two hosts with DPDK libOSes: (world, client libOS, server libOS)."""
     from .libos.dpdk_libos import DpdkLibOS
 
@@ -150,16 +166,19 @@ def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
         nic = w.add_dpdk(host, mac="02:00:00:00:10:%02x" % (i + 1))
         if with_offload:
             OffloadEngine(host, name="%s.offload" % name).attach(nic)
-        liboses.append(DpdkLibOS(host, nic, ip, name="%s.catnip" % name))
+        liboses.append(DpdkLibOS(host, nic, ip, name="%s.catnip" % name,
+                                 verify_checksums=verify_checksums))
     return w, liboses[0], liboses[1]
 
 
 def make_posix_libos_pair(drop_rate: float = 0.0, seed: int = 42,
-                          costs: CostModel = DEFAULT_COSTS):
+                          costs: CostModel = DEFAULT_COSTS,
+                          verify_checksums: bool = False):
     """Two hosts with POSIX libOSes over legacy kernels."""
     from .libos.posix_libos import PosixLibOS
 
-    w, ka, kb = make_kernel_pair(drop_rate=drop_rate, seed=seed, costs=costs)
+    w, ka, kb = make_kernel_pair(drop_rate=drop_rate, seed=seed, costs=costs,
+                                 verify_checksums=verify_checksums)
     la = PosixLibOS(ka.host, ka, name="client.catnap")
     lb = PosixLibOS(kb.host, kb, name="server.catnap")
     return w, la, lb

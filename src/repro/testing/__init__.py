@@ -1,0 +1,33 @@
+"""Chaos-testing harness: scenario runner + end-to-end invariants.
+
+``repro.testing`` drives the existing echo / key-value / storage
+workloads across the library OSes while a :class:`repro.sim.faults`
+plan misbehaves underneath, then checks the invariants the paper says a
+libOS must uphold no matter what the device does.  See docs/faults.md.
+"""
+
+from .scenarios import (
+    GOLDEN_SCENARIOS,
+    NET_LIBOS_KINDS,
+    ScenarioFailure,
+    ScenarioResult,
+    check_reproducible,
+    golden_plan,
+    run_echo_scenario,
+    run_kv_scenario,
+    run_scenario,
+    run_storage_scenario,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "ScenarioFailure",
+    "run_echo_scenario",
+    "run_kv_scenario",
+    "run_storage_scenario",
+    "run_scenario",
+    "check_reproducible",
+    "golden_plan",
+    "GOLDEN_SCENARIOS",
+    "NET_LIBOS_KINDS",
+]

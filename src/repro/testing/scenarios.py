@@ -1,0 +1,443 @@
+"""Chaos scenario runner: real workloads under fault plans + invariants.
+
+Each ``run_*_scenario`` builds a fresh two-host world for one libOS
+kind, installs a :class:`~repro.sim.faults.FaultPlan`, drives an
+existing application (echo / key-value / log storage) to completion,
+and then checks the invariants a Demikernel libOS must uphold no matter
+how the devices misbehave:
+
+1. **Exactly-once, in-order delivery** - the client's reply stream is
+   byte-identical to what a fault-free run would produce (echo replies
+   equal the sent messages; KV GETs match a sequential replay of the
+   operation log; storage reads back the appended records).
+2. **QToken lifecycle** - ``created == completed + cancelled +
+   in_flight`` on every libOS, and workloads that ran to completion
+   leave nothing in flight.
+3. **No wake-ups without work** - ``waits`` never exceeds
+   ``qtokens_completed`` (each wait return is backed by a completion).
+4. **No DMA use-after-free** - no IOMMU ``*.faults`` counter fired
+   (a :class:`~repro.memory.buffer.BufferError` would abort the run
+   outright).
+
+Violations are collected on a :class:`ScenarioResult` whose
+:meth:`~ScenarioResult.repro_line` prints the exact ``(seed, plan)``
+needed to replay the failure - reproducibility is the whole contract
+(see :func:`check_reproducible`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..apps.echo import demi_echo_client, demi_echo_server
+from ..apps.kvstore import (OP_GET, OP_PUT, DemiKvServer, demi_kv_client,
+                            kv_workload)
+from ..sim.engine import SimulationError
+from ..sim.faults import FaultPlan
+from ..sim.rand import Rng
+from ..testbed import (make_dpdk_libos_pair, make_posix_libos_pair,
+                       make_rdma_libos_pair, make_spdk_libos)
+
+__all__ = [
+    "NET_LIBOS_KINDS",
+    "ALL_LIBOS_KINDS",
+    "ScenarioFailure",
+    "ScenarioResult",
+    "run_echo_scenario",
+    "run_kv_scenario",
+    "run_storage_scenario",
+    "run_scenario",
+    "check_reproducible",
+    "golden_plan",
+    "GOLDEN_SCENARIOS",
+]
+
+#: the network-facing libOS kinds every network scenario can run on
+NET_LIBOS_KINDS = ("dpdk", "posix", "rdma")
+#: every libOS kind the runner knows how to build
+ALL_LIBOS_KINDS = NET_LIBOS_KINDS + ("spdk",)
+
+_SERVER_ADDR = {"dpdk": "10.0.0.2", "posix": "10.0.0.2",
+                "rdma": "server-rdma"}
+
+_US = 1_000
+_MS = 1_000_000
+
+#: wall-clock (simulated) budget for one workload leg
+DEFAULT_LIMIT_NS = 3_000_000_000
+#: post-workload drain so retransmit timers / TIME_WAIT retire
+QUIESCE_NS = 20_000_000
+
+
+class ScenarioFailure(AssertionError):
+    """A chaos scenario violated an invariant (message carries the repro)."""
+
+
+class ScenarioResult:
+    """Everything one scenario run produced, plus how to reproduce it."""
+
+    def __init__(self, name: str, kind: str, plan: FaultPlan,
+                 signature: str, counters: Dict[str, int],
+                 events: List[Tuple[int, str, Any]],
+                 failures: List[str], data: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.kind = kind
+        self.plan = plan
+        #: stable digest of counters + fault timeline (Tracer.signature)
+        self.signature = signature
+        self.counters = counters
+        self.events = events
+        self.failures = failures
+        self.data = data or {}
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def repro_line(self) -> str:
+        """One line that replays this exact run (the shrunk test case)."""
+        return ("repro: scenario=%s kind=%s seed=%d plan=%s"
+                % (self.name, self.kind, self.plan.seed, self.plan.to_json()))
+
+    def require_ok(self) -> "ScenarioResult":
+        if self.failures:
+            raise ScenarioFailure(
+                "scenario %r on %s violated %d invariant(s):\n  - %s\n%s"
+                % (self.name, self.kind, len(self.failures),
+                   "\n  - ".join(self.failures), self.repro_line()))
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("ScenarioResult(%s/%s, %s, sig=%s)"
+                % (self.name, self.kind,
+                   "ok" if self.ok else "%d failures" % len(self.failures),
+                   self.signature[:12]))
+
+
+# ---------------------------------------------------------------------------
+# Invariant checks
+# ---------------------------------------------------------------------------
+
+def _check_libos(failures: List[str], world, libos, drained: bool) -> None:
+    qt = libos.qtokens
+    if qt.created != qt.completed + qt.cancelled + qt.in_flight:
+        failures.append(
+            "%s qtoken leak: created=%d != completed=%d + cancelled=%d"
+            " + in_flight=%d" % (libos.name, qt.created, qt.completed,
+                                 qt.cancelled, qt.in_flight))
+    if drained and qt.in_flight:
+        failures.append("%s finished with %d qtokens still in flight"
+                        % (libos.name, qt.in_flight))
+    waits = world.tracer.get("%s.waits" % libos.name)
+    completed = world.tracer.get("%s.qtokens_completed" % libos.name)
+    if waits > completed:
+        failures.append("%s woke without work: %d waits > %d completions"
+                        % (libos.name, waits, completed))
+
+
+def _check_dma(failures: List[str], world) -> None:
+    for name, value in world.tracer.counters.items():
+        if name.endswith(".faults") and value:
+            failures.append("DMA protection fault: %s=%d" % (name, value))
+
+
+def _finish(world, name: str, kind: str, plan: FaultPlan,
+            failures: List[str], data: Dict[str, Any]) -> ScenarioResult:
+    return ScenarioResult(name=name, kind=kind, plan=plan,
+                          signature=world.tracer.signature(),
+                          counters=world.tracer.snapshot(),
+                          events=list(world.tracer.events),
+                          failures=failures, data=data)
+
+
+# ---------------------------------------------------------------------------
+# World construction
+# ---------------------------------------------------------------------------
+
+def _build_net_pair(kind: str, plan: FaultPlan):
+    """(world, client libOS, server libOS) with the plan installed.
+
+    TCP-based kinds verify L4 checksums so corruption faults surface as
+    drops + retransmits rather than silent data damage.
+    """
+    if kind == "dpdk":
+        w, client, server = make_dpdk_libos_pair(seed=plan.seed,
+                                                 verify_checksums=True)
+    elif kind == "posix":
+        w, client, server = make_posix_libos_pair(seed=plan.seed,
+                                                  verify_checksums=True)
+    elif kind == "rdma":
+        w, client, server = make_rdma_libos_pair(seed=plan.seed)
+    else:
+        raise ValueError("unknown network libOS kind %r" % (kind,))
+    w.tracer.keep_events = True
+    w.install_faults(plan)
+    return w, client, server
+
+
+# ---------------------------------------------------------------------------
+# Scenario runners
+# ---------------------------------------------------------------------------
+
+def run_echo_scenario(kind: str, plan: FaultPlan, name: str = "echo",
+                      n_messages: int = 20, message_size: int = 512,
+                      limit_ns: int = DEFAULT_LIMIT_NS) -> ScenarioResult:
+    """Ping-pong echo under faults: every byte back, in order, once."""
+    world, client, server = _build_net_pair(kind, plan)
+    rng = Rng(plan.seed).fork_named("workload")
+    messages = [rng.bytes(message_size) for _ in range(n_messages)]
+    server_proc = world.sim.spawn(
+        demi_echo_server(server, port=7, max_requests=n_messages),
+        name="chaos.echo.server")
+    client_proc = world.sim.spawn(
+        demi_echo_client(client, _SERVER_ADDR[kind], messages, port=7),
+        name="chaos.echo.client")
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    try:
+        replies, stats = world.sim.run_until_complete(
+            client_proc, limit=world.sim.now + limit_ns)
+        served = world.sim.run_until_complete(
+            server_proc, limit=world.sim.now + limit_ns)
+    except Exception as err:
+        # Timeouts AND hard workload errors (a transport giving up, a
+        # buffer fault) must surface as reportable failures: the repro
+        # line matters most exactly when the run blows up.
+        failures.append("workload did not finish: %s: %s"
+                        % (type(err).__name__, err))
+        return _finish(world, name, kind, plan, failures, data)
+    world.run(until=world.sim.now + QUIESCE_NS)
+    if replies != messages:
+        intact = sum(1 for got, sent in zip(replies, messages)
+                     if got == sent)
+        failures.append(
+            "echo stream violated exactly-once in-order delivery:"
+            " %d/%d replies intact (%d received)"
+            % (intact, n_messages, len(replies)))
+    if served != n_messages:
+        failures.append("server served %d of %d requests"
+                        % (served, n_messages))
+    for libos in (client, server):
+        _check_libos(failures, world, libos, drained=True)
+    _check_dma(failures, world)
+    data.update(served=served, rtt_p50=stats.p50, rtt_max=stats.maximum,
+                finished_at=world.sim.now)
+    return _finish(world, name, kind, plan, failures, data)
+
+
+def run_kv_scenario(kind: str, plan: FaultPlan, name: str = "kv",
+                    n_ops: int = 40, n_keys: int = 32,
+                    value_size: int = 256,
+                    limit_ns: int = DEFAULT_LIMIT_NS) -> ScenarioResult:
+    """The paper's KV store under faults, checked against a replay model."""
+    world, client, server = _build_net_pair(kind, plan)
+    rng = Rng(plan.seed).fork_named("workload")
+    ops = kv_workload(rng, n_ops, n_keys=n_keys, value_size=value_size,
+                      get_fraction=0.7)
+    kv = DemiKvServer(server, port=6379)
+    server_proc = world.sim.spawn(kv.run(), name="chaos.kv.server")
+    client_proc = world.sim.spawn(
+        demi_kv_client(client, _SERVER_ADDR[kind], ops, port=6379),
+        name="chaos.kv.client")
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    try:
+        results, stats = world.sim.run_until_complete(
+            client_proc, limit=world.sim.now + limit_ns)
+    except Exception as err:
+        failures.append("workload did not finish: %s: %s"
+                        % (type(err).__name__, err))
+        return _finish(world, name, kind, plan, failures, data)
+    kv.stop()
+    try:
+        world.sim.run_until_complete(server_proc,
+                                     limit=world.sim.now + 100 * _MS)
+    except Exception as err:
+        failures.append("kv server failed to stop: %s: %s"
+                        % (type(err).__name__, err))
+    world.run(until=world.sim.now + QUIESCE_NS)
+    # Replay the operation log sequentially: the client is synchronous,
+    # so every GET must observe exactly the preceding PUTs.
+    model: Dict[bytes, bytes] = {}
+    stale = 0
+    for (op, key, value), result in zip(ops, results):
+        if op == OP_PUT:
+            model[key] = value
+            continue
+        found, got = result
+        expect_found = key in model
+        if found != expect_found or (found and got != model[key]):
+            stale += 1
+    if stale:
+        failures.append("%d of %d GETs returned wrong/stale data"
+                        % (stale, sum(1 for op, _, _ in ops
+                                      if op == OP_GET)))
+    if len(results) != n_ops:
+        failures.append("client completed %d of %d operations"
+                        % (len(results), n_ops))
+    if kv.requests_served != n_ops:
+        failures.append("server served %d of %d requests"
+                        % (kv.requests_served, n_ops))
+    # The server may legitimately hold one in-flight pop on a connection
+    # the client abandoned (RDMA has no FIN); the identity still holds.
+    _check_libos(failures, world, client, drained=True)
+    _check_libos(failures, world, server, drained=False)
+    _check_dma(failures, world)
+    data.update(served=kv.requests_served, rtt_p50=stats.p50,
+                finished_at=world.sim.now)
+    return _finish(world, name, kind, plan, failures, data)
+
+
+def _storage_workload(libos, records: Sequence[bytes]) -> Generator:
+    qd = yield from libos.creat("/chaos")
+    for record in records:
+        result = yield from libos.blocking_push(qd, libos.sga_alloc(record))
+        if result.error is not None:
+            raise SimulationError("append failed: %s" % result.error)
+    flushed = yield from libos.fsync(qd)
+    qd2 = yield from libos.open("/chaos")
+    out: List[bytes] = []
+    for _ in records:
+        result = yield from libos.blocking_pop(qd2)
+        if result.error is not None:
+            raise SimulationError("read failed: %s" % result.error)
+        out.append(result.sga.tobytes())
+    return out, flushed
+
+
+def run_storage_scenario(plan: FaultPlan, name: str = "storage",
+                         n_records: int = 12, record_size: int = 2048,
+                         limit_ns: int = DEFAULT_LIMIT_NS) -> ScenarioResult:
+    """Append + fsync + read-back on the SPDK libOS under device faults."""
+    world, libos = make_spdk_libos(seed=plan.seed)
+    world.tracer.keep_events = True
+    world.install_faults(plan)
+    rng = Rng(plan.seed).fork_named("workload")
+    records = [rng.bytes(record_size) for _ in range(n_records)]
+    proc = world.sim.spawn(_storage_workload(libos, records),
+                           name="chaos.storage")
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    try:
+        out, flushed = world.sim.run_until_complete(
+            proc, limit=world.sim.now + limit_ns)
+    except Exception as err:
+        failures.append("workload did not finish: %s: %s"
+                        % (type(err).__name__, err))
+        return _finish(world, name, "spdk", plan, failures, data)
+    world.run(until=world.sim.now + QUIESCE_NS)
+    if out != list(records):
+        intact = sum(1 for got, put in zip(out, records) if got == put)
+        failures.append("storage read-back mismatch: %d/%d records intact"
+                        % (intact, n_records))
+    _check_libos(failures, world, libos, drained=True)
+    _check_dma(failures, world)
+    data.update(flushed=flushed, finished_at=world.sim.now)
+    return _finish(world, name, "spdk", plan, failures, data)
+
+
+# ---------------------------------------------------------------------------
+# Golden scenarios (the chaos battery)
+# ---------------------------------------------------------------------------
+
+#: name -> which workload drives it and which libOS kinds it runs on
+GOLDEN_SCENARIOS: Dict[str, Dict[str, Any]] = {
+    "handshake-loss": {
+        "workload": "echo", "kinds": ("dpdk", "posix", "rdma"),
+        "blurb": "total loss burst while the connection is being set up",
+    },
+    "reorder-dup-storm": {
+        "workload": "kv", "kinds": ("dpdk", "posix", "rdma"),
+        "blurb": "heavy reordering + duplication across the whole run",
+    },
+    "partition-heal": {
+        "workload": "kv", "kinds": ("dpdk", "posix", "rdma"),
+        "blurb": "a full partition mid-workload that heals",
+    },
+    "rx-ring-overflow": {
+        "workload": "echo", "kinds": ("dpdk",),
+        "blurb": "the server NIC's RX ring collapses to zero for a window",
+    },
+    "slow-nvme": {
+        "workload": "storage", "kinds": ("spdk",),
+        "blurb": "a 40x slow-flash window during appends",
+    },
+    "corruption-storm": {
+        "workload": "echo", "kinds": ("dpdk", "posix"),
+        "blurb": "random bit flips that only L4 checksums can catch",
+    },
+}
+
+
+def golden_plan(name: str, kind: str = "dpdk") -> FaultPlan:
+    """The pinned fault plan for one golden scenario on one libOS kind.
+
+    Windows are sized to each transport's retry budget: the RDMA
+    transport aborts the QP after ~8 retries at a ~10us RTO, so its
+    blackouts stay under ~50us where TCP (RTO 100us..5ms, 6 SYN / 12
+    data retries) tolerates milliseconds.
+    """
+    if name == "handshake-loss":
+        if kind == "rdma":
+            # The rdmacm rendezvous is off-fabric, so the burst targets
+            # the first data exchange (~61us in) instead of the SYNs.
+            return FaultPlan(seed=101).loss(55 * _US, 95 * _US, rate=1.0)
+        return FaultPlan(seed=101).loss(0, 280 * _US, rate=1.0)
+    if name == "reorder-dup-storm":
+        jitter = 5 * _US if kind == "rdma" else 30 * _US
+        return (FaultPlan(seed=202)
+                .reorder(0, 3 * _MS, rate=0.4, jitter_ns=jitter)
+                .duplicate(0, 3 * _MS, rate=0.3))
+    if name == "partition-heal":
+        start = 300 * _US
+        end = start + (50 * _US if kind == "rdma" else 1 * _MS)
+        return FaultPlan(seed=303).partition(None, None, start, end)
+    if name == "rx-ring-overflow":
+        return FaultPlan(seed=404).nic_ring_clamp("server.dpdk0",
+                                                  200 * _US, 500 * _US,
+                                                  limit=0)
+    if name == "slow-nvme":
+        return FaultPlan(seed=505).nvme_slow("nvme0", 0, 3 * _MS,
+                                             factor=40.0)
+    if name == "corruption-storm":
+        return FaultPlan(seed=606).corrupt(0, 2 * _MS, rate=0.25)
+    raise KeyError("unknown golden scenario %r" % (name,))
+
+
+def run_scenario(name: str, kind: str,
+                 plan: Optional[FaultPlan] = None, **kw) -> ScenarioResult:
+    """Run one golden scenario (or the same workload under a custom plan)."""
+    if name not in GOLDEN_SCENARIOS:
+        raise ValueError("unknown scenario %r (have: %s)"
+                         % (name, ", ".join(sorted(GOLDEN_SCENARIOS))))
+    spec = GOLDEN_SCENARIOS[name]
+    if kind not in spec["kinds"]:
+        raise ValueError("scenario %r does not run on %r (only %s)"
+                         % (name, kind, ", ".join(spec["kinds"])))
+    plan = plan if plan is not None else golden_plan(name, kind)
+    workload = spec["workload"]
+    if workload == "echo":
+        return run_echo_scenario(kind, plan, name=name, **kw)
+    if workload == "kv":
+        return run_kv_scenario(kind, plan, name=name, **kw)
+    return run_storage_scenario(plan, name=name, **kw)
+
+
+def check_reproducible(runner, *args, **kw) -> Tuple[ScenarioResult,
+                                                     ScenarioResult]:
+    """Run a scenario twice and demand bit-identical traces.
+
+    This is the subsystem's core promise: a failure reproduces from
+    ``(seed, plan)`` alone, so two runs must agree on every counter and
+    every fault-timeline entry.
+    """
+    first = runner(*args, **kw)
+    second = runner(*args, **kw)
+    if first.signature != second.signature:
+        raise ScenarioFailure(
+            "non-deterministic scenario: signatures %s vs %s differ\n%s"
+            % (first.signature, second.signature, first.repro_line()))
+    return first, second
