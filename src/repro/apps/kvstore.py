@@ -23,12 +23,13 @@ import struct
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.api import LibOS
-from ..core.types import Sga, SgaSegment
+from ..core.types import DemiTimeout, Sga, SgaSegment
 from ..kernelos.kernel import Kernel
 from ..memory.buffer import Buffer
 from ..netstack.framing import Deframer, frame_message
 from ..sim.rand import Rng
 from ..sim.trace import LatencyStats
+from ..telemetry import names
 
 __all__ = [
     "KvEngine",
@@ -176,9 +177,10 @@ class DemiKvServer:
             if not conn_tokens:
                 yield libos.sim.timeout(10_000)
                 continue
-            index, result = yield from libos.wait_any(conn_tokens,
-                                                      timeout_ns=1_000_000)
-            if index < 0:
+            try:
+                index, result = yield from libos.wait_any(
+                    conn_tokens, timeout_ns=1_000_000)
+            except DemiTimeout:
                 continue
             qd = conn_qds[index]
             if result.error is not None:
@@ -282,7 +284,7 @@ def posix_kv_server(kernel: Kernel, engine: KvEngine, port: int = 6379,
                     # value is copied into the reply (and copied again
                     # crossing into the kernel inside send()).
                     yield core.busy(kernel.costs.copy_ns(buf.capacity))
-                    kernel.count("kv_value_copies")
+                    kernel.count(names.KV_VALUE_COPIES)
                     reply = (struct.pack("!BI", STATUS_OK, buf.capacity)
                              + buf.read())
             yield from sys.send(conn_fd, frame_message(reply))

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Generator
 
 from ..core.api import LibOS
+from ..telemetry import names
 
 __all__ = ["run_relay"]
 
@@ -35,5 +36,5 @@ def run_relay(libos: LibOS, listen_port: int, backend_addr: str,
 
     forward = libos.qconnect(client_qd, backend_qd)
     backward = libos.qconnect(backend_qd, client_qd)
-    libos.count("relay_established")
+    libos.count(names.RELAY_ESTABLISHED)
     return forward, backward

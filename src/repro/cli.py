@@ -5,12 +5,17 @@ Commands:
 * ``demo``        - the quickstart echo, inline;
 * ``experiments`` - a fast subset of the paper experiments, as tables
   (the full set lives in ``benchmarks/`` under pytest-benchmark);
-* ``costs``       - dump the active cost model.
+* ``costs``       - dump the active cost model;
+* ``trace``       - run a workload with telemetry on and write a Chrome
+  ``trace_event`` JSON file (load it in Perfetto / about:tracing);
+* ``report``      - per-stack latency breakdown (libOS vs netstack vs
+  device) from a trace file, or from a fresh inline run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -21,6 +26,16 @@ from .sim.costs import DEFAULT_COSTS
 from .testbed import make_dpdk_libos_pair
 
 __all__ = ["main"]
+
+#: workload -> the libOS kinds it can drive
+TRACE_WORKLOADS = {
+    "echo": ("dpdk", "posix", "rdma"),
+    "kv": ("dpdk", "posix", "rdma"),
+    "storage": ("spdk",),
+}
+
+_SERVER_ADDR = {"dpdk": "10.0.0.2", "posix": "10.0.0.2",
+                "rdma": "server-rdma"}
 
 
 def cmd_demo(_args) -> int:
@@ -64,6 +79,111 @@ def cmd_costs(_args) -> int:
     return 0
 
 
+def _run_traced(workload: str, kind: str, seed: int = 42):
+    """Run one workload with telemetry enabled; returns the World."""
+    from .sim.rand import Rng
+
+    kinds = TRACE_WORKLOADS[workload]
+    if kind not in kinds:
+        raise SystemExit("workload %r runs on %s, not %r"
+                         % (workload, "/".join(kinds), kind))
+    rng = Rng(seed).fork_named("trace")
+    if workload == "storage":
+        from .testbed import make_spdk_libos
+
+        world, libos = make_spdk_libos(seed=seed, telemetry=True)
+        records = [rng.bytes(2048) for _ in range(12)]
+
+        def storage_run():
+            qd = yield from libos.creat("/trace")
+            for record in records:
+                yield from libos.blocking_push(qd, libos.sga_alloc(record))
+            yield from libos.fsync(qd)
+            qd2 = yield from libos.open("/trace")
+            for _ in records:
+                yield from libos.blocking_pop(qd2)
+
+        world.sim.spawn(storage_run(), name="trace.storage")
+        world.run()
+        return world
+
+    from .testbed import (make_dpdk_libos_pair as _dpdk,
+                          make_posix_libos_pair as _posix,
+                          make_rdma_libos_pair as _rdma)
+
+    maker = {"dpdk": _dpdk, "posix": _posix, "rdma": _rdma}[kind]
+    world, client, server = maker(seed=seed, telemetry=True)
+    if workload == "echo":
+        n = 20
+        world.sim.spawn(demi_echo_server(server, port=7, max_requests=n),
+                        name="trace.echo.server")
+        messages = [rng.bytes(256) for _ in range(n)]
+        proc = world.sim.spawn(
+            demi_echo_client(client, _SERVER_ADDR[kind], messages, port=7),
+            name="trace.echo.client")
+        world.sim.run_until_complete(proc)
+    else:  # kv
+        from .apps.kvstore import DemiKvServer, demi_kv_client, kv_workload
+
+        ops = kv_workload(rng, 40, n_keys=32, value_size=256,
+                          get_fraction=0.7)
+        kv = DemiKvServer(server, port=6379)
+        world.sim.spawn(kv.run(), name="trace.kv.server")
+        proc = world.sim.spawn(
+            demi_kv_client(client, _SERVER_ADDR[kind], ops, port=6379),
+            name="trace.kv.client")
+        world.sim.run_until_complete(proc)
+        kv.stop()
+    world.run(until=world.sim.now + 20_000_000)
+    return world
+
+
+def _print_breakdown(breakdown: dict, title: str) -> None:
+    rows = []
+    for cat in ("app", "libos", "netstack", "device"):
+        entry = breakdown.get(cat)
+        if entry is None:
+            continue
+        top = sorted(entry["names"].items(), key=lambda kv: -kv[1])[:3]
+        rows.append((cat, entry["spans"], "%.1f" % entry["total_us"],
+                     "%.2f" % entry["mean_us"],
+                     ", ".join("%s %.0fus" % (n, v) for n, v in top)))
+    print_table(title,
+                ["stack layer", "spans", "total us", "mean us", "top spans"],
+                rows)
+
+
+def cmd_trace(args) -> int:
+    world = _run_traced(args.workload, args.libos, seed=args.seed)
+    n = world.telemetry.write_chrome_trace(args.output)
+    snap = world.telemetry.snapshot()
+    print("wrote %d trace events (%d spans) to %s"
+          % (n, snap["span_count"], args.output))
+    print("load it at https://ui.perfetto.dev or chrome://tracing")
+    from .telemetry import breakdown_from_events
+
+    _print_breakdown(breakdown_from_events(world.telemetry.chrome_trace()),
+                     "per-stack time in %s/%s" % (args.workload, args.libos))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .telemetry import breakdown_from_events
+
+    if args.trace_file:
+        with open(args.trace_file) as fh:
+            doc = json.load(fh)
+        breakdown = breakdown_from_events(doc)
+        title = "per-stack time in %s" % args.trace_file
+    else:
+        world = _run_traced(args.workload, args.libos, seed=args.seed)
+        breakdown = breakdown_from_events(world.telemetry.chrome_trace())
+        title = "per-stack time in %s/%s (inline run)" % (args.workload,
+                                                          args.libos)
+    _print_breakdown(breakdown, title)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -78,6 +198,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                    ).set_defaults(fn=cmd_experiments)
     sub.add_parser("costs", help="print the cost model").set_defaults(
         fn=cmd_costs)
+    p_trace = sub.add_parser(
+        "trace", help="run a workload with telemetry; write a Chrome trace")
+    p_trace.add_argument("workload", choices=sorted(TRACE_WORKLOADS))
+    p_trace.add_argument("--libos", default="dpdk",
+                         choices=("dpdk", "posix", "rdma", "spdk"))
+    p_trace.add_argument("-o", "--output", default="trace.json",
+                         help="trace file path (default: trace.json)")
+    p_trace.add_argument("--seed", type=int, default=42)
+    p_trace.set_defaults(fn=cmd_trace)
+    p_report = sub.add_parser(
+        "report", help="per-stack latency breakdown from a trace")
+    p_report.add_argument("trace_file", nargs="?", default=None,
+                          help="a trace JSON written by `repro trace`; "
+                               "omit to run the workload inline")
+    p_report.add_argument("--workload", default="echo",
+                          choices=sorted(TRACE_WORKLOADS))
+    p_report.add_argument("--libos", default="dpdk",
+                          choices=("dpdk", "posix", "rdma", "spdk"))
+    p_report.add_argument("--seed", type=int, default=42)
+    p_report.set_defaults(fn=cmd_report)
     args = parser.parse_args(argv)
     return args.fn(args)
 

@@ -18,15 +18,22 @@ Conventions (see DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Optional, Sequence, Type
+import warnings
+from typing import Callable, Dict, Generator, Optional, Sequence, Set, Type
 
 from ..sim.cpu import Core
 from ..sim.host import Host
+from ..telemetry import names
 from .queue import DemiQueue, MemoryQueue
-from .types import DemiError, QResult, QToken, Sga
+from .types import DemiError, DemiTimeout, QResult, QToken, Sga
 from .wait import QTokenTable
 
 __all__ = ["LibOS"]
+
+_LEGACY_TIMEOUT_WARNING = (
+    "legacy_timeout sentinels ((-1, None) / None) are deprecated; catch "
+    "repro.core.types.DemiTimeout instead.  The shim goes away next release."
+)
 
 
 class LibOS:
@@ -40,11 +47,16 @@ class LibOS:
         self.sim = host.sim
         self.costs = host.costs
         self.tracer = host.tracer
+        self.telemetry = host.telemetry
         self.mm = host.mm
         self.name = name
         self.core = core or host.cpu
-        self.qtokens = QTokenTable(self.sim, self.tracer, name)
+        self.counters = self.tracer.scope(name)
+        self.qtokens = QTokenTable(self.sim, self.tracer, name,
+                                   telemetry=self.telemetry)
         self._queues: Dict[int, DemiQueue] = {}
+        #: qds that existed once and were closed - close() is idempotent
+        self._closed_qds: Set[int] = set()
         self._next_qd = 1
         self.offload_engine = None
 
@@ -59,6 +71,8 @@ class LibOS:
     def _lookup(self, qd: int) -> DemiQueue:
         queue = self._queues.get(qd)
         if queue is None:
+            if qd in self._closed_qds:
+                raise DemiError("queue descriptor %d is closed" % qd)
             raise DemiError("bad queue descriptor %d" % qd)
         return queue
 
@@ -67,7 +81,7 @@ class LibOS:
         return self._lookup(qd)
 
     def count(self, counter: str, n: int = 1) -> None:
-        self.tracer.count("%s.%s" % (self.name, counter), n)
+        self.counters.count(counter, n)
 
     # ------------------------------------------------- data path (Figure 3)
     def push(self, qd: int, sga: Sga) -> QToken:
@@ -76,8 +90,10 @@ class LibOS:
         if sga.nsegments == 0:
             raise DemiError("push of an empty sga")
         self.core.charge_async(self.costs.libos_push_ns + self.costs.qtoken_ns)
-        self.count("pushes")
+        self.count(names.PUSHES)
         token, _done = self.qtokens.create()
+        self.qtokens.attach_span(token, self.telemetry.span(
+            "push", cat="libos", track=self.name, qd=qd, nbytes=sga.nbytes))
         queue.push_sga(sga, token)
         return token
 
@@ -85,8 +101,10 @@ class LibOS:
         """Non-blocking pop request for the next element; returns a qtoken."""
         queue = self._lookup(qd)
         self.core.charge_async(self.costs.libos_pop_ns + self.costs.qtoken_ns)
-        self.count("pops")
+        self.count(names.POPS)
         token, _done = self.qtokens.create(on_cancel=queue.cancel_pop)
+        self.qtokens.attach_span(token, self.telemetry.span(
+            "pop", cat="libos", track=self.name, qd=qd))
         queue.pop_sga(token)
         return token
 
@@ -96,7 +114,7 @@ class LibOS:
         operation, and a late device completion is dropped - it can never
         wake a waiter."""
         self.core.charge_async(self.costs.qtoken_ns)
-        self.count("cancels")
+        self.count(names.CANCELS)
         self.qtokens.cancel(token)
 
     def _wait_charge(self):
@@ -107,20 +125,44 @@ class LibOS:
         return (yield from self.qtokens.wait(token, charge=self._wait_charge))
 
     def wait_any(self, tokens: Sequence[QToken],
-                 timeout_ns: Optional[int] = None) -> Generator:
+                 timeout_ns: Optional[int] = None,
+                 legacy_timeout: bool = False) -> Generator:
         """Block until any token completes: (index, QResult).
 
         The improved-epoll of section 4.4: returns the data directly and
-        wakes exactly one waiter per completion.
+        wakes exactly one waiter per completion.  A timeout raises
+        :class:`DemiTimeout` (losing tokens stay waitable).
+
+        *legacy_timeout* restores the deprecated ``(-1, None)`` sentinel
+        for one release; new code should catch :class:`DemiTimeout`.
         """
-        return (yield from self.qtokens.wait_any(tokens, timeout_ns,
-                                                 charge=self._wait_charge))
+        try:
+            return (yield from self.qtokens.wait_any(tokens, timeout_ns,
+                                                     charge=self._wait_charge))
+        except DemiTimeout:
+            if legacy_timeout:
+                warnings.warn(_LEGACY_TIMEOUT_WARNING, DeprecationWarning,
+                              stacklevel=2)
+                return -1, None
+            raise
 
     def wait_all(self, tokens: Sequence[QToken],
-                 timeout_ns: Optional[int] = None) -> Generator:
-        """Block until every token completes: list of QResults."""
-        return (yield from self.qtokens.wait_all(tokens, timeout_ns,
-                                                 charge=self._wait_charge))
+                 timeout_ns: Optional[int] = None,
+                 legacy_timeout: bool = False) -> Generator:
+        """Block until every token completes: list of QResults.
+
+        A timeout raises :class:`DemiTimeout`; *legacy_timeout* restores
+        the deprecated ``None`` sentinel for one release.
+        """
+        try:
+            return (yield from self.qtokens.wait_all(tokens, timeout_ns,
+                                                     charge=self._wait_charge))
+        except DemiTimeout:
+            if legacy_timeout:
+                warnings.warn(_LEGACY_TIMEOUT_WARNING, DeprecationWarning,
+                              stacklevel=2)
+                return None
+            raise
 
     def blocking_push(self, qd: int, sga: Sga) -> Generator:
         """push + wait on the returned qtoken."""
@@ -135,46 +177,63 @@ class LibOS:
     # ----------------------------------------- queue pipelines (control path)
     def queue(self, capacity: Optional[int] = None) -> int:
         """An in-memory Demikernel queue (the ``queue()`` syscall)."""
-        self.count("ctrl.queue")
+        self.count(names.CTRL_QUEUE)
         return self._install(MemoryQueue, capacity).qd
 
     def merge(self, qd1: int, qd2: int) -> int:
         """A queue combining two queues (section 4.3 ``merge``)."""
         from .pipeline import MergedQueue
-        self.count("ctrl.merge")
+        self.count(names.CTRL_MERGE)
         return self._install(MergedQueue, self._lookup(qd1), self._lookup(qd2)).qd
 
     def filter(self, qd: int, predicate: Callable[[Sga], bool]) -> int:
         """A queue passing only elements where *predicate* holds."""
         from .pipeline import FilteredQueue
-        self.count("ctrl.filter")
+        self.count(names.CTRL_FILTER)
         return self._install(FilteredQueue, self._lookup(qd), predicate).qd
 
     def sort(self, qd: int, key: Callable[[Sga], object]) -> int:
         """A queue reordering elements by priority *key* (lowest first)."""
         from .pipeline import SortedQueue
-        self.count("ctrl.sort")
+        self.count(names.CTRL_SORT)
         return self._install(SortedQueue, self._lookup(qd), key).qd
 
     def map(self, qd: int, fn: Callable[[Sga], Sga]) -> int:
         """A queue applying *fn* to every element."""
         from .pipeline import MappedQueue
-        self.count("ctrl.map")
+        self.count(names.CTRL_MAP)
         return self._install(MappedQueue, self._lookup(qd), fn).qd
 
     def qconnect(self, qd_in: int, qd_out: int):
         """Plumb qd_in's elements into qd_out; returns a stoppable handle."""
         from .pipeline import QueueConnector
-        self.count("ctrl.qconnect")
+        self.count(names.CTRL_QCONNECT)
         return QueueConnector(self, self._lookup(qd_in), self._lookup(qd_out))
 
     def close(self, qd: int) -> Generator:
-        """Close a queue: outstanding pops complete with error='closed'."""
-        queue = self._lookup(qd)
+        """Close a queue: outstanding pops complete with error='closed'.
+
+        Ordering matters: the queue retires its outstanding qtokens (each
+        pending pop completes with the ``'closed'`` error) *before* the
+        descriptor leaves the qd table, and a second close of the same qd
+        is a charged no-op - so a waiter that wakes to the 'closed'
+        result can run its own ``close(qd)`` cleanup without tripping
+        over a descriptor that vanished under it.
+        """
+        queue = self._queues.get(qd)
+        if queue is None:
+            if qd not in self._closed_qds:
+                raise DemiError("bad queue descriptor %d" % qd)
+            # Idempotent re-close (e.g. a pop waiter's cleanup racing the
+            # original close): charge the syscall, change nothing.
+            yield self.core.busy(self.costs.syscall_ns)
+            self.count(names.CTRL_CLOSE_NOOP)
+            return
         yield self.core.busy(self.costs.syscall_ns)  # control path may cross
         queue.close()
-        del self._queues[qd]
-        self.count("ctrl.close")
+        self._queues.pop(qd, None)
+        self._closed_qds.add(qd)
+        self.count(names.CTRL_CLOSE)
 
     # -------------------------------- device control path (per-libOS overrides)
     def socket(self, *args, **kw) -> Generator:

@@ -19,7 +19,7 @@ import inspect
 from typing import Callable, Dict, Generator, List, Optional
 
 from .api import LibOS
-from .types import QResult, QToken
+from .types import DemiTimeout, QResult, QToken
 
 __all__ = ["DemiEventLoop", "EventHandle"]
 
@@ -133,15 +133,20 @@ class DemiEventLoop:
             if timer is not None:
                 timeout_ns = max(0, timer.fire_at - self.sim.now)
 
+            timed_out = False
+            index, result = -1, None
             if events:
                 tokens = [e.token for e in events]
-                index, result = yield from self.libos.wait_any(
-                    tokens, timeout_ns=timeout_ns)
+                try:
+                    index, result = yield from self.libos.wait_any(
+                        tokens, timeout_ns=timeout_ns)
+                except DemiTimeout:
+                    timed_out = True
             else:
                 yield self.sim.timeout(timeout_ns)
-                index, result = -1, None
+                timed_out = True
 
-            if index < 0:
+            if timed_out:
                 # Timer expiry.
                 if timer is not None and timer.handle.active:
                     self.timer_fires += 1

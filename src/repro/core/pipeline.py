@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Generator, List, Tuple
 
+from ..telemetry import names
 from .queue import DemiQueue
 from .types import OP_POP, OP_PUSH, DemiError, QResult, QToken, Sga
 
@@ -54,10 +55,10 @@ class ElementRunner:
     def run(self, fn: Callable, sga: Sga) -> Generator:
         """Sim-coroutine: returns fn(sga), charging the right place."""
         if self.engine is not None:
-            self.libos.count("pipeline.%s_device_elements" % self.operator)
+            self.libos.count(names.pipeline_device_elements(self.operator))
             result = yield self.engine.run(self.operator, fn, sga)
             return result
-        self.libos.count("pipeline.%s_cpu_elements" % self.operator)
+        self.libos.count(names.pipeline_cpu_elements(self.operator))
         yield self.libos.core.busy(self.libos.costs.pipeline_element_cpu_ns)
         return fn(sga)
 
@@ -131,12 +132,16 @@ class _DerivedQueue(DemiQueue):
             if pump.alive:
                 pump.interrupt("queue closed")
         # Cancel the pumps' in-flight pops so they don't consume a later
-        # element on behalf of a dead queue.
+        # element on behalf of a dead queue.  Cancelling through the
+        # qtoken table (not by plucking the token out of the source's
+        # pending-pop deque) retires the token properly - otherwise it
+        # stays "in flight" forever and the lifecycle identity
+        # ``created == completed + cancelled + in_flight`` never closes.
         for source, token in list(self._pump_tokens.items()):
             try:
-                source._pending_pops.remove(token)
-            except ValueError:
-                pass  # already matched or source gone
+                self.libos.qtokens.cancel(token)
+            except DemiError:
+                pass  # completed in this very tick; the pump retired it
         self._pump_tokens.clear()
 
 
@@ -155,13 +160,13 @@ class FilteredQueue(_DerivedQueue):
         keep = yield from self.runner.run(self.predicate, sga)
         if keep:
             return sga
-        self.libos.count("pipeline.filter_dropped")
+        self.libos.count(names.PIPELINE_FILTER_DROPPED)
         return None
 
     def _push_driver(self, sga: Sga, token: QToken) -> Generator:
         keep = yield from self.runner.run(self.predicate, sga)
         if not keep:
-            self.libos.count("pipeline.filter_dropped")
+            self.libos.count(names.PIPELINE_FILTER_DROPPED)
             self._complete(token, QResult(OP_PUSH, self.qd, nbytes=0,
                                           value="filtered"))
             return

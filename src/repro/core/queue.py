@@ -42,6 +42,9 @@ class DemiQueue:
         self.capacity: Optional[int] = None  # None = unbounded
         self.pushed_elements = 0
         self.popped_elements = 0
+        #: telemetry gauge of buffered-element depth (null when disabled)
+        self._depth_gauge = libos.telemetry.gauge(
+            "%s.queue_depth" % libos.name)
 
     # -- the two operations, called by the LibOS ------------------------------
     def push_sga(self, sga: Sga, token: QToken) -> None:
@@ -56,6 +59,7 @@ class DemiQueue:
         if self._ready:
             sga, value = self._ready.popleft()
             self.popped_elements += 1
+            self._depth_gauge.set(len(self._ready))
             self.space_wq.pulse()
             self._complete(token, QResult(OP_POP, self.qd, sga=sga,
                                           nbytes=sga.nbytes, value=value))
@@ -82,6 +86,7 @@ class DemiQueue:
                                           nbytes=sga.nbytes, value=value))
             return
         self._ready.append((sga, value))
+        self._depth_gauge.set(len(self._ready))
 
     def cancel_pop(self, token: QToken) -> None:
         """Unregister a pending pop (the qtoken-cancellation path).

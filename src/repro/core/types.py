@@ -12,7 +12,8 @@ from typing import List, Optional
 
 from ..memory.buffer import Buffer
 
-__all__ = ["SgaSegment", "Sga", "QToken", "QResult", "DemiError", "OP_PUSH", "OP_POP"]
+__all__ = ["SgaSegment", "Sga", "QToken", "QResult", "DemiError",
+           "DemiTimeout", "OP_PUSH", "OP_POP"]
 
 OP_PUSH = "push"
 OP_POP = "pop"
@@ -20,6 +21,21 @@ OP_POP = "pop"
 
 class DemiError(Exception):
     """Invalid Demikernel API usage (bad qd, closed queue, bad sga...)."""
+
+
+class DemiTimeout(DemiError):
+    """``wait_any``/``wait_all`` expired before enough tokens completed.
+
+    Replaces the old in-band sentinels (``(-1, None)`` / ``None``) that
+    every caller had to remember to inspect.  The unfinished tokens stay
+    valid - catch the exception and wait for them later.
+    """
+
+    def __init__(self, timeout_ns: Optional[int] = None, tokens=()):
+        super().__init__("wait timed out after %s ns" % timeout_ns)
+        self.timeout_ns = timeout_ns
+        #: the tokens that were being waited on (all still waitable)
+        self.tokens = tuple(tokens)
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,11 @@ claims over epoll:
    to fetch it;
 2. each completion wakes exactly one waiter - no thundering herd, no
    wasted wake-ups.
+
+Timeouts raise :class:`repro.core.types.DemiTimeout`; the old in-band
+sentinels (``(-1, None)`` from ``wait_any``, ``None`` from ``wait_all``)
+survive one more release behind ``LibOS.wait_any(..., legacy_timeout=
+True)``.
 """
 
 from __future__ import annotations
@@ -16,24 +21,31 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from ..sim.engine import Completion, Simulator, any_of
-from .types import DemiError, QResult, QToken
+from ..telemetry import DISABLED, names
+from .types import DemiError, DemiTimeout, QResult, QToken
 
 __all__ = ["QTokenTable", "WAIT_TIMEOUT"]
 
-#: sentinel result for wait_any/wait_all timeouts
+#: sentinel used internally to tag the timeout event in ``any_of``; also
+#: the legacy-shim marker some older callers still import
 WAIT_TIMEOUT = "timeout"
 
 
 class QTokenTable:
     """Maps live qtokens to their one-shot completions."""
 
-    def __init__(self, sim: Simulator, tracer, name: str = "qt"):
+    def __init__(self, sim: Simulator, tracer, name: str = "qt",
+                 telemetry=None):
         self.sim = sim
         self.tracer = tracer
         self.name = name
+        self.counters = tracer.scope(name)
+        self.telemetry = telemetry or DISABLED
         self._pending: Dict[QToken, Completion] = {}
         self._on_cancel: Dict[QToken, Callable[[QToken], None]] = {}
         self._cancelled: Set[QToken] = set()
+        #: token -> telemetry span covering the operation's lifetime
+        self._spans: Dict[QToken, object] = {}
         self._next_token: QToken = 1
         # Lifecycle accounting: every minted token must end up exactly one
         # of completed or cancelled - chaos tests assert the identity
@@ -41,6 +53,11 @@ class QTokenTable:
         self.created = 0
         self.completed = 0
         self.cancelled = 0
+        # Telemetry histograms (null objects when disabled).
+        self._h_lifetime = self.telemetry.histogram(
+            "%s.qtoken_lifetime_ns" % name)
+        self._h_dispatch = self.telemetry.histogram(
+            "%s.wait_dispatch_ns" % name)
 
     # -- creation / completion (queue side) -----------------------------------
     def create(self, on_cancel: Optional[Callable[[QToken], None]] = None
@@ -57,8 +74,13 @@ class QTokenTable:
         if on_cancel is not None:
             self._on_cancel[token] = on_cancel
         self.created += 1
-        self.tracer.count("%s.qtokens_created" % self.name)
+        self.counters.count(names.QTOKENS_CREATED)
         return token, done
+
+    def attach_span(self, token: QToken, span) -> None:
+        """Tie a telemetry span to *token*; it ends when the token does."""
+        if span is not None and span.id:
+            self._spans[token] = span
 
     def complete(self, token: QToken, result: QResult) -> None:
         done = self._pending.get(token)
@@ -67,11 +89,15 @@ class QTokenTable:
                 # The operation raced its own cancellation (e.g. a stalled
                 # device finally finished).  The token's waiter is gone;
                 # dropping the result here is what keeps cancel safe.
-                self.tracer.count("%s.late_completions_dropped" % self.name)
+                self.counters.count(names.LATE_COMPLETIONS_DROPPED)
                 return
             raise DemiError("completion of unknown qtoken %r" % token)
         self.completed += 1
-        self.tracer.count("%s.qtokens_completed" % self.name)
+        self.counters.count(names.QTOKENS_COMPLETED)
+        span = self._spans.pop(token, None)
+        if span is not None:
+            span.end(nbytes=result.nbytes, error=result.error)
+            self._h_lifetime.observe(span.duration_ns)
         done.trigger(result)
 
     def cancel(self, token: QToken) -> None:
@@ -93,7 +119,10 @@ class QTokenTable:
         on_cancel = self._on_cancel.pop(token, None)
         if on_cancel is not None:
             on_cancel(token)
-        self.tracer.count("%s.qtokens_cancelled" % self.name)
+        span = self._spans.pop(token, None)
+        if span is not None:
+            span.end(cancelled=True)
+        self.counters.count(names.QTOKENS_CANCELLED)
 
     def completion_of(self, token: QToken) -> Completion:
         done = self._pending.get(token)
@@ -113,29 +142,34 @@ class QTokenTable:
     def _retire(self, token: QToken) -> None:
         self._pending.pop(token, None)
         self._on_cancel.pop(token, None)
+        self._spans.pop(token, None)
 
     # -- waiting (application side) ---------------------------------------------
     def wait(self, token: QToken, charge=None) -> Generator:
         """Sim-coroutine: block until *token* completes; returns QResult."""
+        entered = self.sim.now
         done = self.completion_of(token)
         result = yield done
         self._retire(token)
         if charge is not None:
             yield charge()
-        self.tracer.count("%s.waits" % self.name)
+        self.counters.count(names.WAITS)
+        self._h_dispatch.observe(self.sim.now - entered)
         return result
 
     def wait_any(self, tokens: Sequence[QToken], timeout_ns: Optional[int] = None,
                  charge=None) -> Generator:
         """Sim-coroutine: first completion among *tokens*.
 
-        Returns ``(index, QResult)``; on timeout ``(-1, None)``.  The
-        losing tokens stay valid - wait for them later.  Exactly one
-        waiter wakes per completion because each token has exactly one
-        completion and this call consumes it.
+        Returns ``(index, QResult)``; raises :class:`DemiTimeout` if
+        *timeout_ns* elapses first.  The losing (and timed-out) tokens
+        stay valid - wait for them later.  Exactly one waiter wakes per
+        completion because each token has exactly one completion and
+        this call consumes it.
         """
         if not tokens:
             raise DemiError("wait_any on no tokens")
+        entered = self.sim.now
         completions = [self.completion_of(t) for t in tokens]
         events = list(completions)
         if timeout_ns is not None:
@@ -143,35 +177,37 @@ class QTokenTable:
         which = yield any_of(self.sim, events)
         index, value = which
         if timeout_ns is not None and index == len(tokens):
-            self.tracer.count("%s.wait_timeouts" % self.name)
-            return -1, None
+            self.counters.count(names.WAIT_TIMEOUTS)
+            raise DemiTimeout(timeout_ns, tokens)
         self._retire(tokens[index])
         if charge is not None:
             yield charge()
-        self.tracer.count("%s.waits" % self.name)
+        self.counters.count(names.WAITS)
+        self._h_dispatch.observe(self.sim.now - entered)
         return index, value
 
     def wait_all(self, tokens: Sequence[QToken], timeout_ns: Optional[int] = None,
                  charge=None) -> Generator:
         """Sim-coroutine: wait for every token; returns list of QResults.
 
-        On timeout returns None (individual tokens remain waitable).
+        Raises :class:`DemiTimeout` if *timeout_ns* elapses first
+        (individual tokens remain waitable).
         """
         if not tokens:
             return []
         results: List[Optional[QResult]] = [None] * len(tokens)
         remaining = set(range(len(tokens)))
         deadline = None if timeout_ns is None else self.sim.now + timeout_ns
-        live = list(tokens)
         while remaining:
             budget = None if deadline is None else max(0, deadline - self.sim.now)
             pending_tokens = [tokens[i] for i in sorted(remaining)]
             index_map = sorted(remaining)
-            index, value = yield from self.wait_any(pending_tokens, budget,
-                                                    charge=None)
-            if index < 0:
-                self.tracer.count("%s.wait_timeouts" % self.name)
-                return None
+            try:
+                index, value = yield from self.wait_any(pending_tokens, budget,
+                                                        charge=None)
+            except DemiTimeout:
+                self.counters.count(names.WAIT_TIMEOUTS)
+                raise DemiTimeout(timeout_ns, tokens)
             results[index_map[index]] = value
             remaining.discard(index_map[index])
         if charge is not None:

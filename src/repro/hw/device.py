@@ -20,12 +20,14 @@ class Device:
         self.sim = host.sim
         self.costs = host.costs
         self.tracer = host.tracer
+        self.telemetry = host.telemetry
         self.name = name
+        self.counters = self.tracer.scope(name)
         #: set by repro.sim.faults.FaultInjector; None = no faults
         self.faults = None
 
     def count(self, counter: str, n: int = 1) -> None:
-        self.tracer.count("%s.%s" % (self.name, counter), n)
+        self.counters.count(counter, n)
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<%s %s>" % (type(self).__name__, self.name)

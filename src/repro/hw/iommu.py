@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from ..sim.trace import Tracer
+from ..telemetry import names
 
 __all__ = ["Iommu", "IommuFault"]
 
@@ -35,6 +36,7 @@ class Iommu:
     def __init__(self, tracer: Tracer, name: str = "iommu"):
         self.tracer = tracer
         self.name = name
+        self.counters = tracer.scope(name)
         self._maps: Dict[int, Tuple[int, int]] = {}
         self._next_handle = 1
 
@@ -45,14 +47,14 @@ class Iommu:
         handle = self._next_handle
         self._next_handle += 1
         self._maps[handle] = (base, size)
-        self.tracer.count("%s.maps" % self.name)
+        self.counters.count(names.IOMMU_MAPS)
         return handle
 
     def unmap(self, handle: int) -> None:
         if handle not in self._maps:
             raise KeyError("unknown IOMMU mapping handle %r" % handle)
         del self._maps[handle]
-        self.tracer.count("%s.unmaps" % self.name)
+        self.counters.count(names.IOMMU_UNMAPS)
 
     def covers(self, addr: int, size: int) -> bool:
         """True if the whole range falls inside one mapped region."""
@@ -64,9 +66,9 @@ class Iommu:
     def translate(self, addr: int, size: int) -> None:
         """Validate a DMA target; raises :class:`IommuFault` if unmapped."""
         if not self.covers(addr, size):
-            self.tracer.count("%s.faults" % self.name)
+            self.counters.count(names.IOMMU_FAULTS)
             raise IommuFault(addr, size)
-        self.tracer.count("%s.translations" % self.name)
+        self.counters.count(names.IOMMU_TRANSLATIONS)
 
     @property
     def mapped_ranges(self) -> int:

@@ -25,6 +25,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sim.engine import Completion
 from ..sim.fabric import Fabric
+from ..telemetry import names
 from .device import Device
 from .iommu import Iommu
 
@@ -81,8 +82,13 @@ class _EthernetNic(Device):
         start = max(now, self._tx_free_at)
         done = start + work
         self._tx_free_at = done
-        self.count("tx_frames")
-        self.count("tx_bytes", nbytes)
+        self.count(names.TX_FRAMES)
+        self.count(names.TX_BYTES, nbytes)
+        if self.telemetry.enabled:
+            # The emission instant is computed analytically, so the span
+            # can close now without scheduling anything.
+            self.telemetry.span("nic_tx", cat="device", track=self.name,
+                                nbytes=nbytes).end(end_ns=done)
         self.sim.call_in(done - now, self.fabric.transmit, self.mac, dst_mac,
                          frame, nbytes)
 
@@ -119,6 +125,9 @@ class DpdkNic(_EthernetNic):
                                               for _ in range(n_rx_queues)]
         self._rx_waiters: List[List[Completion]] = [[]
                                                     for _ in range(n_rx_queues)]
+        self._ring_gauges = [
+            self.telemetry.gauge("%s.rxq%d_occupancy" % (name, q))
+            for q in range(n_rx_queues)]
 
     # -- receive-side scaling ----------------------------------------------
     def _rss_queue(self, frame: bytes) -> int:
@@ -142,11 +151,12 @@ class DpdkNic(_EthernetNic):
         if self.faults is not None:
             limit = self.faults.ring_limit(self.sim.now, limit)
         if len(ring) >= limit:
-            self.count("rx_ring_drops")
+            self.count(names.RX_RING_DROPS)
             return
         ring.append(frame)
-        self.count("rx_frames")
-        self.count("rxq%d_frames" % queue)
+        self.count(names.RX_FRAMES)
+        self.count(names.rxq_frames(queue))
+        self._ring_gauges[queue].set(len(ring))
         waiters, self._rx_waiters[queue] = self._rx_waiters[queue], []
         for w in waiters:
             w.trigger(None)
@@ -157,6 +167,7 @@ class DpdkNic(_EthernetNic):
         out: List[bytes] = []
         while ring and len(out) < max_frames:
             out.append(ring.popleft())
+        self._ring_gauges[queue].set(len(ring))
         return out
 
     def rx_pending(self, queue: int = 0) -> int:
@@ -204,19 +215,19 @@ class KernelNic(_EthernetNic):
     def _fire_interrupt(self, frames: List[Any]) -> None:
         core = self.host.cpus[self.irq_core_index]
         core.charge_async(self.costs.interrupt_ns)
-        self.count("rx_interrupts")
+        self.count(names.RX_INTERRUPTS)
         for frame in frames:
             self.irq_handler(frame)
 
     def _rx_ready(self, frame: Any) -> None:
-        self.count("rx_frames")
+        self.count(names.RX_FRAMES)
         if self.irq_handler is None:
-            self.count("rx_no_handler_drops")
+            self.count(names.RX_NO_HANDLER_DROPS)
             return
         now = self.sim.now
         if self.coalesce_ns and now < self._window_ends_at:
             # Inside a coalescing window: park the frame for the flush.
-            self.count("rx_coalesced")
+            self.count(names.RX_COALESCED)
             self._coalesced.append(frame)
             return
         self._fire_interrupt([frame])
@@ -346,7 +357,7 @@ class RdmaNic(Device):
             recv_cq=recv_cq or HwCq(self.sim, "%s.qp%d.rcq" % (self.name, qpn)),
         )
         self.qps[qpn] = qp
-        self.count("qps_created")
+        self.count(names.QPS_CREATED)
         return qp
 
     def connect_qp(self, qp: HwQp, remote_nic: str, remote_qpn: int) -> None:
@@ -362,7 +373,7 @@ class RdmaNic(Device):
         """Post a receive buffer; buffer needs .addr/.capacity/.write()."""
         self.iommu.translate(buffer.addr, buffer.capacity)
         qp.recv_buffers.append((wr_id, buffer))
-        self.count("posted_recvs")
+        self.count(names.POSTED_RECVS)
 
     def post_send(self, qp: HwQp, wr_id: int, payload: bytes,
                   addr: Optional[int] = None) -> None:
@@ -422,7 +433,7 @@ class RdmaNic(Device):
             qp.inflight[pkt.seq] = (pkt, retries, epoch)
             self.sim.call_in(self._rto(), self._maybe_retransmit, qp, pkt.seq, epoch)
         delay = self.costs.rdma_nic_process_ns + self.costs.dma_ns(len(pkt.payload))
-        self.count("tx_%s" % pkt.kind)
+        self.count(names.tx_packet_kind(pkt.kind))
         self.sim.call_in(delay, self.fabric.transmit, self.addr, qp.remote_nic,
                          pkt, pkt.nbytes)
 
@@ -440,7 +451,7 @@ class RdmaNic(Device):
             # Blocked behind a head-of-line hole: the receiver drops
             # out-of-order packets, so this isn't *this* packet failing.
             # Retransmit without burning retry budget (go-back-N spirit).
-            self.count("retransmits")
+            self.count(names.RETRANSMITS)
             self._emit(qp, pkt, retries)
             return
         if retries + 1 > self.MAX_RETRIES:
@@ -448,14 +459,14 @@ class RdmaNic(Device):
             del qp.inflight[seq]
             qp.send_cq.push({"wr_id": pkt.wr_id, "status": "retry-exceeded",
                              "opcode": pkt.kind, "qpn": qp.qpn})
-            self.count("qp_errors")
+            self.count(names.QP_ERRORS)
             return
-        self.count("retransmits")
+        self.count(names.RETRANSMITS)
         self._emit(qp, pkt, retries + 1)
 
     def _on_wire_rx(self, pkt: Any) -> None:
         if not isinstance(pkt, RdmaPacket):
-            self.count("non_rdma_frames_dropped")
+            self.count(names.NON_RDMA_FRAMES_DROPPED)
             return
         delay = self.costs.rdma_nic_process_ns + self.costs.dma_ns(len(pkt.payload))
         if self.faults is not None:
@@ -465,11 +476,11 @@ class RdmaNic(Device):
     def _process_rx(self, pkt: RdmaPacket) -> None:
         qp = self.qps.get(pkt.dst_qp)
         if qp is None:
-            self.count("rx_unknown_qp")
+            self.count(names.RX_UNKNOWN_QP)
             return
         handler = getattr(self, "_rx_" + pkt.kind, None)
         if handler is None:
-            self.count("rx_unknown_kind")
+            self.count(names.RX_UNKNOWN_KIND)
             return
         handler(qp, pkt)
 
@@ -493,7 +504,7 @@ class RdmaNic(Device):
 
     def _rx_nak_rnr(self, qp: HwQp, pkt: RdmaPacket) -> None:
         """Receiver-not-ready: retry the send after a back-off."""
-        self.count("rnr_naks_received")
+        self.count(names.RNR_NAKS_RECEIVED)
         entry = qp.inflight.get(pkt.seq)
         if entry is None:
             return
@@ -503,7 +514,7 @@ class RdmaNic(Device):
             del qp.inflight[pkt.seq]
             qp.send_cq.push({"wr_id": orig.wr_id, "status": "rnr-exceeded",
                              "opcode": orig.kind, "qpn": qp.qpn})
-            self.count("qp_errors")
+            self.count(names.QP_ERRORS)
             return
         del qp.inflight[pkt.seq]
         backoff = self._rto()
@@ -514,7 +525,7 @@ class RdmaNic(Device):
 
     def _rx_nak_remote_access(self, qp: HwQp, pkt: RdmaPacket) -> None:
         """Remote access violation: fatal for the QP, as on real RC QPs."""
-        self.count("remote_access_naks")
+        self.count(names.REMOTE_ACCESS_NAKS)
         qp.error = True
         self._complete_send(qp, pkt.seq, "remote-access-error")
 
@@ -537,10 +548,10 @@ class RdmaNic(Device):
             return
         if pkt.seq > qp.recv_expect:
             # Out of order: RC NICs drop and wait for retransmit.
-            self.count("rx_out_of_order_dropped")
+            self.count(names.RX_OUT_OF_ORDER_DROPPED)
             return
         if not qp.recv_buffers:
-            self.count("rnr_naks_sent")
+            self.count(names.RNR_NAKS_SENT)
             self._reply(qp, pkt, "nak_rnr")
             return
         wr_id, buffer = qp.recv_buffers.popleft()
@@ -548,7 +559,7 @@ class RdmaNic(Device):
             # Message too big for the posted buffer: fatal on real RC QPs.
             qp.recv_cq.push({"wr_id": wr_id, "status": "length-error",
                              "opcode": "recv", "qpn": qp.qpn, "nbytes": 0})
-            self.count("recv_length_errors")
+            self.count(names.RECV_LENGTH_ERRORS)
             qp.recv_expect += 1
             self._reply(qp, pkt, "ack")
             return
@@ -557,7 +568,7 @@ class RdmaNic(Device):
         qp.recv_cq.push({"wr_id": wr_id, "status": "ok", "opcode": "recv",
                          "qpn": qp.qpn, "nbytes": len(pkt.payload),
                          "buffer": buffer})
-        self.count("rx_sends_delivered")
+        self.count(names.RX_SENDS_DELIVERED)
         self._reply(qp, pkt, "ack")
 
     def _one_sided_ok(self, addr: int, size: int) -> bool:
@@ -572,32 +583,32 @@ class RdmaNic(Device):
             self._reply(qp, pkt, "write_ack")
             return
         if pkt.seq > qp.recv_expect:
-            self.count("rx_out_of_order_dropped")
+            self.count(names.RX_OUT_OF_ORDER_DROPPED)
             return
         qp.recv_expect += 1
         if not self._one_sided_ok(pkt.raddr, len(pkt.payload)) or self.mem is None:
-            self.count("remote_access_errors")
+            self.count(names.REMOTE_ACCESS_ERRORS)
             self._reply(qp, pkt, "nak_remote_access")
             return
         # One-sided: remote CPU never runs; the NIC writes memory itself.
         self.mem.write_mem(pkt.raddr, pkt.payload)
-        self.count("rx_writes_applied")
+        self.count(names.RX_WRITES_APPLIED)
         self._reply(qp, pkt, "write_ack")
 
     def _rx_read_req(self, qp: HwQp, pkt: RdmaPacket) -> None:
         if pkt.seq < qp.recv_expect:
             pass  # duplicate: re-serve the read below
         elif pkt.seq > qp.recv_expect:
-            self.count("rx_out_of_order_dropped")
+            self.count(names.RX_OUT_OF_ORDER_DROPPED)
             return
         else:
             qp.recv_expect += 1
         if not self._one_sided_ok(pkt.raddr, pkt.rlen) or self.mem is None:
-            self.count("remote_access_errors")
+            self.count(names.REMOTE_ACCESS_ERRORS)
             self._reply(qp, pkt, "nak_remote_access")
             return
         data = self.mem.read_mem(pkt.raddr, pkt.rlen)
-        self.count("rx_reads_served")
+        self.count(names.RX_READS_SERVED)
         # Response carries the data; extra DMA on the responder NIC.
         resp = RdmaPacket(
             kind="read_resp", src_nic=self.addr, src_qp=qp.qpn,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..sim.engine import Completion
+from ..telemetry import names
 from .device import Device
 
 __all__ = ["NvmeDevice", "NvmeError"]
@@ -78,8 +79,12 @@ class NvmeDevice(Device):
         self._check_range(lba, nblocks)
         nbytes = nblocks * self.block_size
         delay = self._occupy_channel(self.costs.nvme_io_ns(nbytes, write=False))
-        self.count("reads")
-        self.count("read_bytes", nbytes)
+        self.count(names.NVME_READS)
+        self.count(names.NVME_READ_BYTES, nbytes)
+        if self.telemetry.enabled:
+            self.telemetry.span("nvme_read", cat="device", track=self.name,
+                                lba=lba, nbytes=nbytes).end(
+                                    end_ns=self.sim.now + delay)
         done = self.sim.completion("%s.read" % self.name)
         data = b"".join(
             self._blocks.get(lba + i, b"\x00" * self.block_size)
@@ -98,8 +103,12 @@ class NvmeDevice(Device):
         nblocks = len(data) // self.block_size
         self._check_range(lba, nblocks)
         delay = self._occupy_channel(self.costs.nvme_io_ns(len(data), write=True))
-        self.count("writes")
-        self.count("write_bytes", len(data))
+        self.count(names.NVME_WRITES)
+        self.count(names.NVME_WRITE_BYTES, len(data))
+        if self.telemetry.enabled:
+            self.telemetry.span("nvme_write", cat="device", track=self.name,
+                                lba=lba, nbytes=len(data)).end(
+                                    end_ns=self.sim.now + delay)
         view = memoryview(data)
         for i in range(nblocks):
             self._blocks[lba + i] = bytes(view[i * self.block_size:(i + 1) * self.block_size])
@@ -110,8 +119,12 @@ class NvmeDevice(Device):
     def submit_flush(self) -> Completion:
         """Barrier: completion fires after the flush latency."""
         self.flushes += 1
-        self.count("flushes")
+        self.count(names.NVME_FLUSHES)
         delay = self._occupy_channel(self.costs.nvme_flush_ns)
+        if self.telemetry.enabled:
+            self.telemetry.span("nvme_flush", cat="device",
+                                track=self.name).end(
+                                    end_ns=self.sim.now + delay)
         done = self.sim.completion("%s.flush" % self.name)
         self.sim.call_in(delay, done.trigger, None)
         return done

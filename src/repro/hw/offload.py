@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, FrozenSet, Iterable, Optional
 
+from ..telemetry import names
 from .device import Device
 
 __all__ = ["OffloadEngine", "ALL_OFFLOADS"]
@@ -74,7 +75,7 @@ class OffloadEngine(Device):
                 "%s does not support %r offload" % (self.name, operator)
             )
         delay = self._occupy(self.element_ns)
-        self.count("offloaded_%s" % operator)
+        self.count(names.offloaded(operator))
         done = self.sim.completion("%s.%s" % (self.name, operator))
         result = fn(element)
         self.sim.call_in(delay, done.trigger, result)
@@ -93,5 +94,5 @@ class OffloadEngine(Device):
                 "%s does not support %r offload" % (self.name, operator)
             )
         self._occupy(self.element_ns)
-        self.count("offloaded_%s" % operator)
+        self.count(names.offloaded(operator))
         return fn(element)

@@ -23,6 +23,7 @@ from ..hw.nic import KernelNic
 from ..netstack.stack import NetStack
 from ..sim.cpu import Core
 from ..sim.sync import WaitQueue
+from ..telemetry import names
 
 __all__ = ["Kernel", "Syscalls", "KernelError", "EWOULDBLOCK"]
 
@@ -108,6 +109,10 @@ class Kernel:
         self.sim = host.sim
         self.costs = host.costs
         self.tracer = host.tracer
+        self.telemetry = host.telemetry
+        self.counters = host.tracer.scope(host.name).scope("kernel")
+        self._h_copied = host.telemetry.histogram(
+            "%s.kernel.copied_bytes_per_op" % host.name)
         self.nic = KernelNic(host, fabric, mac, name="%s.eth0" % host.name)
         host.nics.append(self.nic)
         self.stack = NetStack(
@@ -117,6 +122,7 @@ class Kernel:
             ip=ip,
             send_frame=lambda dst, raw: self.nic.post_tx(dst, raw),
             tracer=self.tracer,
+            telemetry=self.telemetry,
             charge=host.cpus[0].charge_async,  # softirq core
             tx_cost_ns=self.costs.kernel_net_tx_ns,
             rx_cost_ns=self.costs.kernel_net_rx_ns,
@@ -148,7 +154,12 @@ class Kernel:
         return Syscalls(self, core or self.host.cpu)
 
     def count(self, name: str, n: int = 1) -> None:
-        self.tracer.count("%s.kernel.%s" % (self.host.name, name), n)
+        self.counters.count(name, n)
+
+    def copied(self, direction: str, n: int) -> None:
+        """Account one user<->kernel copy: counter plus size histogram."""
+        self.counters.count(direction, n)
+        self._h_copied.observe(n)
 
 
 class Syscalls:
@@ -166,17 +177,17 @@ class Syscalls:
 
     # -- accounting helpers ---------------------------------------------------
     def _syscall(self, op_ns: int = 0):
-        self.kernel.count("syscalls")
+        self.kernel.count(names.SYSCALLS)
         return self.core.busy(self.costs.syscall_ns + op_ns)
 
     def _block(self, wq_completion):
         """Sleep on a kernel wait queue: switch out, later switch back in."""
-        self.kernel.count("blocks")
+        self.kernel.count(names.BLOCKS)
         self.core.charge_async(self.costs.context_switch_ns)
         return wq_completion
 
     def _wakeup_charge(self):
-        self.kernel.count("wakeups")
+        self.kernel.count(names.WAKEUPS)
         return self.core.busy(self.costs.thread_wakeup_ns +
                               self.costs.context_switch_ns)
 
@@ -228,7 +239,7 @@ class Syscalls:
             raise KernelError("send on unconnected socket")
         yield self._syscall(self.costs.kernel_sock_op_ns +
                             self.costs.copy_ns(len(data)))
-        self.kernel.count("bytes_copied_tx", len(data))
+        self.kernel.copied(names.BYTES_COPIED_TX, len(data))
         sock.conn.send(bytes(data))
         return len(data)
 
@@ -247,7 +258,7 @@ class Syscalls:
             yield self._block(sock.conn.recv_signal())
             yield self._wakeup_charge()
         yield self.core.busy(self.costs.copy_ns(len(data)))
-        self.kernel.count("bytes_copied_rx", len(data))
+        self.kernel.copied(names.BYTES_COPIED_RX, len(data))
         return data
 
     def recv_nb(self, fd: int, max_bytes: int = 65536):
@@ -260,10 +271,10 @@ class Syscalls:
         if not data:
             if sock.conn.peer_closed or sock.conn.error:
                 return b""
-            self.kernel.count("ewouldblock")
+            self.kernel.count(names.EWOULDBLOCK)
             return EWOULDBLOCK
         yield self.core.busy(self.costs.copy_ns(len(data)))
-        self.kernel.count("bytes_copied_rx", len(data))
+        self.kernel.copied(names.BYTES_COPIED_RX, len(data))
         return data
 
     def accept_nb(self, fd: int):
@@ -274,7 +285,7 @@ class Syscalls:
             raise KernelError("accept on non-listening socket")
         conn = sock.listener.accept_nb()
         if conn is None:
-            self.kernel.count("ewouldblock")
+            self.kernel.count(names.EWOULDBLOCK)
             return EWOULDBLOCK
         child = _KTcpSocket()
         child.conn = conn
@@ -315,7 +326,7 @@ class Syscalls:
             yield from self.bind_udp(fd, 40000 + fd)
         yield self._syscall(self.costs.kernel_sock_op_ns +
                             self.costs.copy_ns(len(data)))
-        self.kernel.count("bytes_copied_tx", len(data))
+        self.kernel.copied(names.BYTES_COPIED_TX, len(data))
         self.kernel.stack.udp_send(sock.port, ip, port, bytes(data))
         return len(data)
 
@@ -328,7 +339,7 @@ class Syscalls:
             yield self._wakeup_charge()
         payload, ip, port = sock.rx.popleft()
         yield self.core.busy(self.costs.copy_ns(len(payload)))
-        self.kernel.count("bytes_copied_rx", len(payload))
+        self.kernel.copied(names.BYTES_COPIED_RX, len(payload))
         return payload, ip, port
 
     # -- epoll -------------------------------------------------------------------
@@ -424,8 +435,8 @@ class Syscalls:
             ready = ep.scan_ready()
             if ready:
                 yield self.core.busy(self.costs.epoll_event_ns * len(ready))
-                self.kernel.count("epoll_returns")
+                self.kernel.count(names.EPOLL_RETURNS)
                 return ready[:max_events]
             yield self._block(ep.wq.wait())
             yield self._wakeup_charge()
-            self.kernel.count("epoll_wakeups")
+            self.kernel.count(names.EPOLL_WAKEUPS)

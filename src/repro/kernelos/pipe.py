@@ -13,6 +13,7 @@ from typing import Generator
 
 from ..sim.sync import WaitQueue
 from .kernel import Kernel, KernelError
+from ..telemetry import names
 
 __all__ = ["KernelPipe", "PIPE_CAPACITY"]
 
@@ -67,7 +68,7 @@ class KernelPipe:
                 continue
             take = min(room, len(data) - written)
             yield syscalls.core.busy(costs.copy_ns(take))
-            self.kernel.count("bytes_copied_tx", take)
+            self.kernel.copied(names.BYTES_COPIED_TX, take)
             self._buffer.extend(view[written:written + take])
             written += take
             self.read_wq.pulse()
@@ -83,7 +84,7 @@ class KernelPipe:
             yield syscalls._wakeup_charge()
         take = min(nbytes, len(self._buffer))
         yield syscalls.core.busy(costs.copy_ns(take))
-        self.kernel.count("bytes_copied_rx", take)
+        self.kernel.copied(names.BYTES_COPIED_RX, take)
         data = bytes(self._buffer[:take])
         del self._buffer[:take]
         self.write_wq.pulse()

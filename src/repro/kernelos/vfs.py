@@ -14,6 +14,7 @@ from typing import Dict, Generator, Optional, Set, Tuple
 from ..hw.nvme import NvmeDevice
 from ..sim.engine import all_of
 from .kernel import Kernel, KernelError
+from ..telemetry import names
 
 __all__ = ["Vfs", "Inode"]
 
@@ -83,9 +84,9 @@ class Vfs:
         cached = self._cache.get(key)
         if cached is not None:
             yield core.busy(self.costs.page_cache_hit_ns)
-            self.kernel.count("page_cache_hits")
+            self.kernel.count(names.PAGE_CACHE_HITS)
             return cached
-        self.kernel.count("page_cache_misses")
+        self.kernel.count(names.PAGE_CACHE_MISSES)
         block = bytearray(self.block_size)
         lba = inode.blocks.get(block_index)
         if lba is not None:
@@ -114,14 +115,14 @@ class Vfs:
         kfile.offset = offset
         # Copy page cache -> user buffer.
         yield core.busy(self.costs.copy_ns(nbytes))
-        self.kernel.count("bytes_copied_rx", nbytes)
+        self.kernel.copied(names.BYTES_COPIED_RX, nbytes)
         return bytes(out)
 
     def write(self, core, kfile: _KFile, data: bytes) -> Generator:
         inode = kfile.inode
         # Copy user buffer -> page cache.
         yield core.busy(self.costs.copy_ns(len(data)))
-        self.kernel.count("bytes_copied_tx", len(data))
+        self.kernel.copied(names.BYTES_COPIED_TX, len(data))
         offset = kfile.offset
         view = memoryview(data)
         written = 0
@@ -154,7 +155,7 @@ class Vfs:
         if pending:
             yield all_of(self.sim, pending)
         yield self.nvme.submit_flush()
-        self.kernel.count("fsyncs")
+        self.kernel.count(names.FSYNCS)
         return len(dirty)
 
     @property

@@ -25,6 +25,7 @@ from typing import Generator, Optional, Tuple
 from ..core.api import LibOS
 from ..core.queue import DemiQueue
 from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
+from ..telemetry import names
 from ..hw.nic import DpdkNic
 from ..netstack.framing import Deframer, frame_message
 from ..netstack.ipv4 import DEFAULT_MTU, IPV4_HEADER_LEN
@@ -115,6 +116,7 @@ class DpdkLibOS(LibOS):
             tx_cost_ns=self.costs.user_net_tx_ns,
             rx_cost_ns=self.costs.user_net_rx_ns,
             verify_checksums=verify_checksums,
+            telemetry=self.telemetry,
         )
         self._poll_proc = self.sim.spawn(self._poll_loop(),
                                          name="%s.poll" % name)
@@ -155,7 +157,7 @@ class DpdkLibOS(LibOS):
         self.stack.udp_send(queue.port, remote[0], remote[1], payload)
         # The NIC is done with the buffers once the frame is DMA'd out.
         self.sim.call_in(self.costs.dma_ns(len(payload)), sga.release_all)
-        self.count("udp_tx_elements")
+        self.count(names.UDP_TX_ELEMENTS)
         self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
                                              nbytes=sga.nbytes))
 
@@ -167,7 +169,7 @@ class DpdkLibOS(LibOS):
             buf = self.mm.alloc(max(1, len(payload)))
             buf.write(0, payload)
             sga = Sga.from_buffer(buf, len(payload))
-            self.count("udp_rx_elements")
+            self.count(names.UDP_RX_ELEMENTS)
             queue.deliver(sga, value=(src_ip, src_port))
         return on_datagram
 
@@ -191,7 +193,7 @@ class DpdkLibOS(LibOS):
                 OP_PUSH, queue.qd, error=str(err)))
             return
         self.sim.call_in(self.costs.dma_ns(len(payload)), sga.release_all)
-        self.count("tcp_tx_elements")
+        self.count(names.TCP_TX_ELEMENTS)
         self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
                                              nbytes=sga.nbytes))
 
@@ -204,7 +206,7 @@ class DpdkLibOS(LibOS):
                 for message in queue.deframer.feed(data):
                     buf = self.mm.alloc(max(1, len(message)))
                     buf.write(0, message)
-                    self.count("tcp_rx_elements")
+                    self.count(names.TCP_RX_ELEMENTS)
                     queue.deliver(Sga.from_buffer(buf, len(message)))
                 continue
             if conn.peer_closed or conn.error is not None:
@@ -255,7 +257,7 @@ class DpdkLibOS(LibOS):
             yield queue.listener.accept_signal()
         new_queue = self._install(TcpQueue)
         new_queue.attach_connection(conn)
-        self.count("accepts")
+        self.count(names.ACCEPTS)
         return new_queue.qd
 
     def connect(self, qd: int, ip: str, port: int) -> Generator:
@@ -271,7 +273,7 @@ class DpdkLibOS(LibOS):
             conn = self.stack.tcp_connect(ip, port)
             yield conn.established
             queue.attach_connection(conn)
-            self.count("connects")
+            self.count(names.CONNECTS)
             return 0
         raise DemiError("connect on qd %d (%s)" % (qd, queue.kind))
 
@@ -281,8 +283,10 @@ class DpdkLibOS(LibOS):
         if not isinstance(queue, UdpQueue):
             raise DemiError("push_to on non-UDP qd %d" % qd)
         self.core.charge_async(self.costs.libos_push_ns + self.costs.qtoken_ns)
-        self.count("pushes")
+        self.count(names.PUSHES)
         token, _done = self.qtokens.create()
+        self.qtokens.attach_span(token, self.telemetry.span(
+            "push", cat="libos", track=self.name, qd=qd, nbytes=sga.nbytes))
         queue.push_sga_to(sga, token, remote)
         return token
 

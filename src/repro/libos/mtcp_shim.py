@@ -25,6 +25,7 @@ from typing import Generator
 
 from ..hw.nic import DpdkNic
 from ..netstack.stack import NetStack
+from ..telemetry import names
 
 __all__ = ["MtcpShim"]
 
@@ -38,7 +39,9 @@ class MtcpShim:
         self.sim = host.sim
         self.costs = host.costs
         self.tracer = host.tracer
+        self.telemetry = host.telemetry
         self.name = name
+        self.counters = self.tracer.scope(name)
         self.app_core = app_core or host.cpus[0]
         self.stack_core = stack_core or host.cpus[min(1, len(host.cpus) - 1)]
         self.nic = nic
@@ -49,6 +52,7 @@ class MtcpShim:
             ip=ip,
             send_frame=lambda dst, raw: nic.post_tx(dst, raw),
             tracer=self.tracer,
+            telemetry=self.telemetry,
             charge=self.stack_core.charge_async,
             tx_cost_ns=self.costs.user_net_tx_ns,
             rx_cost_ns=self.costs.user_net_rx_ns,
@@ -63,7 +67,7 @@ class MtcpShim:
                 self.stack.rx_frame(frame)
 
     def count(self, counter: str, n: int = 1) -> None:
-        self.tracer.count("%s.%s" % (self.name, counter), n)
+        self.counters.count(counter, n)
 
     def _exchange(self) -> Generator:
         """One hop through the batched app<->stack queues.
@@ -72,7 +76,7 @@ class MtcpShim:
         the request waits for the next cycle boundary before the hop
         completes.
         """
-        self.count("queue_hops", 2)
+        self.count(names.QUEUE_HOPS, 2)
         yield self.app_core.busy(self.costs.mtcp_queue_hop_ns)
         cycle = self.costs.mtcp_cycle_ns
         wait_for_cycle = cycle - (self.sim.now % cycle)
@@ -112,7 +116,7 @@ class _MtcpConnection:
         shim = self.shim
         # POSIX semantics force the copy into stack-owned buffers.
         yield shim.app_core.busy(shim.costs.copy_ns(len(data)))
-        shim.count("bytes_copied_tx", len(data))
+        shim.count(names.BYTES_COPIED_TX, len(data))
         yield from shim._exchange()
         self.conn.send(bytes(data))
         return len(data)
@@ -133,7 +137,7 @@ class _MtcpConnection:
             yield self.conn.recv_signal()
         yield from shim._exchange()
         yield shim.app_core.busy(shim.costs.copy_ns(len(data)))
-        shim.count("bytes_copied_rx", len(data))
+        shim.count(names.BYTES_COPIED_RX, len(data))
         return data
 
     def close(self) -> Generator:

@@ -16,6 +16,7 @@ from ..core.queue import DemiQueue
 from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
 from ..kernelos.kernel import Kernel
 from ..netstack.framing import Deframer, frame_message
+from ..telemetry import names
 
 __all__ = ["PosixLibOS", "PosixTcpQueue", "PosixListenQueue"]
 
@@ -84,7 +85,7 @@ class PosixLibOS(LibOS):
             self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
                                                  error=str(err)))
             return
-        self.count("tcp_tx_elements")
+        self.count(names.TCP_TX_ELEMENTS)
         self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
                                              nbytes=sga.nbytes))
 
@@ -99,7 +100,7 @@ class PosixLibOS(LibOS):
             for message in queue.deframer.feed(data):
                 buf = self.mm.alloc(max(1, len(message)))
                 buf.write(0, message)
-                self.count("tcp_rx_elements")
+                self.count(names.TCP_RX_ELEMENTS)
                 queue.deliver(Sga.from_buffer(buf, len(message)))
 
     # -- control path ------------------------------------------------------------
@@ -134,7 +135,7 @@ class PosixLibOS(LibOS):
         conn_fd = yield from self.sys.accept(queue.fd)
         new_queue = self._install(PosixTcpQueue)
         new_queue.attach_fd(conn_fd)
-        self.count("accepts")
+        self.count(names.ACCEPTS)
         return new_queue.qd
 
     def connect(self, qd: int, ip: str, port: int) -> Generator:
@@ -144,7 +145,7 @@ class PosixLibOS(LibOS):
         fd = yield from self.sys.socket()
         yield from self.sys.connect(fd, ip, port)
         queue.attach_fd(fd)
-        self.count("connects")
+        self.count(names.CONNECTS)
         return 0
 
     def close(self, qd: int) -> Generator:

@@ -31,6 +31,7 @@ from ..hw.nic import RdmaNic
 from ..rdma.cm import RdmaCm
 from ..rdma.verbs import QueuePair
 from ..sim.sync import WaitQueue
+from ..telemetry import names
 
 __all__ = ["RdmaLibOS", "RdmaQueue", "RdmaListenQueue",
            "POOL_BUFFERS", "POOL_BUFFER_SIZE"]
@@ -119,7 +120,7 @@ class RdmaLibOS(LibOS):
             return
         # Flow control: block until the receiver has a buffer for us.
         while queue.credits == 0 and not queue.closed:
-            self.count("flow_control_stalls")
+            self.count(names.FLOW_CONTROL_STALLS)
             yield queue.credit_wq.wait()
         if queue.closed:
             self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
@@ -136,7 +137,7 @@ class RdmaLibOS(LibOS):
             self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
                                                  error=cqe["status"]))
             return
-        self.count("rdma_tx_elements")
+        self.count(names.RDMA_TX_ELEMENTS)
         self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
                                              nbytes=sga.nbytes))
 
@@ -162,19 +163,19 @@ class RdmaLibOS(LibOS):
                 continue
             for cqe in cqes:
                 if cqe["status"] != "ok":
-                    self.count("rdma_rx_errors")
+                    self.count(names.RDMA_RX_ERRORS)
                     continue
                 buf = cqe["buffer"]
                 kind, value = _HDR.unpack(buf.read(0, _HDR.size))
                 if kind == _MSG_CREDIT:
                     queue.credits += value
                     queue.credit_wq.pulse()
-                    self.count("credit_returns_received")
+                    self.count(names.CREDIT_RETURNS_RECEIVED)
                     qp.post_recv(buf)  # control buffers recycle immediately
                     continue
                 payload_buf = self.mm.alloc(max(1, value))
                 payload_buf.write(0, buf.read(_HDR.size, value))
-                self.count("rdma_rx_elements")
+                self.count(names.RDMA_RX_ELEMENTS)
                 queue.deliver(Sga.from_buffer(payload_buf, value))
                 # Buffer management: re-post and batch credit returns.
                 qp.post_recv(buf)
@@ -186,7 +187,7 @@ class RdmaLibOS(LibOS):
         count = queue.consumed_since_return
         queue.consumed_since_return = 0
         queue.qp.post_send(_HDR.pack(_MSG_CREDIT, count))
-        self.count("credit_returns_sent")
+        self.count(names.CREDIT_RETURNS_SENT)
 
     # -- control path -----------------------------------------------------------
     def socket(self, proto: str = "rdma") -> Generator:
@@ -213,7 +214,7 @@ class RdmaLibOS(LibOS):
         qp = yield from queue.listener.accept()
         new_queue = self._install(RdmaQueue)
         new_queue.attach_qp(qp)
-        self.count("accepts")
+        self.count(names.ACCEPTS)
         return new_queue.qd
 
     def connect(self, qd: int, remote_addr: str, port: int) -> Generator:
@@ -222,7 +223,7 @@ class RdmaLibOS(LibOS):
             raise DemiError("connect on qd %d (%s)" % (qd, queue.kind))
         qp = yield from self.cm.connect(self.nic, remote_addr, port)
         queue.attach_qp(qp)
-        self.count("connects")
+        self.count(names.CONNECTS)
         return 0
 
     def close(self, qd: int) -> Generator:

@@ -20,6 +20,7 @@ from ..core.queue import DemiQueue
 from ..core.types import OP_POP, OP_PUSH, DemiError, QResult, QToken, Sga
 from ..hw.nvme import NvmeDevice
 from ..storage.log import LogStore
+from ..telemetry import names
 
 __all__ = ["SpdkLibOS", "FileQueue"]
 
@@ -87,7 +88,7 @@ class SpdkLibOS(LibOS):
         sga.release_all()
         queue.record_ids.append(record_id)
         self._directory[queue.name] = queue.record_ids
-        self.count("file_appends")
+        self.count(names.FILE_APPENDS)
         # Tail-follow: satisfy a waiting pop with the new record.
         if queue._pending_pops:
             waiting = queue._pending_pops.popleft()
@@ -108,7 +109,7 @@ class SpdkLibOS(LibOS):
             return
         buf = self.mm.alloc(max(1, len(payload)))
         buf.write(0, payload)
-        self.count("file_reads")
+        self.count(names.FILE_READS)
         self.qtokens.complete(token, QResult(
             OP_POP, queue.qd, sga=Sga.from_buffer(buf, len(payload)),
             nbytes=len(payload), value=record_id))
@@ -121,7 +122,7 @@ class SpdkLibOS(LibOS):
             raise DemiError("file exists: %s" % path)
         self._directory[path] = []
         queue = self._install(FileQueue, path, self.store, [])
-        self.count("ctrl.creat")
+        self.count(names.CTRL_CREAT)
         return queue.qd
 
     def open(self, path: str) -> Generator:
@@ -131,14 +132,14 @@ class SpdkLibOS(LibOS):
         if records is None:
             raise DemiError("no such file: %s" % path)
         queue = self._install(FileQueue, path, self.store, records)
-        self.count("ctrl.open")
+        self.count(names.CTRL_OPEN)
         return queue.qd
 
     def fsync(self, qd: int) -> Generator:
         """Flush this libOS's buffered appends to flash and barrier."""
         self._lookup(qd)  # validate the descriptor
         flushed = yield from self.store.sync()
-        self.count("ctrl.fsync")
+        self.count(names.CTRL_FSYNC)
         return flushed
 
     def mount(self) -> Generator:

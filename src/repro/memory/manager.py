@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Tuple
 
 from ..hw.iommu import IommuFault
 from .buffer import Buffer, BufferError
+from ..telemetry import names
 
 __all__ = ["MemoryManager", "Region"]
 
@@ -68,6 +69,7 @@ class MemoryManager:
         self.host = host
         self.costs = host.costs
         self.tracer = host.tracer
+        self.counters = host.tracer.scope(names.MM)
         self.region_size = region_size
         self.transparent = transparent
         self.align = align
@@ -98,7 +100,7 @@ class MemoryManager:
         handle = device.iommu.map(region.base, region.size)
         region.handles[device.name] = handle
         self.host.cpu.charge_async(self.costs.registration_ns(region.size))
-        self.tracer.count("mm.region_registrations")
+        self.counters.count(names.MM_REGION_REGISTRATIONS)
 
     # -- allocation ---------------------------------------------------------
     def _new_region(self, at_least: int) -> Region:
@@ -106,7 +108,7 @@ class MemoryManager:
         region = Region(self._next_base, size)
         self._next_base += size + 4096  # guard gap
         self.regions.append(region)
-        self.tracer.count("mm.regions_created")
+        self.counters.count(names.MM_REGIONS_CREATED)
         if self.transparent:
             for device in self.devices:
                 self._register_region(region, device)
@@ -132,7 +134,7 @@ class MemoryManager:
         self._buffers[addr] = buf
         self.live_bytes += nbytes
         self.host.cpu.charge_async(self.costs.malloc_ns)
-        self.tracer.count("mm.allocs")
+        self.counters.count(names.MM_ALLOCS)
         return buf
 
     def register_buffer(self, buf: Buffer, device: Any) -> None:
@@ -141,7 +143,7 @@ class MemoryManager:
         self.host.cpu.charge_async(
             self.costs.registration_ns(buf.capacity, per_buffer=True)
         )
-        self.tracer.count("mm.buffer_registrations")
+        self.counters.count(names.MM_BUFFER_REGISTRATIONS)
 
     def free(self, buf: Buffer) -> None:
         """Free a buffer; deferred if a device still references it."""
@@ -149,11 +151,11 @@ class MemoryManager:
             raise BufferError("double free of buffer @%#x" % buf.addr)
         buf.freed = True
         self.host.cpu.charge_async(self.costs.free_ns)
-        self.tracer.count("mm.frees")
+        self.counters.count(names.MM_FREES)
         if buf.in_use_by_device:
             # Free-protection: the unprotected path would have reused this
             # memory under an active DMA.
-            self.tracer.count("mm.deferred_frees")
+            self.counters.count(names.MM_DEFERRED_FREES)
             buf.on_last_release(self._deallocate)
         else:
             self._deallocate(buf)
@@ -172,7 +174,7 @@ class MemoryManager:
             self._buffer_addrs.pop(idx)
         self._buffers.pop(buf.addr, None)
         self.live_bytes -= buf.capacity
-        self.tracer.count("mm.deallocations")
+        self.counters.count(names.MM_DEALLOCATIONS)
 
     # -- resolution (one-sided RDMA, device access) --------------------------
     def resolve(self, addr: int, nbytes: int) -> Tuple[Buffer, int]:

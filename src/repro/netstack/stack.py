@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.engine import Simulator
+from ..telemetry import DISABLED, names
 from .arp import ARP_REPLY, ARP_REQUEST, ArpPacket
 from .ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
 from .ipv4 import DEFAULT_MTU, IPV4_HEADER_LEN, PROTO_TCP, PROTO_UDP, Ipv4Packet
@@ -52,6 +53,7 @@ class NetStack:
         rx_cost_ns: int = 0,
         mtu: int = DEFAULT_MTU,
         verify_checksums: bool = False,
+        telemetry=None,
     ):
         self.sim = sim
         self.name = name
@@ -59,6 +61,8 @@ class NetStack:
         self.ip = ip
         self.send_frame = send_frame
         self.tracer = tracer
+        self.counters = tracer.scope(name)
+        self.telemetry = telemetry or DISABLED
         self.charge = charge or (lambda ns: None)
         self.tx_cost_ns = tx_cost_ns
         self.rx_cost_ns = rx_cost_ns
@@ -78,25 +82,25 @@ class NetStack:
     def rx_frame(self, raw: bytes) -> None:
         """Entry point from the driver (poll loop or interrupt handler)."""
         self.charge(self.rx_cost_ns)
-        self.tracer.count("%s.rx_frames" % self.name)
+        self.counters.count(names.RX_FRAMES)
         try:
             frame = EthernetFrame.unpack(raw)
         except PacketError:
-            self.tracer.count("%s.rx_malformed" % self.name)
+            self.counters.count(names.RX_MALFORMED)
             return
         if frame.dst not in (self.mac, BROADCAST_MAC):
-            self.tracer.count("%s.rx_wrong_mac" % self.name)
+            self.counters.count(names.RX_WRONG_MAC)
             return
         if frame.ethertype == ETHERTYPE_ARP:
             self._rx_arp(frame)
         elif frame.ethertype == ETHERTYPE_IPV4:
             self._rx_ipv4(frame)
         else:
-            self.tracer.count("%s.rx_unknown_ethertype" % self.name)
+            self.counters.count(names.RX_UNKNOWN_ETHERTYPE)
 
     def _tx_frame(self, dst_mac: str, ethertype: int, payload: bytes) -> None:
         self.charge(self.tx_cost_ns)
-        self.tracer.count("%s.tx_frames" % self.name)
+        self.counters.count(names.TX_FRAMES)
         frame = EthernetFrame(dst=dst_mac, src=self.mac,
                               ethertype=ethertype, payload=payload)
         self.send_frame(dst_mac, frame.pack())
@@ -106,7 +110,7 @@ class NetStack:
         try:
             arp = ArpPacket.unpack(frame.payload)
         except PacketError:
-            self.tracer.count("%s.rx_malformed" % self.name)
+            self.counters.count(names.RX_MALFORMED)
             return
         # Opportunistic learning.
         self.arp_table[arp.sender_ip] = arp.sender_mac
@@ -128,12 +132,12 @@ class NetStack:
             return
         if attempt >= ARP_MAX_RETRIES:
             dropped = self._arp_pending.pop(dst_ip, [])
-            self.tracer.count("%s.arp_unresolved_drops" % self.name, len(dropped))
+            self.counters.count(names.ARP_UNRESOLVED_DROPS, len(dropped))
             return
         req = ArpPacket(ARP_REQUEST, self.mac, self.ip,
                         "00:00:00:00:00:00", dst_ip)
         self._tx_frame(BROADCAST_MAC, ETHERTYPE_ARP, req.pack())
-        self.tracer.count("%s.arp_requests" % self.name)
+        self.counters.count(names.ARP_REQUESTS)
         self.sim.call_in(ARP_RETRY_NS, self._send_arp_request, dst_ip, attempt + 1)
 
     def _flush_arp_pending(self, ip: str) -> None:
@@ -146,17 +150,17 @@ class NetStack:
             packet = Ipv4Packet.unpack(frame.payload,
                                        verify_checksum=self.verify_checksums)
         except PacketError:
-            self.tracer.count("%s.rx_malformed" % self.name)
+            self.counters.count(names.RX_MALFORMED)
             return
         if packet.dst != self.ip:
-            self.tracer.count("%s.rx_wrong_ip" % self.name)
+            self.counters.count(names.RX_WRONG_IP)
             return
         if packet.proto == PROTO_UDP:
             self._rx_udp(packet)
         elif packet.proto == PROTO_TCP:
             self._rx_tcp(packet)
         else:
-            self.tracer.count("%s.rx_unknown_proto" % self.name)
+            self.counters.count(names.RX_UNKNOWN_PROTO)
 
     def _tx_ipv4(self, packet: Ipv4Packet) -> None:
         if IPV4_HEADER_LEN + len(packet.payload) > self.mtu:
@@ -193,16 +197,16 @@ class NetStack:
     def _rx_udp(self, packet: Ipv4Packet) -> None:
         if self.verify_checksums and not udp_checksum_ok(
                 packet.payload, packet.src, packet.dst):
-            self.tracer.count("%s.udp_bad_checksum_drops" % self.name)
+            self.counters.count(names.UDP_BAD_CHECKSUM_DROPS)
             return
         try:
             datagram = UdpDatagram.unpack(packet.payload)
         except PacketError:
-            self.tracer.count("%s.rx_malformed" % self.name)
+            self.counters.count(names.RX_MALFORMED)
             return
         handler = self._udp_handlers.get(datagram.dst_port)
         if handler is None:
-            self.tracer.count("%s.udp_no_listener" % self.name)
+            self.counters.count(names.UDP_NO_LISTENER)
             return
         handler(datagram.payload, packet.src, datagram.src_port)
 
@@ -249,12 +253,12 @@ class NetStack:
                 packet.payload, packet.src, packet.dst):
             # Corrupted segment: discard silently; the sender's RTO or
             # fast retransmit recovers, exactly as on a real stack.
-            self.tracer.count("%s.tcp_bad_checksum_drops" % self.name)
+            self.counters.count(names.TCP_BAD_CHECKSUM_DROPS)
             return
         try:
             seg = TcpSegment.unpack(packet.payload)
         except PacketError:
-            self.tracer.count("%s.rx_malformed" % self.name)
+            self.counters.count(names.RX_MALFORMED)
             return
         key = (self.ip, seg.dst_port, packet.src, seg.src_port)
         conn = self._tcp_conns.get(key)
@@ -277,7 +281,7 @@ class NetStack:
             return
         # No home for this segment: RST (unless it was itself a RST).
         if not seg.flags & RST_FLAG:
-            self.tracer.count("%s.tcp_rst_sent" % self.name)
+            self.counters.count(names.TCP_RST_SENT)
             rst = TcpSegment(seg.dst_port, seg.src_port,
                              seg.ack, seg.seq + len(seg.payload) + 1,
                              RST_FLAG | ACK_FLAG, 0)
@@ -286,7 +290,7 @@ class NetStack:
                                      ident=self._next_ident()))
 
     def _tcp_transmit(self, conn: TcpConnection, seg: TcpSegment) -> None:
-        self.tracer.count("%s.tcp_segments_tx" % self.name)
+        self.counters.count(names.TCP_SEGMENTS_TX)
         self._tx_ipv4(Ipv4Packet(conn.local[0], conn.remote[0], PROTO_TCP,
                                  seg.pack(conn.local[0], conn.remote[0]),
                                  ident=self._next_ident()))

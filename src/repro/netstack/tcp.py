@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.sync import WaitQueue
+from ..telemetry import names
 from .packet import PacketError, internet_checksum, ip_to_bytes
 
 __all__ = [
@@ -180,6 +181,8 @@ class TcpConnection:
         self.snd_nxt = iss
         self._send_queue = bytearray()      # not yet segmented
         self._inflight: List[Tuple[int, bytes, int]] = []  # (seq, data, flags)
+        #: telemetry tx->ack spans keyed by each segment's end seq
+        self._tx_spans: Dict[int, object] = {}
         self.peer_window = 1
         self._dupacks = 0
 
@@ -375,6 +378,9 @@ class TcpConnection:
                 (seq, data, flags) for (seq, data, flags) in self._inflight
                 if seq + max(1, len(data)) > seg.ack
             ]
+            if self._tx_spans:
+                for end_seq in [e for e in self._tx_spans if e <= seg.ack]:
+                    self._tx_spans.pop(end_seq).end()
             if self._inflight or self.snd_nxt > self.snd_una:
                 self._arm_rto()
             # FIN acked?
@@ -397,7 +403,7 @@ class TcpConnection:
             # Out of order: buffer (bounded by window) and dup-ack.
             if seq - self.rcv_nxt < self.recv_capacity:
                 self._ooo.setdefault(seq, payload)
-                self.stack.tracer.count("%s.tcp_ooo_buffered" % self.stack.name)
+                self.stack.counters.count(names.TCP_OOO_BUFFERED)
             self._send_ack()
             return
         # Trim any already-received prefix.
@@ -416,7 +422,7 @@ class TcpConnection:
         room = self.recv_capacity - len(self._recv_buffer)
         if len(payload) > room:
             payload = payload[:room]  # receiver never advertised this; drop
-            self.stack.tracer.count("%s.tcp_window_overrun_trimmed" % self.stack.name)
+            self.stack.counters.count(names.TCP_WINDOW_OVERRUN_TRIMMED)
         self._recv_buffer.extend(payload)
         self.rcv_nxt += len(payload)
 
@@ -487,13 +493,20 @@ class TcpConnection:
                     and self.snd_nxt > self.snd_una
                     and not self._fin_queued):
                 # Nagle: a sub-MSS segment waits while data is unacked.
-                self.stack.tracer.count("%s.tcp_nagle_delays" % self.stack.name)
+                self.stack.counters.count(names.TCP_NAGLE_DELAYS)
                 break
             payload = bytes(self._send_queue[:take])
             del self._send_queue[:take]
             seq = self.snd_nxt
             self.snd_nxt += take
             self._inflight.append((seq, payload, PSH | ACK))
+            telemetry = self.stack.telemetry
+            if telemetry.enabled:
+                # tx->ack span: ends when the cumulative ack covers the
+                # segment (retransmits extend it, as they should).
+                self._tx_spans[seq + take] = telemetry.span(
+                    "tcp_tx_ack", cat="netstack", track=self.stack.name,
+                    seq=seq, nbytes=take)
             if self._rtt_probe is None:
                 self._rtt_probe = (seq, self.sim.now)
             self._emit(TcpSegment(self.local[1], self.remote[1], seq,
@@ -541,7 +554,7 @@ class TcpConnection:
             if self._retries > MAX_SYN_RETRIES:
                 self._fail(TcpError("connection timed out (SYN)"))
                 return
-            self.stack.tracer.count("%s.tcp_retransmits" % self.stack.name)
+            self.stack.counters.count(names.TCP_RETRANSMITS)
             self._emit(TcpSegment(self.local[1], self.remote[1], self.iss, 0,
                                   SYN, self.recv_window, mss=self.mss))
             self._rto = min(MAX_RTO_NS, self._rto * 2)
@@ -552,7 +565,7 @@ class TcpConnection:
             if self._retries > MAX_SYN_RETRIES:
                 self._fail(TcpError("connection timed out (SYN-ACK)"))
                 return
-            self.stack.tracer.count("%s.tcp_retransmits" % self.stack.name)
+            self.stack.counters.count(names.TCP_RETRANSMITS)
             self._emit(TcpSegment(self.local[1], self.remote[1], self.iss,
                                   self.rcv_nxt, SYN | ACK, self.recv_window,
                                   mss=self.mss))
@@ -577,10 +590,10 @@ class TcpConnection:
         self.ssthresh = max(2 * self.mss, outstanding // 2)
         self.cwnd = self.mss if to_one_mss else self.ssthresh
         self.cwnd_reductions += 1
-        self.stack.tracer.count("%s.tcp_cwnd_reductions" % self.stack.name)
+        self.stack.counters.count(names.TCP_CWND_REDUCTIONS)
 
     def _fast_retransmit(self) -> None:
-        self.stack.tracer.count("%s.tcp_fast_retransmits" % self.stack.name)
+        self.stack.counters.count(names.TCP_FAST_RETRANSMITS)
         self._congestion_event(to_one_mss=False)
         self._retransmit_head()
 
@@ -588,7 +601,7 @@ class TcpConnection:
         if not self._inflight:
             return
         seq, payload, flags = self._inflight[0]
-        self.stack.tracer.count("%s.tcp_retransmits" % self.stack.name)
+        self.stack.counters.count(names.TCP_RETRANSMITS)
         self._emit(TcpSegment(self.local[1], self.remote[1], seq,
                               self.rcv_nxt, flags, self.recv_window, payload))
 
@@ -599,7 +612,7 @@ class TcpConnection:
         if (self.state in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT_1) and
                 self._send_queue and
                 self.peer_window - (self.snd_nxt - self.snd_una) <= 0):
-            self.stack.tracer.count("%s.tcp_window_probes" % self.stack.name)
+            self.stack.counters.count(names.TCP_WINDOW_PROBES)
             self._send_ack()  # zero-window probe (degenerate)
             self._arm_window_probe()
 
@@ -623,7 +636,7 @@ class TcpListener:
     def _deliver(self, conn: TcpConnection) -> None:
         if len(self._accept_queue) >= self.backlog:
             conn.abort()
-            self.stack.tracer.count("%s.tcp_accept_overflow" % self.stack.name)
+            self.stack.counters.count(names.TCP_ACCEPT_OVERFLOW)
             return
         self._accept_queue.append(conn)
         self.accept_wq.pulse()

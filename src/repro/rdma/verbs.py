@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator, List, Optional
 
 from ..hw.nic import HwCq, HwQp, RdmaNic
+from ..telemetry import names
 
 __all__ = ["ProtectionDomain", "MemoryRegion", "QueuePair", "VerbsError"]
 
@@ -63,7 +64,7 @@ class MemoryRegion:
             nic.host.cpu.charge_async(
                 nic.costs.registration_ns(self.length, per_buffer=True)
             )
-            nic.count("explicit_mr_registrations")
+            nic.count(names.EXPLICIT_MR_REGISTRATIONS)
         else:
             self._handle = None  # already covered by a transparent region
 

@@ -32,6 +32,7 @@ from typing import Generator, Optional
 from ..core.queue import DemiQueue
 from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
 from ..rdma.verbs import QueuePair
+from ..telemetry import names
 
 __all__ = ["RemoteRing", "RingProducer", "RingConsumer", "RmemQueue",
            "RING_HEADER_BYTES", "SLOT_HEADER"]
@@ -221,7 +222,7 @@ class RmemQueue(DemiQueue):
         except DemiError as err:
             self._complete(token, QResult(OP_PUSH, self.qd, error=str(err)))
             return
-        self.libos.count("rmem_tx_elements")
+        self.libos.count(names.RMEM_TX_ELEMENTS)
         self._complete(token, QResult(OP_PUSH, self.qd, nbytes=sga.nbytes))
 
     def _consume_pump(self) -> Generator:
@@ -229,7 +230,7 @@ class RmemQueue(DemiQueue):
             payload = yield from self.consumer.pop()
             buf = self.libos.mm.alloc(max(1, len(payload)))
             buf.write(0, payload)
-            self.libos.count("rmem_rx_elements")
+            self.libos.count(names.RMEM_RX_ELEMENTS)
             while not self.has_room() and not self.closed:
                 yield self.space_wq.wait()
             if self.closed:

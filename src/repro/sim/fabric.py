@@ -19,6 +19,7 @@ from .costs import CostModel, DEFAULT_COSTS
 from .engine import Simulator
 from .rand import Rng
 from .trace import Tracer
+from ..telemetry import names
 
 __all__ = ["Fabric", "Port", "BROADCAST_ADDR"]
 
@@ -54,6 +55,7 @@ class Fabric:
         self.sim = sim
         self.costs = costs
         self.tracer = tracer or Tracer()
+        self.counters = self.tracer.scope(names.FABRIC)
         self.rng = rng or Rng(7)
         self.drop_rate = drop_rate
         self.ports: Dict[str, Port] = {}
@@ -96,8 +98,8 @@ class Fabric:
         arrive = start + serialize + self.costs.link_latency_ns
         src.tx_frames += 1
         src.tx_bytes += nbytes
-        self.tracer.count("fabric.tx_frames")
-        self.tracer.count("fabric.tx_bytes", nbytes)
+        self.counters.count(names.TX_FRAMES)
+        self.counters.count(names.TX_BYTES, nbytes)
 
         if dst_addr == BROADCAST_ADDR:
             # Drop decisions are per destination: one replica being lost
@@ -111,7 +113,7 @@ class Fabric:
         dst = self.ports.get(dst_addr)
         if dst is None:
             # Like a real switch: frames to unknown addresses vanish.
-            self.tracer.count("fabric.unknown_dst_frames")
+            self.counters.count(names.UNKNOWN_DST_FRAMES)
             return
         self._deliver_one(src_addr, dst, frame, nbytes, arrive - now)
 
@@ -135,10 +137,10 @@ class Fabric:
 
     def _drop(self, dst: Port) -> None:
         dst.dropped_frames += 1
-        self.tracer.count("fabric.dropped_frames")
+        self.counters.count(names.DROPPED_FRAMES)
 
     def _arrive(self, port: Port, frame: Any, nbytes: int) -> None:
         port.rx_frames += 1
         port.rx_bytes += nbytes
-        self.tracer.count("fabric.rx_frames")
+        self.counters.count(names.RX_FRAMES)
         port.deliver(frame)

@@ -30,6 +30,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from .rand import Rng
+from ..telemetry import names
 
 __all__ = [
     "FaultEvent",
@@ -321,7 +322,7 @@ class FaultInjector:
     def note(self, what: str, where: str) -> None:
         """Count and timeline one fault decision (deterministic fields only)."""
         if self.tracer is not None:
-            self.tracer.count("fault.%s" % what)
+            self.tracer.scope(names.FAULT).count(what)
             now = self.sim.now if self.sim is not None else 0
             self.tracer.record(now, "fault.%s" % what, where)
 

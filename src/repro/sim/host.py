@@ -34,11 +34,16 @@ class Host:
         cores: int = 4,
         tracer: Optional[Tracer] = None,
         rng: Optional[Rng] = None,
+        telemetry=None,
     ):
+        from ..telemetry import DISABLED
+
         self.sim = sim
         self.name = name
         self.costs = costs
         self.tracer = tracer or Tracer()
+        self.telemetry = telemetry or DISABLED
+        self.counters = self.tracer.scope(name)
         self.rng = rng or Rng(hash(name) & 0xFFFFFF)
         self.cpus = CpuSet(sim, cores, costs.cpu_ghz)
         # Components attached by their builders:
@@ -58,7 +63,7 @@ class Host:
         return self.sim.spawn(gen, name="%s/%s" % (self.name, name or "proc"))
 
     def count(self, counter: str, n: int = 1) -> None:
-        self.tracer.count("%s.%s" % (self.name, counter), n)
+        self.counters.count(counter, n)
 
     def nic(self, index: int = 0) -> Any:
         return self.nics[index]

@@ -13,7 +13,41 @@ import math
 from collections import defaultdict
 from typing import Any, Dict, List, Tuple
 
-__all__ = ["Tracer", "LatencyStats"]
+__all__ = ["Tracer", "CounterScope", "LatencyStats"]
+
+
+class CounterScope:
+    """A counter handle bound to one name prefix.
+
+    Subsystems hold a scope for their own prefix (``host.tracer.scope(
+    self.name)``) and bump leaf names from the registry
+    (:mod:`repro.telemetry.names`) - the full counter name is
+    ``"<prefix>.<leaf>"``, exactly the string the old inline
+    ``"%s.%s" % (self.name, counter)`` formatting produced, so every
+    pinned golden counter keeps its name.
+    """
+
+    __slots__ = ("tracer", "prefix")
+
+    def __init__(self, tracer: "Tracer", prefix: str):
+        self.tracer = tracer
+        self.prefix = prefix
+
+    def _full(self, name: str) -> str:
+        return "%s.%s" % (self.prefix, name) if self.prefix else name
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.tracer.counters[self._full(name)] += n
+
+    def get(self, name: str) -> int:
+        return self.tracer.counters.get(self._full(name), 0)
+
+    def scope(self, suffix: str) -> "CounterScope":
+        """A nested scope: ``scope("a").scope("b")`` prefixes ``a.b``."""
+        return CounterScope(self.tracer, self._full(suffix))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<CounterScope %r>" % self.prefix
 
 
 class Tracer:
@@ -30,6 +64,10 @@ class Tracer:
 
     def get(self, name: str) -> int:
         return self.counters.get(name, 0)
+
+    def scope(self, prefix: str) -> CounterScope:
+        """A bound handle that prefixes every counter with ``prefix.``."""
+        return CounterScope(self, prefix)
 
     def record(self, now: int, event: str, detail: Any = None) -> None:
         if self.keep_events and len(self.events) < self.max_events:

@@ -1,0 +1,126 @@
+"""Telemetry exporters: Chrome ``trace_event`` JSON and plain dicts.
+
+The Chrome format is the lingua franca of trace viewers - write the file
+with ``python -m repro trace ...`` and load it in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  Each span track maps
+to a *process* row (host / stack / device name) and each category
+("app", "libos", "netstack", "device") to a named *thread* lane within
+it, so the per-stack attribution reads straight off the timeline.
+
+Timestamps: sim time is integer nanoseconds; ``trace_event`` wants
+microseconds, so ``ts``/``dur`` are floats with ns precision preserved
+(0.001 us granularity).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+__all__ = ["chrome_trace_events", "write_chrome_trace", "snapshot",
+           "breakdown_from_events"]
+
+#: stable lane ordering inside a track
+_CATEGORY_ORDER = ("app", "libos", "netstack", "device")
+
+
+def _tid_for(cat: str) -> int:
+    try:
+        return _CATEGORY_ORDER.index(cat) + 1
+    except ValueError:
+        return len(_CATEGORY_ORDER) + 1
+
+
+def chrome_trace_events(telemetry) -> List[dict]:
+    """Render finished spans as a Chrome ``trace_event`` list."""
+    events: List[dict] = []
+    pids: Dict[str, int] = {}
+    named_threads = set()
+    for span in telemetry.spans:
+        if span.end_ns is None:
+            continue
+        track = span.track or "sim"
+        pid = pids.get(track)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[track] = pid
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": track}})
+        tid = _tid_for(span.cat)
+        if (pid, tid) not in named_threads:
+            named_threads.add((pid, tid))
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid, "args": {"name": span.cat or "spans"}})
+        args = dict(span.args)
+        args["span_id"] = span.id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ph": "X",
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(telemetry, path: str) -> int:
+    events = chrome_trace_events(telemetry)
+    doc = {"traceEvents": events, "displayTimeUnit": "ns"}
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return len(events)
+
+
+def snapshot(telemetry) -> dict:
+    """Plain-dict export: metric summaries + per-category span rollups."""
+    by_category: Dict[str, dict] = {}
+    by_name: Dict[str, dict] = {}
+    for span in telemetry.spans:
+        if span.end_ns is None:
+            continue
+        for key, table in ((span.cat, by_category), (span.name, by_name)):
+            row = table.setdefault(key, {"count": 0, "total_ns": 0,
+                                         "max_ns": 0})
+            row["count"] += 1
+            row["total_ns"] += span.duration_ns
+            if span.duration_ns > row["max_ns"]:
+                row["max_ns"] = span.duration_ns
+    return {
+        "sim_now_ns": telemetry.now(),
+        "span_count": len(telemetry.spans),
+        "spans_by_category": by_category,
+        "spans_by_name": by_name,
+        "metrics": {name: metric.summary()
+                    for name, metric in sorted(telemetry.metrics.items())},
+    }
+
+
+def breakdown_from_events(events) -> Dict[str, dict]:
+    """Aggregate a Chrome event list into a per-category breakdown.
+
+    Accepts either the raw ``traceEvents`` list or the whole document
+    dict; returns ``{category: {"spans", "total_us", "mean_us",
+    "names": {span name: total_us}}}`` - the table ``python -m repro
+    report`` prints.
+    """
+    if isinstance(events, dict):
+        events = events.get("traceEvents", [])
+    out: Dict[str, dict] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        cat = event.get("cat", "span")
+        row = out.setdefault(cat, {"spans": 0, "total_us": 0.0, "names": {}})
+        dur = float(event.get("dur", 0.0))
+        row["spans"] += 1
+        row["total_us"] += dur
+        name = event.get("name", "?")
+        row["names"][name] = row["names"].get(name, 0.0) + dur
+    for row in out.values():
+        row["mean_us"] = row["total_us"] / row["spans"] if row["spans"] else 0.0
+    return out

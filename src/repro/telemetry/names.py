@@ -1,0 +1,183 @@
+"""The counter-name registry: every Tracer counter name lives here.
+
+Counters used to be minted inline as ``"%s.%s" % (self.name, "pushes")``
+format strings scattered across the tree, which meant a rename silently
+forked a counter and nothing could enumerate what the repo measures.
+Now every leaf name is a constant (or, for parameterised families, a
+function) in this module, and subsystems bump them through a
+:class:`repro.sim.trace.CounterScope` bound to their own prefix.
+
+``tests/lint/test_counter_names.py`` greps ``src/`` for raw
+``tracer.count("`` literals so the stringly-typed API cannot creep back.
+
+The *strings* are part of the repo's stable surface: chaos golden tests
+pin exact counter values by full name, so renaming a constant's value is
+a breaking change even though renaming the constant itself is not.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------- libOS core
+PUSHES = "pushes"
+POPS = "pops"
+CANCELS = "cancels"
+ACCEPTS = "accepts"
+CONNECTS = "connects"
+
+CTRL_QUEUE = "ctrl.queue"
+CTRL_MERGE = "ctrl.merge"
+CTRL_FILTER = "ctrl.filter"
+CTRL_SORT = "ctrl.sort"
+CTRL_MAP = "ctrl.map"
+CTRL_QCONNECT = "ctrl.qconnect"
+CTRL_CLOSE = "ctrl.close"
+CTRL_CLOSE_NOOP = "ctrl.close_noop"
+CTRL_CREAT = "ctrl.creat"
+CTRL_OPEN = "ctrl.open"
+CTRL_FSYNC = "ctrl.fsync"
+
+# ------------------------------------------------------------- qtoken table
+QTOKENS_CREATED = "qtokens_created"
+QTOKENS_COMPLETED = "qtokens_completed"
+QTOKENS_CANCELLED = "qtokens_cancelled"
+LATE_COMPLETIONS_DROPPED = "late_completions_dropped"
+WAITS = "waits"
+WAIT_TIMEOUTS = "wait_timeouts"
+
+# ---------------------------------------------------------- queue pipelines
+PIPELINE_FILTER_DROPPED = "pipeline.filter_dropped"
+
+
+def pipeline_device_elements(operator: str) -> str:
+    return "pipeline.%s_device_elements" % operator
+
+
+def pipeline_cpu_elements(operator: str) -> str:
+    return "pipeline.%s_cpu_elements" % operator
+
+
+# ------------------------------------------------------- per-libOS datapath
+UDP_TX_ELEMENTS = "udp_tx_elements"
+UDP_RX_ELEMENTS = "udp_rx_elements"
+TCP_TX_ELEMENTS = "tcp_tx_elements"
+TCP_RX_ELEMENTS = "tcp_rx_elements"
+FILE_APPENDS = "file_appends"
+FILE_READS = "file_reads"
+RDMA_TX_ELEMENTS = "rdma_tx_elements"
+RDMA_RX_ELEMENTS = "rdma_rx_elements"
+RDMA_RX_ERRORS = "rdma_rx_errors"
+FLOW_CONTROL_STALLS = "flow_control_stalls"
+CREDIT_RETURNS_SENT = "credit_returns_sent"
+CREDIT_RETURNS_RECEIVED = "credit_returns_received"
+RMEM_TX_ELEMENTS = "rmem_tx_elements"
+RMEM_RX_ELEMENTS = "rmem_rx_elements"
+QUEUE_HOPS = "queue_hops"
+BYTES_COPIED_TX = "bytes_copied_tx"
+BYTES_COPIED_RX = "bytes_copied_rx"
+
+# ----------------------------------------------------------- legacy kernel
+SYSCALLS = "syscalls"
+BLOCKS = "blocks"
+WAKEUPS = "wakeups"
+EWOULDBLOCK = "ewouldblock"
+EPOLL_RETURNS = "epoll_returns"
+EPOLL_WAKEUPS = "epoll_wakeups"
+PAGE_CACHE_HITS = "page_cache_hits"
+PAGE_CACHE_MISSES = "page_cache_misses"
+FSYNCS = "fsyncs"
+
+# ---------------------------------------------------------------- netstack
+RX_FRAMES = "rx_frames"
+TX_FRAMES = "tx_frames"
+RX_MALFORMED = "rx_malformed"
+RX_WRONG_MAC = "rx_wrong_mac"
+RX_WRONG_IP = "rx_wrong_ip"
+RX_UNKNOWN_ETHERTYPE = "rx_unknown_ethertype"
+RX_UNKNOWN_PROTO = "rx_unknown_proto"
+ARP_REQUESTS = "arp_requests"
+ARP_UNRESOLVED_DROPS = "arp_unresolved_drops"
+UDP_BAD_CHECKSUM_DROPS = "udp_bad_checksum_drops"
+UDP_NO_LISTENER = "udp_no_listener"
+TCP_BAD_CHECKSUM_DROPS = "tcp_bad_checksum_drops"
+TCP_RST_SENT = "tcp_rst_sent"
+TCP_SEGMENTS_TX = "tcp_segments_tx"
+TCP_OOO_BUFFERED = "tcp_ooo_buffered"
+TCP_WINDOW_OVERRUN_TRIMMED = "tcp_window_overrun_trimmed"
+TCP_NAGLE_DELAYS = "tcp_nagle_delays"
+TCP_RETRANSMITS = "tcp_retransmits"
+TCP_FAST_RETRANSMITS = "tcp_fast_retransmits"
+TCP_CWND_REDUCTIONS = "tcp_cwnd_reductions"
+TCP_WINDOW_PROBES = "tcp_window_probes"
+TCP_ACCEPT_OVERFLOW = "tcp_accept_overflow"
+
+# ------------------------------------------------------------------ fabric
+FABRIC = "fabric"
+TX_BYTES = "tx_bytes"
+UNKNOWN_DST_FRAMES = "unknown_dst_frames"
+DROPPED_FRAMES = "dropped_frames"
+
+# ------------------------------------------------------------------ faults
+FAULT = "fault"
+
+# ---------------------------------------------------------------- NIC / hw
+RX_RING_DROPS = "rx_ring_drops"
+RX_INTERRUPTS = "rx_interrupts"
+RX_NO_HANDLER_DROPS = "rx_no_handler_drops"
+RX_COALESCED = "rx_coalesced"
+QPS_CREATED = "qps_created"
+POSTED_RECVS = "posted_recvs"
+RETRANSMITS = "retransmits"
+QP_ERRORS = "qp_errors"
+NON_RDMA_FRAMES_DROPPED = "non_rdma_frames_dropped"
+RX_UNKNOWN_QP = "rx_unknown_qp"
+RX_UNKNOWN_KIND = "rx_unknown_kind"
+RNR_NAKS_RECEIVED = "rnr_naks_received"
+RNR_NAKS_SENT = "rnr_naks_sent"
+REMOTE_ACCESS_NAKS = "remote_access_naks"
+REMOTE_ACCESS_ERRORS = "remote_access_errors"
+RX_OUT_OF_ORDER_DROPPED = "rx_out_of_order_dropped"
+RECV_LENGTH_ERRORS = "recv_length_errors"
+RX_SENDS_DELIVERED = "rx_sends_delivered"
+RX_WRITES_APPLIED = "rx_writes_applied"
+RX_READS_SERVED = "rx_reads_served"
+EXPLICIT_MR_REGISTRATIONS = "explicit_mr_registrations"
+
+
+def rxq_frames(queue: int) -> str:
+    return "rxq%d_frames" % queue
+
+
+def tx_packet_kind(kind: str) -> str:
+    return "tx_%s" % kind
+
+
+def offloaded(operator: str) -> str:
+    return "offloaded_%s" % operator
+
+
+# ------------------------------------------------------------------- IOMMU
+IOMMU_MAPS = "maps"
+IOMMU_UNMAPS = "unmaps"
+IOMMU_FAULTS = "faults"
+IOMMU_TRANSLATIONS = "translations"
+
+# -------------------------------------------------------------------- NVMe
+NVME_READS = "reads"
+NVME_READ_BYTES = "read_bytes"
+NVME_WRITES = "writes"
+NVME_WRITE_BYTES = "write_bytes"
+NVME_FLUSHES = "flushes"
+
+# ------------------------------------------------------------------ memory
+MM = "mm"
+MM_REGION_REGISTRATIONS = "region_registrations"
+MM_REGIONS_CREATED = "regions_created"
+MM_ALLOCS = "allocs"
+MM_BUFFER_REGISTRATIONS = "buffer_registrations"
+MM_FREES = "frees"
+MM_DEFERRED_FREES = "deferred_frees"
+MM_DEALLOCATIONS = "deallocations"
+
+# -------------------------------------------------------------------- apps
+RELAY_ESTABLISHED = "relay_established"
+KV_VALUE_COPIES = "kv_value_copies"

@@ -19,6 +19,7 @@ from .sim.fabric import Fabric
 from .sim.host import Host
 from .sim.rand import Rng
 from .sim.trace import Tracer
+from .telemetry import DISABLED, Telemetry
 
 __all__ = [
     "World",
@@ -37,10 +38,18 @@ class World:
     """A simulator + fabric + a set of hosts."""
 
     def __init__(self, costs: CostModel = DEFAULT_COSTS, drop_rate: float = 0.0,
-                 seed: int = 42):
+                 seed: int = 42, telemetry=False):
         self.sim = Simulator()
         self.costs = costs
         self.tracer = Tracer()
+        # telemetry: False (off), True (build a hub on this sim), or a
+        # pre-built Telemetry to share across worlds.
+        if telemetry is True:
+            telemetry = Telemetry(self.sim)
+        elif isinstance(telemetry, Telemetry) and telemetry.sim is None:
+            telemetry.sim = self.sim
+            telemetry.enabled = True
+        self.telemetry = telemetry or DISABLED
         self.fabric = Fabric(self.sim, costs, tracer=self.tracer,
                              rng=Rng(seed), drop_rate=drop_rate)
         self.hosts = {}
@@ -59,7 +68,7 @@ class World:
 
     def add_host(self, name: str, cores: int = 4) -> Host:
         host = Host(self.sim, name, self.costs, cores=cores,
-                    tracer=self.tracer)
+                    tracer=self.tracer, telemetry=self.telemetry)
         MemoryManager(host)
         self.hosts[name] = host
         return host
@@ -114,6 +123,7 @@ class NetHost:
             ip=ip,
             send_frame=lambda dst, raw: self.nic.post_tx(dst, raw),
             tracer=world.tracer,
+            telemetry=world.telemetry,
             charge=self.host.cpu.charge_async,
             tx_cost_ns=costs.user_net_tx_ns if user_costs else costs.kernel_net_tx_ns,
             rx_cost_ns=costs.user_net_rx_ns if user_costs else costs.kernel_net_rx_ns,
@@ -129,11 +139,12 @@ class NetHost:
 
 def make_kernel_pair(drop_rate: float = 0.0, seed: int = 42, cores: int = 4,
                      costs: CostModel = DEFAULT_COSTS,
-                     verify_checksums: bool = False):
+                     verify_checksums: bool = False, telemetry=False):
     """Two hosts running the legacy kernel: (world, client, server)."""
     from .kernelos.kernel import Kernel
 
-    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed,
+              telemetry=telemetry)
     a = w.add_host("client", cores=cores)
     b = w.add_host("server", cores=cores)
     ka = Kernel(a, w.fabric, "02:00:00:00:01:01", "10.0.0.1",
@@ -143,9 +154,9 @@ def make_kernel_pair(drop_rate: float = 0.0, seed: int = 42, cores: int = 4,
     return w, ka, kb
 
 
-def make_net_pair(drop_rate: float = 0.0, seed: int = 42):
+def make_net_pair(drop_rate: float = 0.0, seed: int = 42, telemetry=False):
     """Two raw NetStack hosts: (world, client NetHost, server NetHost)."""
-    w = World(drop_rate=drop_rate, seed=seed)
+    w = World(drop_rate=drop_rate, seed=seed, telemetry=telemetry)
     a = NetHost(w, "client", "10.0.0.1")
     b = NetHost(w, "server", "10.0.0.2")
     return w, a, b
@@ -154,11 +165,12 @@ def make_net_pair(drop_rate: float = 0.0, seed: int = 42):
 def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
                          with_offload: bool = False,
                          costs: CostModel = DEFAULT_COSTS,
-                         verify_checksums: bool = False):
+                         verify_checksums: bool = False, telemetry=False):
     """Two hosts with DPDK libOSes: (world, client libOS, server libOS)."""
     from .libos.dpdk_libos import DpdkLibOS
 
-    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed,
+              telemetry=telemetry)
     liboses = []
     for i, (name, ip) in enumerate((("client", "10.0.0.1"),
                                     ("server", "10.0.0.2"))):
@@ -173,24 +185,26 @@ def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
 
 def make_posix_libos_pair(drop_rate: float = 0.0, seed: int = 42,
                           costs: CostModel = DEFAULT_COSTS,
-                          verify_checksums: bool = False):
+                          verify_checksums: bool = False, telemetry=False):
     """Two hosts with POSIX libOSes over legacy kernels."""
     from .libos.posix_libos import PosixLibOS
 
     w, ka, kb = make_kernel_pair(drop_rate=drop_rate, seed=seed, costs=costs,
-                                 verify_checksums=verify_checksums)
+                                 verify_checksums=verify_checksums,
+                                 telemetry=telemetry)
     la = PosixLibOS(ka.host, ka, name="client.catnap")
     lb = PosixLibOS(kb.host, kb, name="server.catnap")
     return w, la, lb
 
 
 def make_rdma_libos_pair(drop_rate: float = 0.0, seed: int = 42,
-                         costs: CostModel = DEFAULT_COSTS):
+                         costs: CostModel = DEFAULT_COSTS, telemetry=False):
     """Two hosts with RDMA libOSes over verbs + a shared CM."""
     from .libos.rdma_libos import RdmaLibOS
     from .rdma.cm import RdmaCm
 
-    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed,
+              telemetry=telemetry)
     cm = RdmaCm(w.sim)
     liboses = []
     for name in ("client", "server"):
@@ -200,11 +214,12 @@ def make_rdma_libos_pair(drop_rate: float = 0.0, seed: int = 42,
     return w, liboses[0], liboses[1]
 
 
-def make_spdk_libos(seed: int = 42, costs: CostModel = DEFAULT_COSTS):
+def make_spdk_libos(seed: int = 42, costs: CostModel = DEFAULT_COSTS,
+                    telemetry=False):
     """One host with an NVMe device and an SPDK libOS: (world, libOS)."""
     from .libos.spdk_libos import SpdkLibOS
 
-    w = World(costs=costs, seed=seed)
+    w = World(costs=costs, seed=seed, telemetry=telemetry)
     host = w.add_host("h")
     nvme = w.add_nvme(host)
     libos = SpdkLibOS(host, nvme, name="h.catfish")
@@ -240,11 +255,12 @@ def make_rmem_world(slot_size: int = 4096, n_slots: int = 16,
 
 
 def make_mtcp_pair(drop_rate: float = 0.0, seed: int = 42,
-                   costs: CostModel = DEFAULT_COSTS):
+                   costs: CostModel = DEFAULT_COSTS, telemetry=False):
     """Two hosts with mTCP-style shims: (world, client shim, server shim)."""
     from .libos.mtcp_shim import MtcpShim
 
-    w = World(costs=costs, drop_rate=drop_rate, seed=seed)
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed,
+              telemetry=telemetry)
     shims = []
     for i, (name, ip) in enumerate((("client", "10.0.0.1"),
                                     ("server", "10.0.0.2"))):

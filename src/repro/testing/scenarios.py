@@ -157,7 +157,7 @@ def _finish(world, name: str, kind: str, plan: FaultPlan,
 # World construction
 # ---------------------------------------------------------------------------
 
-def _build_net_pair(kind: str, plan: FaultPlan):
+def _build_net_pair(kind: str, plan: FaultPlan, telemetry=False):
     """(world, client libOS, server libOS) with the plan installed.
 
     TCP-based kinds verify L4 checksums so corruption faults surface as
@@ -165,12 +165,15 @@ def _build_net_pair(kind: str, plan: FaultPlan):
     """
     if kind == "dpdk":
         w, client, server = make_dpdk_libos_pair(seed=plan.seed,
-                                                 verify_checksums=True)
+                                                 verify_checksums=True,
+                                                 telemetry=telemetry)
     elif kind == "posix":
         w, client, server = make_posix_libos_pair(seed=plan.seed,
-                                                  verify_checksums=True)
+                                                  verify_checksums=True,
+                                                  telemetry=telemetry)
     elif kind == "rdma":
-        w, client, server = make_rdma_libos_pair(seed=plan.seed)
+        w, client, server = make_rdma_libos_pair(seed=plan.seed,
+                                                 telemetry=telemetry)
     else:
         raise ValueError("unknown network libOS kind %r" % (kind,))
     w.tracer.keep_events = True
@@ -184,9 +187,10 @@ def _build_net_pair(kind: str, plan: FaultPlan):
 
 def run_echo_scenario(kind: str, plan: FaultPlan, name: str = "echo",
                       n_messages: int = 20, message_size: int = 512,
-                      limit_ns: int = DEFAULT_LIMIT_NS) -> ScenarioResult:
+                      limit_ns: int = DEFAULT_LIMIT_NS,
+                      telemetry=False) -> ScenarioResult:
     """Ping-pong echo under faults: every byte back, in order, once."""
-    world, client, server = _build_net_pair(kind, plan)
+    world, client, server = _build_net_pair(kind, plan, telemetry=telemetry)
     rng = Rng(plan.seed).fork_named("workload")
     messages = [rng.bytes(message_size) for _ in range(n_messages)]
     server_proc = world.sim.spawn(
@@ -231,9 +235,10 @@ def run_echo_scenario(kind: str, plan: FaultPlan, name: str = "echo",
 def run_kv_scenario(kind: str, plan: FaultPlan, name: str = "kv",
                     n_ops: int = 40, n_keys: int = 32,
                     value_size: int = 256,
-                    limit_ns: int = DEFAULT_LIMIT_NS) -> ScenarioResult:
+                    limit_ns: int = DEFAULT_LIMIT_NS,
+                    telemetry=False) -> ScenarioResult:
     """The paper's KV store under faults, checked against a replay model."""
-    world, client, server = _build_net_pair(kind, plan)
+    world, client, server = _build_net_pair(kind, plan, telemetry=telemetry)
     rng = Rng(plan.seed).fork_named("workload")
     ops = kv_workload(rng, n_ops, n_keys=n_keys, value_size=value_size,
                       get_fraction=0.7)
@@ -310,9 +315,10 @@ def _storage_workload(libos, records: Sequence[bytes]) -> Generator:
 
 def run_storage_scenario(plan: FaultPlan, name: str = "storage",
                          n_records: int = 12, record_size: int = 2048,
-                         limit_ns: int = DEFAULT_LIMIT_NS) -> ScenarioResult:
+                         limit_ns: int = DEFAULT_LIMIT_NS,
+                         telemetry=False) -> ScenarioResult:
     """Append + fsync + read-back on the SPDK libOS under device faults."""
-    world, libos = make_spdk_libos(seed=plan.seed)
+    world, libos = make_spdk_libos(seed=plan.seed, telemetry=telemetry)
     world.tracer.keep_events = True
     world.install_faults(plan)
     rng = Rng(plan.seed).fork_named("workload")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.types import DemiError, Sga, SgaSegment
+from repro.core.types import DemiError, DemiTimeout, Sga, SgaSegment
 from repro.core.wait import QTokenTable
 from repro.core.types import OP_POP, QResult
 from repro.sim.engine import Simulator
@@ -117,11 +117,16 @@ class TestQTokenTable:
         token, _ = table.create()
 
         def waiter():
-            return (yield from table.wait_any([token], timeout_ns=1000))
+            try:
+                yield from table.wait_any([token], timeout_ns=1000)
+            except DemiTimeout as err:
+                return err
 
         p = sim.spawn(waiter())
         sim.run()
-        assert p.value == (-1, None)
+        assert isinstance(p.value, DemiTimeout)
+        assert p.value.timeout_ns == 1000
+        assert p.value.tokens == (token,)
         # The token survives a timeout and can be waited again.
         assert table.outstanding == 1
 
@@ -154,18 +159,22 @@ class TestQTokenTable:
         sim.run()
         assert p.value == [0, 1, 2]
 
-    def test_wait_all_timeout_returns_none(self):
+    def test_wait_all_timeout_raises(self):
         sim, table = self.make()
         t1, _ = table.create()
         t2, _ = table.create()
 
         def waiter():
-            return (yield from table.wait_all([t1, t2], timeout_ns=1000))
+            try:
+                yield from table.wait_all([t1, t2], timeout_ns=1000)
+            except DemiTimeout as err:
+                return err
 
         p = sim.spawn(waiter())
         sim.call_in(100, table.complete, t1, QResult(OP_POP, 1))
         sim.run()
-        assert p.value is None
+        assert isinstance(p.value, DemiTimeout)
+        assert p.value.timeout_ns == 1000
 
     def test_wait_all_empty_is_instant(self):
         sim, table = self.make()

@@ -1,0 +1,45 @@
+"""Lint: counter names must come from the registry, not inline strings.
+
+Every hot-path counter name lives in :mod:`repro.telemetry.names`; call
+sites bump them through a :class:`~repro.sim.trace.CounterScope` handle.
+A raw ``count("literal")`` reintroduces the stringly-typed API this
+repo migrated away from - typos silently mint new counters and golden
+signatures drift.  This test greps ``src/`` so CI catches regressions.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: ``.count("...")`` / ``.count('...')`` with a string literal first arg
+RAW_COUNT = re.compile(r"""\.count\(\s*(["'])""")
+
+#: the registry itself is the one place string literals belong
+ALLOWED = {SRC / "telemetry" / "names.py"}
+
+
+def offending_lines():
+    hits = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if RAW_COUNT.search(line):
+                hits.append("%s:%d: %s"
+                            % (path.relative_to(SRC.parent.parent),
+                               lineno, line.strip()))
+    return hits
+
+
+def test_no_raw_counter_name_literals():
+    hits = offending_lines()
+    assert not hits, (
+        "raw counter-name literals found; use repro.telemetry.names "
+        "constants via a tracer scope instead:\n" + "\n".join(hits))
+
+
+def test_registry_is_the_only_allowed_home():
+    # Guard the guard: the registry exists and actually defines names.
+    names = (SRC / "telemetry" / "names.py").read_text()
+    assert re.search(r'^[A-Z][A-Z0-9_]* = "', names, re.M)

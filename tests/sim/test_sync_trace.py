@@ -127,6 +127,41 @@ class TestTracer:
         assert t.events == []
 
 
+class TestCounterScope:
+    def test_scope_prefixes_counts(self):
+        t = Tracer()
+        s = t.scope("host0")
+        s.count("pushes")
+        s.count("pushes", 2)
+        assert t.get("host0.pushes") == 3
+        assert s.get("pushes") == 3
+
+    def test_scope_name_matches_inline_formatting(self):
+        # The migration contract: scoped names are byte-identical to the
+        # old '"%s.%s" % (prefix, leaf)' strings the goldens pin.
+        t = Tracer()
+        t.scope("catnip").count("tcp_tx_elements")
+        assert "catnip.tcp_tx_elements" in t.counters
+
+    def test_nested_scopes_join_with_dots(self):
+        t = Tracer()
+        kernel = t.scope("host0").scope("kernel")
+        kernel.count("syscalls", 5)
+        assert t.get("host0.kernel.syscalls") == 5
+
+    def test_empty_prefix_is_passthrough(self):
+        t = Tracer()
+        t.scope("").count("bare")
+        assert t.get("bare") == 1
+
+    def test_scopes_share_the_tracer(self):
+        t = Tracer()
+        a, b = t.scope("h"), t.scope("h")
+        a.count("x")
+        b.count("x")
+        assert t.get("h.x") == 2
+
+
 class TestLatencyStats:
     def test_empty_stats_are_nan(self):
         import math

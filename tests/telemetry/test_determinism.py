@@ -1,0 +1,49 @@
+"""Telemetry must be observation-only: enabling it cannot move the sim.
+
+The contract the chaos battery relies on: ``Tracer.signature()`` hashes
+every counter and the fault timeline, so if attaching telemetry changed
+one event's timing or minted one counter differently, a golden seed
+would drift.  One golden-seed scenario per libOS kind runs twice -
+telemetry off, telemetry on - and the signatures must be byte-identical.
+"""
+
+import pytest
+
+from repro.testing.scenarios import golden_plan, run_scenario
+
+#: one pinned (scenario, libOS kind) pair per libOS
+CASES = [
+    ("handshake-loss", "dpdk"),
+    ("handshake-loss", "posix"),
+    ("handshake-loss", "rdma"),
+    ("slow-nvme", "spdk"),
+]
+
+
+@pytest.mark.parametrize("name,kind", CASES, ids=["%s-%s" % c for c in CASES])
+def test_signature_identical_with_telemetry(name, kind):
+    plan = golden_plan(name, kind)
+    off = run_scenario(name, kind, plan=plan).require_ok()
+    on = run_scenario(name, kind, plan=plan, telemetry=True).require_ok()
+    assert on.signature == off.signature
+    assert on.counters == off.counters
+
+
+def test_telemetry_run_actually_records():
+    """Guard against the on-run silently running with telemetry off."""
+    from repro.testbed import make_dpdk_libos_pair
+    from repro.apps.echo import demi_echo_client, demi_echo_server
+
+    world, client, server = make_dpdk_libos_pair(telemetry=True)
+    world.sim.spawn(demi_echo_server(server, port=7, max_requests=3))
+    proc = world.sim.spawn(
+        demi_echo_client(client, "10.0.0.2", [b"x" * 64] * 3, port=7))
+    world.sim.run_until_complete(proc)
+    t = world.telemetry
+    assert t.enabled
+    cats = {s.cat for s in t.spans}
+    assert {"libos", "netstack", "device"} <= cats
+    # The qtoken-lifetime histogram saw the pushes and pops.
+    lifetimes = [m for n, m in t.metrics.items()
+                 if n.endswith("qtoken_lifetime_ns")]
+    assert lifetimes and any(h.count for h in lifetimes)

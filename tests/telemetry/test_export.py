@@ -1,0 +1,88 @@
+"""Exporter tests: Chrome trace shape, snapshot, report breakdown."""
+
+import json
+
+from repro.sim.engine import Simulator
+from repro.telemetry import (Telemetry, breakdown_from_events,
+                             chrome_trace_events)
+
+
+def make_populated():
+    sim = Simulator()
+    t = Telemetry(sim)
+    t.span("push", cat="libos", track="catnip", qd=3).end(end_ns=1_000)
+    t.span("rx", cat="netstack", track="catnip").end(end_ns=2_500)
+    t.span("nic_tx", cat="device", track="dpdk0").end(end_ns=500)
+    t.histogram("qtoken_lifetime_ns").observe(1_000)
+    return sim, t
+
+
+class TestChromeTrace:
+    def test_events_are_complete_x_events(self):
+        _, t = make_populated()
+        events = chrome_trace_events(t)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 3
+        for e in xs:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(e)
+
+    def test_ns_precision_in_us_floats(self):
+        sim = Simulator()
+        t = Telemetry(sim)
+        t.span("op", cat="libos").end(end_ns=1_234)
+        (x,) = [e for e in chrome_trace_events(t) if e["ph"] == "X"]
+        assert x["dur"] == 1.234
+
+    def test_tracks_become_named_processes(self):
+        _, t = make_populated()
+        events = chrome_trace_events(t)
+        names = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert names == {"catnip", "dpdk0"}
+        # Spans on the same track share a pid; categories split tids.
+        xs = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert xs["push"]["pid"] == xs["rx"]["pid"]
+        assert xs["push"]["tid"] != xs["rx"]["tid"]
+
+    def test_unfinished_spans_are_skipped(self):
+        sim = Simulator()
+        t = Telemetry(sim)
+        t.span("never-ended")
+        assert chrome_trace_events(t) == []
+
+    def test_json_round_trip(self, tmp_path):
+        _, t = make_populated()
+        path = tmp_path / "trace.json"
+        n = t.write_chrome_trace(str(path))
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert doc["displayTimeUnit"] == "ns"
+
+
+class TestSnapshot:
+    def test_rollups_and_metrics(self):
+        _, t = make_populated()
+        snap = t.snapshot()
+        assert snap["span_count"] == 3
+        assert snap["spans_by_category"]["libos"]["count"] == 1
+        assert snap["spans_by_category"]["libos"]["total_ns"] == 1_000
+        assert snap["spans_by_name"]["nic_tx"]["max_ns"] == 500
+        assert snap["metrics"]["qtoken_lifetime_ns"]["count"] == 1.0
+
+
+class TestBreakdown:
+    def test_per_category_totals(self):
+        _, t = make_populated()
+        b = breakdown_from_events(t.chrome_trace())
+        assert b["libos"]["spans"] == 1
+        assert b["libos"]["total_us"] == 1.0
+        assert b["netstack"]["total_us"] == 2.5
+        assert b["device"]["mean_us"] == 0.5
+        assert b["libos"]["names"] == {"push": 1.0}
+
+    def test_accepts_whole_document(self):
+        _, t = make_populated()
+        doc = {"traceEvents": t.chrome_trace(), "displayTimeUnit": "ns"}
+        assert breakdown_from_events(doc) == breakdown_from_events(
+            t.chrome_trace())
