@@ -9,7 +9,10 @@ Commands:
 * ``trace``       - run a workload with telemetry on and write a Chrome
   ``trace_event`` JSON file (load it in Perfetto / about:tracing);
 * ``report``      - per-stack latency breakdown (libOS vs netstack vs
-  device) from a trace file, or from a fresh inline run.
+  device) from a trace file, or from a fresh inline run;
+* ``chaos``       - run one golden chaos scenario (crash injection,
+  device outages...), print its invariant results and trace signature,
+  and exit nonzero if any invariant was violated.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from .bench.report import print_table, us
 from .bench.runners import echo_rtt_all_stacks, kv_value_size_sweep
 from .sim.costs import DEFAULT_COSTS
 from .testbed import make_dpdk_libos_pair
+from .testing.scenarios import GOLDEN_SCENARIOS
 
 __all__ = ["main"]
 
@@ -184,6 +188,39 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .sim.faults import FaultPlan
+    from .testing.scenarios import golden_plan, run_scenario
+
+    spec = GOLDEN_SCENARIOS[args.scenario]
+    kind = args.libos or spec["kinds"][0]
+    if kind not in spec["kinds"]:
+        raise SystemExit("scenario %r runs on %s, not %r"
+                         % (args.scenario, "/".join(spec["kinds"]), kind))
+    if args.plan:
+        with open(args.plan) as fh:
+            plan = FaultPlan.from_json(fh.read())
+    else:
+        plan = golden_plan(args.scenario, kind)
+    if args.seed is not None:
+        plan = FaultPlan(seed=args.seed, events=list(plan.events))
+    result = run_scenario(args.scenario, kind, plan=plan)
+    print("scenario : %s (%s)" % (args.scenario, spec["blurb"]))
+    print("libos    : %s   seed: %d" % (kind, plan.seed))
+    print("plan     : %s" % plan.describe())
+    for key, value in sorted(result.data.items()):
+        print("%-9s: %s" % (key, value))
+    print("signature: %s" % result.signature)
+    if result.ok:
+        print("invariants: all held")
+        return 0
+    print("invariants: %d VIOLATED" % len(result.failures))
+    for failure in result.failures:
+        print("  - %s" % failure)
+    print(result.repro_line())
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +255,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                           choices=("dpdk", "posix", "rdma", "spdk"))
     p_report.add_argument("--seed", type=int, default=42)
     p_report.set_defaults(fn=cmd_report)
+    p_chaos = sub.add_parser(
+        "chaos", help="run one chaos scenario and check its invariants")
+    p_chaos.add_argument("scenario", choices=sorted(GOLDEN_SCENARIOS))
+    p_chaos.add_argument("--libos", default=None,
+                         choices=("dpdk", "posix", "rdma", "spdk"),
+                         help="libOS kind (default: the scenario's first)")
+    p_chaos.add_argument("--seed", type=int, default=None,
+                         help="override the plan's RNG seed")
+    p_chaos.add_argument("--plan", default=None, metavar="PLAN.json",
+                         help="replay a FaultPlan JSON (e.g. from a "
+                              "failure's repro line) instead of the "
+                              "golden plan")
+    p_chaos.set_defaults(fn=cmd_chaos)
     args = parser.parse_args(argv)
     return args.fn(args)
 

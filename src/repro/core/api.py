@@ -25,7 +25,7 @@ from ..sim.cpu import Core
 from ..sim.host import Host
 from ..telemetry import names
 from .queue import DemiQueue, MemoryQueue
-from .types import DemiError, DemiTimeout, QResult, QToken, Sga
+from .types import DemiError, DemiTimeout, DeviceFailed, QResult, QToken, Sga
 from .wait import QTokenTable
 
 __all__ = ["LibOS"]
@@ -120,9 +120,26 @@ class LibOS:
     def _wait_charge(self):
         return self.core.busy(self.costs.wait_dispatch_ns)
 
+    @staticmethod
+    def _raise_device_failed(result: Optional[QResult]) -> None:
+        """Surface a typed device failure out of ``wait_*``.
+
+        A device whose recovery ladder is exhausted completes the token
+        with ``value`` holding the :class:`DeviceFailed`; string errors
+        (protocol errors, 'closed'...) keep returning in-band.
+        """
+        if result is not None and isinstance(result.value, DeviceFailed):
+            raise result.value
+
     def wait(self, token: QToken) -> Generator:
-        """Block on one qtoken; returns its QResult (with the data)."""
-        return (yield from self.qtokens.wait(token, charge=self._wait_charge))
+        """Block on one qtoken; returns its QResult (with the data).
+
+        Raises :class:`DeviceFailed` if the operation was lost to an
+        unrecoverable device (retry ladder exhausted / crash abort).
+        """
+        result = yield from self.qtokens.wait(token, charge=self._wait_charge)
+        self._raise_device_failed(result)
+        return result
 
     def wait_any(self, tokens: Sequence[QToken],
                  timeout_ns: Optional[int] = None,
@@ -137,8 +154,10 @@ class LibOS:
         for one release; new code should catch :class:`DemiTimeout`.
         """
         try:
-            return (yield from self.qtokens.wait_any(tokens, timeout_ns,
-                                                     charge=self._wait_charge))
+            index, result = yield from self.qtokens.wait_any(
+                tokens, timeout_ns, charge=self._wait_charge)
+            self._raise_device_failed(result)
+            return index, result
         except DemiTimeout:
             if legacy_timeout:
                 warnings.warn(_LEGACY_TIMEOUT_WARNING, DeprecationWarning,
@@ -155,8 +174,11 @@ class LibOS:
         the deprecated ``None`` sentinel for one release.
         """
         try:
-            return (yield from self.qtokens.wait_all(tokens, timeout_ns,
-                                                     charge=self._wait_charge))
+            results = yield from self.qtokens.wait_all(
+                tokens, timeout_ns, charge=self._wait_charge)
+            for result in results:
+                self._raise_device_failed(result)
+            return results
         except DemiTimeout:
             if legacy_timeout:
                 warnings.warn(_LEGACY_TIMEOUT_WARNING, DeprecationWarning,
@@ -263,6 +285,26 @@ class LibOS:
     def creat(self, path: str) -> Generator:
         raise DemiError("%s does not implement creat()" % self.name)
         yield  # pragma: no cover
+
+    # ---------------------------------------------- crash teardown (reclaim)
+    def crash_abort_queue(self, queue: DemiQueue, counters) -> None:
+        """Kernel-reclaim hook: sever *queue*'s device/protocol state.
+
+        :mod:`repro.kernelos.reclaim` calls this for every descriptor a
+        crashed process left open, right after the generic
+        ``queue.close()``.  The base libOS has no device state;
+        accelerator libOSes override it to RST live TCP connections,
+        destroy queue pairs, unbind ports, and reap per-queue pump
+        processes, counting what they did on *counters* (the host's
+        ``reclaim`` scope).
+        """
+
+    def crash_background_procs(self) -> list:
+        """Kernel-reclaim hook: background sim processes serving this
+        libOS as a whole (poll-mode drivers...) that must stop when the
+        owning process dies.  Per-queue pumps belong to
+        :meth:`crash_abort_queue` instead."""
+        return []
 
     # ------------------------------------------------------- memory convenience
     def sga_alloc(self, data: bytes) -> Sga:

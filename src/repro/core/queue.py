@@ -33,6 +33,8 @@ class DemiQueue:
         self.qd = qd
         self.closed = False
         self.eof = False  # peer finished: drained pops complete with "eof"
+        #: transport-death detail: pops after fail_pops() carry this error
+        self.error: Optional[str] = None
         #: pops issued before their element arrived, FIFO
         self._pending_pops: Deque[QToken] = deque()
         #: elements (sga, value) that arrived before anyone popped, FIFO
@@ -65,7 +67,8 @@ class DemiQueue:
                                           nbytes=sga.nbytes, value=value))
             return
         if self.eof:
-            self._complete(token, QResult(OP_POP, self.qd, error="eof"))
+            self._complete(token, QResult(OP_POP, self.qd,
+                                          error=self.error or "eof"))
             return
         self._pending_pops.append(token)
 
@@ -108,6 +111,18 @@ class DemiQueue:
         while self._pending_pops:
             token = self._pending_pops.popleft()
             self._complete(token, QResult(OP_POP, self.qd, error="eof"))
+
+    def fail_pops(self, error: str) -> None:
+        """The transport died hard (RST, QP error): outstanding and
+        future pops fail with *error* instead of a clean ``"eof"``, so
+        the application can tell a peer crash from a graceful close."""
+        if self.eof or self.closed:
+            return
+        self.eof = True
+        self.error = error
+        while self._pending_pops:
+            token = self._pending_pops.popleft()
+            self._complete(token, QResult(OP_POP, self.qd, error=error))
 
     def _complete(self, token: QToken, result: QResult) -> None:
         self.libos.qtokens.complete(token, result)

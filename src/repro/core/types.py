@@ -8,12 +8,14 @@ return ``qtoken`` handles that ``wait_*`` resolves to results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
-from ..memory.buffer import Buffer
+if TYPE_CHECKING:  # typing-only: keeps core.types import-cycle-free so
+    # hw/* modules can import the exception types at module load.
+    from ..memory.buffer import Buffer
 
 __all__ = ["SgaSegment", "Sga", "QToken", "QResult", "DemiError",
-           "DemiTimeout", "OP_PUSH", "OP_POP"]
+           "DemiTimeout", "DeviceFailed", "OP_PUSH", "OP_POP"]
 
 OP_PUSH = "push"
 OP_POP = "pop"
@@ -36,6 +38,30 @@ class DemiTimeout(DemiError):
         self.timeout_ns = timeout_ns
         #: the tokens that were being waited on (all still waitable)
         self.tokens = tuple(tokens)
+
+
+class DeviceFailed(DemiError):
+    """A device exhausted its recovery ladder; the operation is lost.
+
+    Raised out of ``wait_*`` when the underlying hardware command could
+    not be completed even after the bounded retry/backoff ladder
+    (timeout -> abort -> retry -> controller reset).  Unlike a string
+    ``QResult.error``, this is typed so callers can distinguish "the
+    device is gone" from ordinary protocol errors and fail over (e.g.
+    to the kernel path, which keeps serving).
+    """
+
+    def __init__(self, device: str, op: str, attempts: int,
+                 reason: str = "recovery ladder exhausted"):
+        super().__init__("%s: %s failed after %d attempt(s): %s"
+                         % (device, op, attempts, reason))
+        #: device name (e.g. ``"host0.nvme0"``)
+        self.device = device
+        #: the hardware operation that was lost (``"read"``/``"write"``...)
+        self.op = op
+        #: submission attempts made before giving up
+        self.attempts = attempts
+        self.reason = reason
 
 
 @dataclass(frozen=True)

@@ -144,6 +144,26 @@ class QTokenTable:
         self._on_cancel.pop(token, None)
         self._spans.pop(token, None)
 
+    def reap_all(self) -> Tuple[int, int]:
+        """Crash teardown: retire every live token at once.
+
+        Untriggered tokens are cancelled (their queues forget the
+        operation and late device completions drop); completed-but-
+        never-waited tokens are retired so their results are discarded.
+        The lifecycle identity ``created == completed + cancelled +
+        in_flight`` still holds afterwards, with ``in_flight == 0``.
+        Returns ``(cancelled, retired)``.
+        """
+        cancelled = retired = 0
+        for token, done in list(self._pending.items()):
+            if done.triggered:
+                self._retire(token)
+                retired += 1
+            else:
+                self.cancel(token)
+                cancelled += 1
+        return cancelled, retired
+
     # -- waiting (application side) ---------------------------------------------
     def wait(self, token: QToken, charge=None) -> Generator:
         """Sim-coroutine: block until *token* completes; returns QResult."""

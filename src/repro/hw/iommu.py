@@ -22,12 +22,19 @@ __all__ = ["Iommu", "IommuFault"]
 
 
 class IommuFault(Exception):
-    """DMA attempted to an unmapped (unregistered) address range."""
+    """DMA attempted to an unmapped (unregistered) address range.
 
-    def __init__(self, addr: int, size: int):
-        super().__init__("DMA fault: [%#x, %#x) not mapped" % (addr, addr + size))
+    Carries the owning device's name so a fault raised deep inside a
+    teardown/reclaim path identifies *which* translation table was
+    stale instead of failing anonymously.
+    """
+
+    def __init__(self, addr: int, size: int, device: str = "?"):
+        super().__init__("DMA fault on %s: [%#x, %#x) not mapped"
+                         % (device, addr, addr + size))
         self.addr = addr
         self.size = size
+        self.device = device
 
 
 class Iommu:
@@ -67,7 +74,7 @@ class Iommu:
         """Validate a DMA target; raises :class:`IommuFault` if unmapped."""
         if not self.covers(addr, size):
             self.counters.count(names.IOMMU_FAULTS)
-            raise IommuFault(addr, size)
+            raise IommuFault(addr, size, device=self.name)
         self.counters.count(names.IOMMU_TRANSLATIONS)
 
     @property

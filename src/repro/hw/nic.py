@@ -57,6 +57,10 @@ class _EthernetNic(Device):
         self.port = fabric.attach(mac, self._on_wire_rx)
         self.offload = None  # set by hw.offload.OffloadEngine.attach()
         self._tx_free_at = 0  # the TX pipeline processes descriptors FIFO
+        self.link_up = True
+        #: callbacks fired after a link flap heals (rings re-initialized);
+        #: the netstack hangs its re-ARP here.
+        self.on_link_recovered: List[Callable[[], None]] = []
 
     # -- transmit ---------------------------------------------------------
     def post_tx(
@@ -73,6 +77,10 @@ class _EthernetNic(Device):
         if dma_addrs:
             for addr, size in dma_addrs:
                 self.iommu.translate(addr, size)
+        if not self.link_up:
+            # No carrier: the descriptor completes but the frame is lost.
+            self.count(names.LINK_DOWN_DROPS)
+            return
         nbytes = len(frame)
         work = self.costs.dma_ns(nbytes) + self.costs.nic_process_ns
         now = self.sim.now
@@ -94,6 +102,9 @@ class _EthernetNic(Device):
 
     # -- receive ----------------------------------------------------------
     def _on_wire_rx(self, frame: Any) -> None:
+        if not self.link_up:
+            self.count(names.LINK_DOWN_DROPS)
+            return
         nbytes = len(frame)
         delay = self.costs.nic_process_ns + self.costs.dma_ns(nbytes)
         if self.faults is not None:
@@ -102,6 +113,29 @@ class _EthernetNic(Device):
 
     def _rx_ready(self, frame: Any) -> None:
         raise NotImplementedError
+
+    # -- link state --------------------------------------------------------
+    def drain_rx(self) -> int:
+        """Discard buffered RX state; returns frames dropped (subclasses)."""
+        return 0
+
+    def link_fail(self) -> None:
+        """Carrier lost: frames in the rings are gone, TX/RX drop."""
+        if not self.link_up:
+            return
+        self.link_up = False
+        self.count(names.LINK_FLAPS)
+        self.drain_rx()
+
+    def link_recover(self) -> None:
+        """Carrier back: re-initialize rings and notify listeners."""
+        if self.link_up:
+            return
+        self.link_up = True
+        self._tx_free_at = 0  # the TX pipeline restarts empty
+        self.count(names.RING_REINITS)
+        for hook in list(self.on_link_recovered):
+            hook()
 
 
 class DpdkNic(_EthernetNic):
@@ -173,6 +207,15 @@ class DpdkNic(_EthernetNic):
     def rx_pending(self, queue: int = 0) -> int:
         return len(self._rx_rings[queue])
 
+    def drain_rx(self) -> int:
+        """Empty every RX ring (link failure / crash teardown)."""
+        dropped = 0
+        for queue, ring in enumerate(self._rx_rings):
+            dropped += len(ring)
+            ring.clear()
+            self._ring_gauges[queue].set(0)
+        return dropped
+
     def rx_signal(self, queue: int = 0) -> Completion:
         """Completion that fires as soon as the RX ring is non-empty.
 
@@ -242,6 +285,12 @@ class KernelNic(_EthernetNic):
             # Frames arrived during the window: keep coalescing.
             self._window_ends_at = self.sim.now + self.coalesce_ns
             self.sim.call_in(self.coalesce_ns, self._flush_window)
+
+    def drain_rx(self) -> int:
+        """Drop frames parked in the coalescing window."""
+        dropped = len(self._coalesced)
+        self._coalesced.clear()
+        return dropped
 
 
 # --------------------------------------------------------------------------
@@ -366,6 +415,23 @@ class RdmaNic(Device):
         qp.connected = True
 
     def destroy_qp(self, qp: HwQp) -> None:
+        """Tear a QP down; outstanding send WRs flush with error CQEs.
+
+        Real RC hardware completes every posted-but-unfinished WR with
+        ``IBV_WC_WR_FLUSH_ERR`` when the QP leaves the ready states.
+        Drivers rely on those flushes to release the buffers behind the
+        WRs - and so does the crash-teardown path here: a push driver
+        parked on its send CQE wakes on the flush instead of leaking its
+        buffer holds forever.
+        """
+        qp.error = True
+        for seq in sorted(qp.inflight):
+            pkt, _retries, _epoch = qp.inflight[seq]
+            qp.send_cq.push({"wr_id": pkt.wr_id, "status": "flush",
+                             "opcode": pkt.kind, "qpn": qp.qpn})
+            self.count(names.WR_FLUSHES)
+        qp.inflight.clear()
+        qp.recv_buffers.clear()
         self.qps.pop(qp.qpn, None)
 
     # -- verbs: posting work ----------------------------------------------
@@ -424,6 +490,22 @@ class RdmaNic(Device):
             raise QpError("QP %d is in the error state" % qp.qpn)
         if not qp.connected:
             raise QpError("QP %d is not connected" % qp.qpn)
+
+    def drain_rx(self) -> int:
+        """Crash teardown: flush posted-but-unconsumed receive WRs.
+
+        RC has no rx ring in the Ethernet sense; the teardown equivalent
+        is flushing every still-posted receive buffer (real hardware
+        completes them with ``IBV_WC_WR_FLUSH_ERR``) so the memory
+        manager can free the buffers behind them.
+        """
+        drained = 0
+        for qp in list(self.qps.values()):
+            drained += len(qp.recv_buffers)
+            qp.recv_buffers.clear()
+        if drained:
+            self.count(names.WR_FLUSHES, drained)
+        return drained
 
     # -- the wire -----------------------------------------------------------
     def _emit(self, qp: HwQp, pkt: RdmaPacket, retries: int = 0) -> None:

@@ -12,8 +12,9 @@ command costs the per-op flash latency plus per-byte transfer time.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Any, Dict
 
+from ..core.types import DeviceFailed
 from ..sim.engine import Completion
 from ..telemetry import names
 from .device import Device
@@ -26,9 +27,25 @@ class NvmeError(Exception):
 
 
 class NvmeDevice(Device):
-    """Block storage with parallel flash channels."""
+    """Block storage with parallel flash channels.
+
+    Recovery ladder (engaged only when the fault plan schedules
+    ``nvme_ctrl_fail`` windows for this device): a command whose
+    completion lands inside a failure window *times out*; the driver
+    aborts it and resubmits after exponential backoff, up to
+    ``MAX_ATTEMPTS`` tries, then escalates to a controller reset and one
+    final attempt.  If that still fails the command's completion fails
+    with a typed :class:`~repro.core.types.DeviceFailed`.
+    """
 
     kind = "nvme"
+
+    #: normal submissions before escalating to a controller reset
+    MAX_ATTEMPTS = 3
+    #: backoff before retry *n* is ``RETRY_BACKOFF_NS << (n - 1)``
+    RETRY_BACKOFF_NS = 100_000
+    #: a controller reset is three orders slower than an I/O
+    CTRL_RESET_NS = 2_000_000
 
     def __init__(
         self,
@@ -46,6 +63,8 @@ class NvmeDevice(Device):
         self._blocks: Dict[int, bytes] = {}
         self._channel_free = [0] * channels
         self.flushes = 0
+        #: commands submitted but not yet completed/aborted
+        self._inflight: Dict[int, Dict[str, Any]] = {}
 
     # -- geometry helpers ----------------------------------------------------
     @property
@@ -90,8 +109,7 @@ class NvmeDevice(Device):
             self._blocks.get(lba + i, b"\x00" * self.block_size)
             for i in range(nblocks)
         )
-        self.sim.call_in(delay, done.trigger, data)
-        return done
+        return self._dispatch(done, "read", nbytes, delay, data, write=False)
 
     def submit_write(self, lba: int, data: bytes) -> Completion:
         """Write whole blocks; completion fires when durable in device."""
@@ -113,8 +131,8 @@ class NvmeDevice(Device):
         for i in range(nblocks):
             self._blocks[lba + i] = bytes(view[i * self.block_size:(i + 1) * self.block_size])
         done = self.sim.completion("%s.write" % self.name)
-        self.sim.call_in(delay, done.trigger, nblocks)
-        return done
+        return self._dispatch(done, "write", len(data), delay, nblocks,
+                              write=True)
 
     def submit_flush(self) -> Completion:
         """Barrier: completion fires after the flush latency."""
@@ -126,8 +144,96 @@ class NvmeDevice(Device):
                                 track=self.name).end(
                                     end_ns=self.sim.now + delay)
         done = self.sim.completion("%s.flush" % self.name)
-        self.sim.call_in(delay, done.trigger, None)
+        return self._dispatch(done, "flush", 0, delay, None, write=False)
+
+    # -- completion, recovery ladder, teardown -------------------------------
+    def _work_ns(self, op: str, nbytes: int, write: bool) -> int:
+        if op == "flush":
+            return self.costs.nvme_flush_ns
+        return self.costs.nvme_io_ns(nbytes, write=write)
+
+    def _dispatch(self, done: Completion, op: str, nbytes: int, delay: int,
+                  value: Any, write: bool) -> Completion:
+        """Route a submitted command to its completion.
+
+        Without scheduled controller failures this is the historical
+        fast path (one timer, one trigger); with them, a per-command
+        recovery process drives the timeout/abort/retry/reset ladder.
+        """
+        record = {"done": done, "op": op, "aborted": False}
+        self._inflight[id(record)] = record
+        if self.faults is None or not self.faults.has("nvme_ctrl_fail"):
+            self.sim.call_in(delay, self._finish, record, value)
+        else:
+            self.sim.spawn(self._recover(record, op, nbytes, write, delay,
+                                         value),
+                           name="%s.%s.recovery" % (self.name, op))
         return done
+
+    def _finish(self, record: Dict[str, Any], value: Any) -> None:
+        self._inflight.pop(id(record), None)
+        if not record["aborted"]:
+            record["done"].trigger(value)
+
+    def _recover(self, record, op, nbytes, write, delay, value):
+        """Sim-coroutine: one command's bounded-retry recovery ladder."""
+        attempts = 0
+        reset_done = False
+        while True:
+            attempts += 1
+            yield self.sim.timeout(delay)
+            if record["aborted"]:
+                return
+            if not self.faults.ctrl_failed(self.sim.now):
+                self._finish(record, value)
+                return
+            # The completion landed inside a controller-failure window:
+            # the command timed out.  Abort it and climb the ladder.
+            self.count(names.NVME_TIMEOUTS)
+            self.count(names.NVME_ABORTS)
+            if attempts < self.MAX_ATTEMPTS:
+                yield self.sim.timeout(
+                    self.RETRY_BACKOFF_NS << (attempts - 1))
+            elif not reset_done:
+                reset_done = True
+                self.count(names.NVME_CTRL_RESETS)
+                if self.telemetry.enabled:
+                    self.telemetry.span("nvme_ctrl_reset", cat="device",
+                                        track=self.name).end(
+                        end_ns=self.sim.now + self.CTRL_RESET_NS)
+                yield self.sim.timeout(self.CTRL_RESET_NS)
+            else:
+                self.count(names.NVME_DEVICE_FAILURES)
+                self._inflight.pop(id(record), None)
+                record["done"].fail(DeviceFailed(self.name, op, attempts))
+                return
+            if record["aborted"]:
+                return
+            self.count(names.NVME_RETRIES)
+            delay = self._occupy_channel(self._work_ns(op, nbytes, write))
+
+    def abort_all(self, reason: str = "aborted") -> int:
+        """Crash teardown: abort every in-flight command.
+
+        Each aborted command's completion *fails* with
+        :class:`DeviceFailed` (a real admin-queue abort posts an aborted
+        CQE) so any still-subscribed driver unblocks immediately instead
+        of waiting for flash timing.  Returns the number aborted.
+        """
+        aborted = 0
+        for record in list(self._inflight.values()):
+            if not record["aborted"]:
+                record["aborted"] = True
+                aborted += 1
+                self.count(names.NVME_ABORTS)
+                record["done"].fail(
+                    DeviceFailed(self.name, record["op"], 1, reason))
+        self._inflight.clear()
+        return aborted
+
+    @property
+    def inflight_commands(self) -> int:
+        return len(self._inflight)
 
     # -- test/inspection helpers --------------------------------------------
     def peek_block(self, lba: int) -> bytes:

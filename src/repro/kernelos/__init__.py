@@ -2,6 +2,7 @@
 
 from .kernel import EWOULDBLOCK, Kernel, KernelError, Syscalls
 from .pipe import KernelPipe
+from .reclaim import ReclaimReport, crash_teardown, reclaim_process
 from .vfs import Inode, Vfs
 
 __all__ = [
@@ -12,4 +13,7 @@ __all__ = [
     "Vfs",
     "Inode",
     "KernelPipe",
+    "ReclaimReport",
+    "reclaim_process",
+    "crash_teardown",
 ]

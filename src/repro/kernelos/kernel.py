@@ -129,6 +129,9 @@ class Kernel:
             verify_checksums=verify_checksums,
         )
         self.nic.irq_handler = self.stack.rx_frame
+        # After a link flap the fabric's MAC tables may have moved; flush
+        # the kernel stack's ARP cache so traffic re-resolves first.
+        self.nic.on_link_recovered.append(self.stack.relearn_arp)
         self._fds: Dict[int, Any] = {}
         self._next_fd = 3  # 0-2 are stdio, as tradition demands
         self.vfs = None  # attached by repro.kernelos.vfs when storage exists
@@ -152,6 +155,39 @@ class Kernel:
     def thread(self, core: Optional[Core] = None) -> "Syscalls":
         """A syscall interface bound to the calling thread's core."""
         return Syscalls(self, core or self.host.cpu)
+
+    def reclaim_fds(self, counters) -> int:
+        """Crash teardown: close every fd the dead process left open.
+
+        What ``exit(2)`` guarantees and a bypassed kernel cannot: live
+        connections are *aborted* so the peer observes an RST-driven
+        ECONNRESET instead of hanging until RTO exhaustion; listeners
+        close, UDP ports unbind, pipe ends drop.  Counts what it did on
+        *counters* (the host's ``reclaim`` scope); returns the number of
+        fds reclaimed.
+        """
+        reclaimed = 0
+        for fd, obj in list(self._fds.items()):
+            conn = getattr(obj, "conn", None)
+            if conn is not None and conn.state != "CLOSED":
+                conn.abort()
+                counters.count(names.RECLAIM_TCP_RSTS)
+            listener = getattr(obj, "listener", None)
+            if listener is not None:
+                listener.close()
+                counters.count(names.RECLAIM_LISTENERS_CLOSED)
+            kind = getattr(obj, "kind", None)
+            if kind == "udp" and obj.port is not None:
+                self.stack.udp_unbind(obj.port)
+                counters.count(names.RECLAIM_UDP_UNBOUND)
+            elif kind == "pipe_r":
+                obj.pipe.close_read()
+            elif kind == "pipe_w":
+                obj.pipe.close_write()
+            del self._fds[fd]
+            reclaimed += 1
+            counters.count(names.RECLAIM_FDS_CLOSED)
+        return reclaimed
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters.count(name, n)
@@ -250,10 +286,15 @@ class Syscalls:
             raise KernelError("recv on unconnected socket")
         yield self._syscall(self.costs.kernel_sock_op_ns)
         while True:
+            if sock.conn.error:
+                # ECONNRESET and friends: a hard transport death is an
+                # error return, not the b"" of a graceful FIN (and an
+                # RST discards any buffered bytes, as POSIX does).
+                raise KernelError(str(sock.conn.error))
             data = sock.conn.recv(max_bytes)
             if data:
                 break
-            if sock.conn.peer_closed or sock.conn.error:
+            if sock.conn.peer_closed:
                 return b""
             yield self._block(sock.conn.recv_signal())
             yield self._wakeup_charge()
@@ -267,9 +308,11 @@ class Syscalls:
         if sock.conn is None:
             raise KernelError("recv on unconnected socket")
         yield self._syscall(self.costs.kernel_sock_op_ns)
+        if sock.conn.error:
+            raise KernelError(str(sock.conn.error))
         data = sock.conn.recv(max_bytes)
         if not data:
-            if sock.conn.peer_closed or sock.conn.error:
+            if sock.conn.peer_closed:
                 return b""
             self.kernel.count(names.EWOULDBLOCK)
             return EWOULDBLOCK

@@ -1,0 +1,149 @@
+"""Kernel-side resource reclamation for crashed kernel-bypass processes.
+
+The paper's Figure-1 kernel keeps one responsibility even in a bypass
+world: when a process dies, *something* trusted must claw back every
+resource the fast path handed out - qtokens, queue descriptors, live TCP
+connections (the peer deserves an RST, not an RTO hang), queue pairs,
+in-flight NVMe commands, NIC rings, IOMMU mappings, and registered
+memory.  This module is that teardown path.
+
+Ordering is load-bearing:
+
+1. the application process is interrupted - no user code may resume;
+2. the qtoken table is reaped - no completion can ever wake a dead
+   waiter, and late device completions drop harmlessly;
+3. each queue descriptor closes and its libOS severs the protocol and
+   device state underneath (RST/QP destroy/port unbind) and reaps the
+   per-queue pump processes;
+4. libOS-wide background machinery (poll-mode drivers) stops;
+5. the kernel's own fd table is walked (the POSIX fallback path);
+6. devices abort in-flight commands and drain their rings;
+7. every registered buffer is freed - free-protection defers the ones a
+   device is still DMA-ing, which resolve during the quiesce, after
+   which the (now empty) regions are unmapped from every IOMMU.
+
+The end state is the crash-reclaim invariant the chaos scenarios assert:
+``mm.live_buffer_count == 0``, every IOMMU has zero mapped ranges, and
+the qd/fd tables are empty.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..telemetry import names
+
+__all__ = ["ReclaimReport", "reclaim_process", "crash_teardown",
+           "QUIESCE_POLL_NS", "DEFAULT_QUIESCE_LIMIT_NS"]
+
+#: how often the quiesce loop re-checks for deferred frees resolving
+QUIESCE_POLL_NS = 100_000
+#: give in-flight DMA this long to drop its last buffer references
+DEFAULT_QUIESCE_LIMIT_NS = 50_000_000
+
+
+class ReclaimReport:
+    """What one reclamation pass recovered."""
+
+    def __init__(self):
+        self.qtokens_cancelled = 0
+        self.qtokens_retired = 0
+        self.qds_closed = 0
+        self.fds_closed = 0
+        self.nvme_aborted = 0
+        self.frames_drained = 0
+        self.buffers_freed = 0
+        self.regions_released = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "ReclaimReport(%s)" % ", ".join(
+            "%s=%d" % kv for kv in sorted(vars(self).items()))
+
+
+def reclaim_process(libos, app_proc=None) -> ReclaimReport:
+    """Synchronously tear down a dead process's resources (steps 1-7
+    above, minus the quiesce).  *app_proc* is the application's sim
+    process, interrupted first if still alive.  Returns a
+    :class:`ReclaimReport`; call :func:`crash_teardown` instead when the
+    final region unmap matters (it almost always does).
+    """
+    host = libos.host
+    counters = host.tracer.scope(host.name).scope(names.RECLAIM)
+    counters.count(names.RECLAIM_RUNS)
+    report = ReclaimReport()
+
+    if app_proc is not None and app_proc.alive:
+        app_proc.interrupt("proc_crash")
+
+    cancelled, retired = libos.qtokens.reap_all()
+    report.qtokens_cancelled = cancelled
+    report.qtokens_retired = retired
+    if cancelled:
+        counters.count(names.RECLAIM_QTOKENS_CANCELLED, cancelled)
+    if retired:
+        counters.count(names.RECLAIM_QTOKENS_RETIRED, retired)
+
+    for qd in sorted(libos._queues):
+        queue = libos._queues[qd]
+        queue.close()
+        libos.crash_abort_queue(queue, counters)
+        libos._queues.pop(qd, None)
+        libos._closed_qds.add(qd)
+        counters.count(names.RECLAIM_QDS_CLOSED)
+        report.qds_closed += 1
+
+    for proc in libos.crash_background_procs():
+        if proc is not None and proc.alive:
+            proc.interrupt("proc_crash")
+
+    if host.kernel is not None:
+        report.fds_closed = host.kernel.reclaim_fds(counters)
+
+    nvme = getattr(libos, "nvme", None)
+    if nvme is not None:
+        aborted = nvme.abort_all(reason="owner crashed")
+        report.nvme_aborted = aborted
+        if aborted:
+            counters.count(names.RECLAIM_NVME_ABORTS, aborted)
+    for nic in host.nics:
+        report.frames_drained += nic.drain_rx()
+        counters.count(names.RECLAIM_RINGS_DRAINED)
+
+    freed = host.mm.free_all()
+    report.buffers_freed = freed
+    if freed:
+        counters.count(names.RECLAIM_BUFFERS_FREED, freed)
+    return report
+
+
+def crash_teardown(libos, app_proc=None,
+                   quiesce_limit_ns: int = DEFAULT_QUIESCE_LIMIT_NS,
+                   poll_ns: int = QUIESCE_POLL_NS,
+                   report_to: Optional[list] = None) -> Generator:
+    """Sim-coroutine: full teardown - reclaim, quiesce DMA, unmap regions.
+
+    After :func:`reclaim_process`, buffers a device was still DMA-ing
+    sit in deferred-free limbo until the device drops its last
+    reference; this waits (bounded by *quiesce_limit_ns*) for the heap
+    to empty, then releases every region - the step that actually
+    returns the IOMMU to zero mapped ranges.  The finished
+    :class:`ReclaimReport` is the coroutine's return value and is also
+    appended to *report_to* when given (handy for fault-injector crash
+    handlers that cannot consume return values).
+    """
+    host = libos.host
+    counters = host.tracer.scope(host.name).scope(names.RECLAIM)
+    report = reclaim_process(libos, app_proc)
+    deadline = host.sim.now + quiesce_limit_ns
+    while host.mm.live_buffer_count and host.sim.now < deadline:
+        yield host.sim.timeout(poll_ns)
+    report.regions_released = host.mm.reclaim_regions()
+    if report.regions_released:
+        counters.count(names.RECLAIM_REGIONS_UNMAPPED,
+                       report.regions_released)
+    if report_to is not None:
+        report_to.append(report)
+    return report

@@ -120,6 +120,9 @@ class DpdkLibOS(LibOS):
         )
         self._poll_proc = self.sim.spawn(self._poll_loop(),
                                          name="%s.poll" % name)
+        # After a link flap the switch/peer MAC tables may have moved;
+        # flush our ARP cache so traffic re-resolves before resuming.
+        nic.on_link_recovered.append(self.stack.relearn_arp)
 
     # -- driver --------------------------------------------------------------
     def _send_frame(self, dst_mac: str, raw: bytes) -> None:
@@ -200,6 +203,12 @@ class DpdkLibOS(LibOS):
     def _tcp_rx_pump(self, queue: TcpQueue) -> Generator:
         conn = queue.conn
         while not queue.closed:
+            if conn.error is not None:
+                # A hard reset (peer crash/abort), not a graceful FIN:
+                # surface ECONNRESET-style errors to waiting pops.  RST
+                # discards buffered data, as real TCP does.
+                queue.fail_pops(str(conn.error))
+                return
             data = conn.recv()
             if data:
                 self.core.charge_async(self.costs.framing_ns)
@@ -209,7 +218,7 @@ class DpdkLibOS(LibOS):
                     self.count(names.TCP_RX_ELEMENTS)
                     queue.deliver(Sga.from_buffer(buf, len(message)))
                 continue
-            if conn.peer_closed or conn.error is not None:
+            if conn.peer_closed:
                 queue.mark_eof()
                 return
             yield conn.recv_signal()
@@ -303,3 +312,24 @@ class DpdkLibOS(LibOS):
         # unreachable (e.g. a partition that never heals); reap it.
         if isinstance(queue, TcpQueue) and queue._rx_pump_proc is not None:
             queue._rx_pump_proc.interrupt("close")
+
+    # -- crash teardown (kernel-side reclamation) -------------------------------
+    def crash_abort_queue(self, queue, counters) -> None:
+        """RST live connections so peers see ECONNRESET, not an RTO hang."""
+        if isinstance(queue, TcpQueue):
+            if queue.conn is not None and queue.conn.state != "CLOSED":
+                queue.conn.abort()
+                counters.count(names.RECLAIM_TCP_RSTS)
+            if queue._rx_pump_proc is not None:
+                queue._rx_pump_proc.interrupt("proc_crash")
+        elif isinstance(queue, ListenQueue):
+            if queue.listener is not None:
+                queue.listener.close()
+                counters.count(names.RECLAIM_LISTENERS_CLOSED)
+        elif isinstance(queue, UdpQueue):
+            if queue.port is not None:
+                self.stack.udp_unbind(queue.port)
+                counters.count(names.RECLAIM_UDP_UNBOUND)
+
+    def crash_background_procs(self):
+        return [self._poll_proc]

@@ -14,7 +14,7 @@ from typing import Generator, Optional
 from ..core.api import LibOS
 from ..core.queue import DemiQueue
 from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
-from ..kernelos.kernel import Kernel
+from ..kernelos.kernel import Kernel, KernelError
 from ..netstack.framing import Deframer, frame_message
 from ..telemetry import names
 
@@ -92,7 +92,13 @@ class PosixLibOS(LibOS):
     def _rx_pump(self, queue: PosixTcpQueue) -> Generator:
         sys = self.kernel.thread(self.core)
         while not queue.closed:
-            data = yield from sys.recv(queue.fd)
+            try:
+                data = yield from sys.recv(queue.fd)
+            except KernelError as err:
+                # ECONNRESET (or the fd vanished in crash reclamation):
+                # waiting pops observe the reset, not a clean eof.
+                queue.fail_pops(str(err))
+                return
             if not data:
                 queue.mark_eof()
                 return
@@ -156,3 +162,11 @@ class PosixLibOS(LibOS):
         # Reap a pump parked in recv() against an unreachable peer.
         if isinstance(queue, PosixTcpQueue) and queue._rx_pump_proc is not None:
             queue._rx_pump_proc.interrupt("close")
+
+    # -- crash teardown (kernel-side reclamation) ---------------------------
+    def crash_abort_queue(self, queue, counters) -> None:
+        """Reap the rx pumps; the kernel's own fd-table walk
+        (:meth:`repro.kernelos.kernel.Kernel.reclaim_fds`) aborts the
+        sockets underneath, exactly as exit(2) would."""
+        if isinstance(queue, PosixTcpQueue) and queue._rx_pump_proc is not None:
+            queue._rx_pump_proc.interrupt("proc_crash")

@@ -236,3 +236,23 @@ class RdmaLibOS(LibOS):
         # Reap a pump parked on an empty CQ of a dead connection.
         if isinstance(queue, RdmaQueue) and queue._rx_pump_proc is not None:
             queue._rx_pump_proc.interrupt("close")
+
+    # -- crash teardown (kernel-side reclamation) -------------------------------
+    def crash_abort_queue(self, queue, counters) -> None:
+        """Destroy the QP so the NIC stops retransmitting into dead
+        memory; the pre-posted receive pool returns to the heap with the
+        rest of the process's buffers in ``MemoryManager.free_all``."""
+        if isinstance(queue, RdmaQueue):
+            if queue.qp is not None:
+                queue.qp.destroy()
+                counters.count(names.RECLAIM_QPS_DESTROYED)
+            queue._send_cqes.clear()
+            # Wake any push driver parked on flow-control credits so it
+            # observes the closed queue and exits.
+            queue.credit_wq.pulse()
+            if queue._rx_pump_proc is not None:
+                queue._rx_pump_proc.interrupt("proc_crash")
+        elif isinstance(queue, RdmaListenQueue):
+            if queue.listener is not None:
+                queue.listener.close()
+                counters.count(names.RECLAIM_LISTENERS_CLOSED)

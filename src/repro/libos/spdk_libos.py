@@ -17,7 +17,8 @@ from typing import Dict, Generator, List, Optional
 
 from ..core.api import LibOS
 from ..core.queue import DemiQueue
-from ..core.types import OP_POP, OP_PUSH, DemiError, QResult, QToken, Sga
+from ..core.types import (OP_POP, OP_PUSH, DemiError, DeviceFailed, QResult,
+                          QToken, Sga)
 from ..hw.nvme import NvmeDevice
 from ..storage.log import LogStore
 from ..telemetry import names
@@ -82,8 +83,9 @@ class SpdkLibOS(LibOS):
             record_id = yield from self.store.append(payload)
         except Exception as err:
             sga.release_all()
-            self.qtokens.complete(token, QResult(OP_PUSH, queue.qd,
-                                                 error=str(err)))
+            self.qtokens.complete(token, QResult(
+                OP_PUSH, queue.qd, error=str(err),
+                value=err if isinstance(err, DeviceFailed) else None))
             return
         sga.release_all()
         queue.record_ids.append(record_id)
@@ -104,8 +106,9 @@ class SpdkLibOS(LibOS):
         try:
             payload = yield from self.store.read(record_id)
         except Exception as err:
-            self.qtokens.complete(token, QResult(OP_POP, queue.qd,
-                                                 error=str(err)))
+            self.qtokens.complete(token, QResult(
+                OP_POP, queue.qd, error=str(err),
+                value=err if isinstance(err, DeviceFailed) else None))
             return
         buf = self.mm.alloc(max(1, len(payload)))
         buf.write(0, payload)

@@ -79,6 +79,8 @@ class MemoryManager:
         # addr-indexed live buffers for one-sided access resolution
         self._buffer_addrs: List[int] = []
         self._buffers: Dict[int, Buffer] = {}
+        # explicit per-buffer registrations: addr -> [(device, handle)]
+        self._buffer_handles: Dict[int, List[Tuple[Any, int]]] = {}
         self.live_bytes = 0
         host.mm = self
 
@@ -138,8 +140,14 @@ class MemoryManager:
         return buf
 
     def register_buffer(self, buf: Buffer, device: Any) -> None:
-        """Explicit per-buffer registration (legacy mode / C7 baseline)."""
-        device.iommu.map(buf.addr, buf.capacity)
+        """Explicit per-buffer registration (legacy mode / C7 baseline).
+
+        The handle is remembered so deallocation (and crash teardown)
+        unmaps it - an explicitly registered buffer must not leave a
+        stale IOMMU range behind once it is gone.
+        """
+        handle = device.iommu.map(buf.addr, buf.capacity)
+        self._buffer_handles.setdefault(buf.addr, []).append((device, handle))
         self.host.cpu.charge_async(
             self.costs.registration_ns(buf.capacity, per_buffer=True)
         )
@@ -164,6 +172,8 @@ class MemoryManager:
         if buf.deallocated:
             return
         buf.deallocated = True
+        for device, handle in self._buffer_handles.pop(buf.addr, ()):
+            device.iommu.unmap(handle)
         region = buf.region
         if region is not None:
             region.live_buffers -= 1
@@ -185,7 +195,8 @@ class MemoryManager:
             buf = self._buffers[base]
             if addr + nbytes <= base + buf.capacity:
                 return buf, addr - base
-        raise IommuFault(addr, nbytes)
+        self.counters.count(names.IOMMU_FAULTS)
+        raise IommuFault(addr, nbytes, device="%s.mm" % self.host.name)
 
     def read_mem(self, addr: int, nbytes: int) -> bytes:
         buf, offset = self.resolve(addr, nbytes)
@@ -194,6 +205,43 @@ class MemoryManager:
     def write_mem(self, addr: int, data: bytes) -> None:
         buf, offset = self.resolve(addr, len(data))
         buf.write(offset, data)
+
+    # -- teardown / reclamation ----------------------------------------------
+    def free_all(self) -> int:
+        """Crash teardown: free every still-live buffer the dead process
+        left behind.  Buffers a device is mid-DMA on get the normal
+        free-protection (deallocation defers to the last reference drop);
+        already-freed-but-deferred buffers are left to resolve on their
+        own.  Returns the number of buffers newly freed."""
+        freed = 0
+        for buf in list(self._buffers.values()):
+            if not buf.freed:
+                self.free(buf)
+                freed += 1
+        return freed
+
+    def reclaim_regions(self) -> int:
+        """Release every empty region: unmap it from each attached
+        device's IOMMU and return the arena to the (simulated) OS.
+
+        Only regions with no live buffers are touched, so this is safe
+        to call while deferred frees are still pending; call it again
+        once they resolve.  Returns the number of regions released.
+        """
+        kept: List[Region] = []
+        released = 0
+        for region in self.regions:
+            if region.live_buffers == 0:
+                for device in self.devices:
+                    handle = region.handles.pop(device.name, None)
+                    if handle is not None:
+                        device.iommu.unmap(handle)
+                released += 1
+                self.counters.count(names.MM_REGIONS_RECLAIMED)
+            else:
+                kept.append(region)
+        self.regions = kept
+        return released
 
     # -- stats ----------------------------------------------------------------
     @property

@@ -310,3 +310,16 @@ class NetStack:
     def seed_arp(self, ip: str, mac: str) -> None:
         """Pre-populate the ARP table (tests, static configurations)."""
         self.arp_table[ip] = mac
+
+    def relearn_arp(self) -> None:
+        """Invalidate the ARP cache after a link flap.
+
+        The healed link may connect to a different switch port (or the
+        peer's MAC may have moved), so every cached entry is suspect.
+        Entries re-resolve on demand through the normal request/retry
+        path; packets sent meanwhile queue behind the resolution.
+        Register this as a NIC ``on_link_recovered`` hook.
+        """
+        if self.arp_table:
+            self.counters.count(names.ARP_RELEARNS, len(self.arp_table))
+        self.arp_table.clear()

@@ -39,13 +39,17 @@ __all__ = [
     "DeviceFaultView",
     "NETWORK_KINDS",
     "DEVICE_KINDS",
+    "CRASH_KINDS",
 ]
 
 #: network fault kinds, applied per (frame, destination) in the fabric
 NETWORK_KINDS = ("loss", "reorder", "duplicate", "corrupt", "partition",
                  "latency")
 #: device fault kinds, applied inside NIC / NVMe timing paths
-DEVICE_KINDS = ("nic_stall", "nic_ring_clamp", "nvme_slow")
+DEVICE_KINDS = ("nic_stall", "nic_ring_clamp", "nvme_slow",
+                "nic_link_flap", "nvme_ctrl_fail")
+#: crash kinds: kill a process/host-side application at a point in time
+CRASH_KINDS = ("proc_crash",)
 
 
 @dataclass
@@ -69,9 +73,10 @@ class FaultEvent:
     factor: float = 1.0        # nvme_slow latency multiplier
     limit: int = 0             # nic_ring_clamp effective ring size
     device: Optional[str] = None  # device filter (device kinds)
+    host: Optional[str] = None    # target host (crash kinds)
 
     def __post_init__(self) -> None:
-        if self.kind not in NETWORK_KINDS + DEVICE_KINDS:
+        if self.kind not in NETWORK_KINDS + DEVICE_KINDS + CRASH_KINDS:
             raise ValueError("unknown fault kind %r" % self.kind)
         if self.end <= self.start:
             raise ValueError("fault window [%d, %d) is empty"
@@ -86,6 +91,8 @@ class FaultEvent:
             raise ValueError("factor %r must be > 0" % self.factor)
         if self.kind in DEVICE_KINDS and not self.device:
             raise ValueError("%s event needs a device name" % self.kind)
+        if self.kind in CRASH_KINDS and not self.host:
+            raise ValueError("%s event needs a host name" % self.kind)
 
     def active(self, now: int) -> bool:
         return self.start <= now < self.end
@@ -185,6 +192,27 @@ class FaultPlan:
         return self.add(FaultEvent("nvme_slow", start, end,
                                    factor=factor, device=device))
 
+    def nic_link_flap(self, device: str, at: int, down_ns: int) -> "FaultPlan":
+        """Link flap: the NIC's link drops at *at* and carrier returns
+        *down_ns* later; rings are drained on failure and re-initialized
+        on recovery (frames in flight during the outage are lost)."""
+        return self.add(FaultEvent("nic_link_flap", at, at + down_ns,
+                                   device=device))
+
+    def nvme_ctrl_fail(self, device: str, start: int, end: int) -> "FaultPlan":
+        """Controller-failure window: every NVMe command submitted (or
+        retried) inside it times out, driving the recovery ladder.  The
+        ladder recovers if the window ends before it is exhausted."""
+        return self.add(FaultEvent("nvme_ctrl_fail", start, end,
+                                   device=device))
+
+    def proc_crash(self, host: str, at: int) -> "FaultPlan":
+        """Kill the application process on *host* at time *at*, with
+        whatever pushes/pops it has outstanding.  Registered crash
+        handlers (see :meth:`FaultInjector.on_crash`) run the kernel's
+        reclamation path."""
+        return self.add(FaultEvent("proc_crash", at, at + 1, host=host))
+
     # -- introspection ------------------------------------------------------
     def network_events(self) -> List[FaultEvent]:
         return [e for e in self.events if e.kind in NETWORK_KINDS]
@@ -274,6 +302,19 @@ class DeviceFaultView:
             self._injector.note("slow_ios", self.name)
         return factor
 
+    def has(self, kind: str) -> bool:
+        """Does this device's slice of the plan contain *kind* at all?
+        (Lets the NVMe model keep its fast path when no controller
+        failures are scheduled.)"""
+        return any(e.kind == kind for e in self._events)
+
+    def ctrl_failed(self, now: int) -> bool:
+        """Is the device's controller inside a failure window right now?"""
+        failed = bool(self._active("nvme_ctrl_fail", now))
+        if failed:
+            self._injector.note("nvme_ctrl_failed", self.name)
+        return failed
+
 
 class FaultInjector:
     """Executes a :class:`FaultPlan` against a world.
@@ -291,6 +332,8 @@ class FaultInjector:
         self.tracer = tracer
         self.sim = None
         self._net_events = plan.network_events()
+        #: host name -> handlers run when that host's app process crashes
+        self._crash_handlers: Dict[str, List[Any]] = {}
 
     # -- wiring ---------------------------------------------------------------
     def install(self, world) -> "FaultInjector":
@@ -302,7 +345,49 @@ class FaultInjector:
             nvme = getattr(host, "nvme", None)
             if nvme is not None:
                 self.attach_device(nvme)
+        self._schedule_transitions(world)
         return self
+
+    def on_crash(self, host: str, handler) -> None:
+        """Register *handler* to run when *host*'s process is killed.
+
+        Handlers may be registered any time before the crash fires (the
+        scenario runner registers its kill-and-reclaim closure after
+        spawning the workload).
+        """
+        self._crash_handlers.setdefault(host, []).append(handler)
+
+    def _schedule_transitions(self, world) -> None:
+        """Schedule the plan's point-in-time events (crashes, link
+        transitions).  Purely time-driven - no RNG draws - so the
+        probabilistic frame stream is untouched."""
+        sim = world.sim
+        nics = [nic for host in world.hosts.values()
+                for nic in getattr(host, "nics", [])]
+        for e in self.plan.events:
+            if e.kind == "proc_crash":
+                sim.call_in(max(0, e.start - sim.now),
+                            self._fire_crash, e.host)
+            elif e.kind == "nic_link_flap":
+                for nic in nics:
+                    if (e.matches_device(nic.name)
+                            and hasattr(nic, "link_fail")):
+                        sim.call_in(max(0, e.start - sim.now),
+                                    self._fire_link, nic, False)
+                        sim.call_in(max(0, e.end - sim.now),
+                                    self._fire_link, nic, True)
+
+    def _fire_crash(self, host: str) -> None:
+        self.note("proc_crashes", host)
+        for handler in list(self._crash_handlers.get(host, [])):
+            handler()
+
+    def _fire_link(self, nic, up: bool) -> None:
+        self.note("link_up" if up else "link_down", nic.name)
+        if up:
+            nic.link_recover()
+        else:
+            nic.link_fail()
 
     def attach_fabric(self, fabric) -> None:
         self.sim = fabric.sim

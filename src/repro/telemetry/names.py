@@ -96,6 +96,7 @@ RX_UNKNOWN_ETHERTYPE = "rx_unknown_ethertype"
 RX_UNKNOWN_PROTO = "rx_unknown_proto"
 ARP_REQUESTS = "arp_requests"
 ARP_UNRESOLVED_DROPS = "arp_unresolved_drops"
+ARP_RELEARNS = "arp_relearns"
 UDP_BAD_CHECKSUM_DROPS = "udp_bad_checksum_drops"
 UDP_NO_LISTENER = "udp_no_listener"
 TCP_BAD_CHECKSUM_DROPS = "tcp_bad_checksum_drops"
@@ -119,6 +120,22 @@ DROPPED_FRAMES = "dropped_frames"
 # ------------------------------------------------------------------ faults
 FAULT = "fault"
 
+# ------------------------------------------------------- crash / reclamation
+RECLAIM = "reclaim"
+RECLAIM_RUNS = "runs"
+RECLAIM_QTOKENS_CANCELLED = "qtokens_cancelled"
+RECLAIM_QTOKENS_RETIRED = "qtokens_retired"
+RECLAIM_QDS_CLOSED = "qds_closed"
+RECLAIM_FDS_CLOSED = "fds_closed"
+RECLAIM_TCP_RSTS = "tcp_rsts"
+RECLAIM_LISTENERS_CLOSED = "listeners_closed"
+RECLAIM_UDP_UNBOUND = "udp_unbound"
+RECLAIM_QPS_DESTROYED = "qps_destroyed"
+RECLAIM_NVME_ABORTS = "nvme_aborts"
+RECLAIM_RINGS_DRAINED = "rings_drained"
+RECLAIM_BUFFERS_FREED = "buffers_freed"
+RECLAIM_REGIONS_UNMAPPED = "regions_unmapped"
+
 # ---------------------------------------------------------------- NIC / hw
 RX_RING_DROPS = "rx_ring_drops"
 RX_INTERRUPTS = "rx_interrupts"
@@ -126,6 +143,7 @@ RX_NO_HANDLER_DROPS = "rx_no_handler_drops"
 RX_COALESCED = "rx_coalesced"
 QPS_CREATED = "qps_created"
 POSTED_RECVS = "posted_recvs"
+WR_FLUSHES = "wr_flushes"
 RETRANSMITS = "retransmits"
 QP_ERRORS = "qp_errors"
 NON_RDMA_FRAMES_DROPPED = "non_rdma_frames_dropped"
@@ -141,6 +159,9 @@ RX_SENDS_DELIVERED = "rx_sends_delivered"
 RX_WRITES_APPLIED = "rx_writes_applied"
 RX_READS_SERVED = "rx_reads_served"
 EXPLICIT_MR_REGISTRATIONS = "explicit_mr_registrations"
+LINK_FLAPS = "link_flaps"
+LINK_DOWN_DROPS = "link_down_drops"
+RING_REINITS = "ring_reinits"
 
 
 def rxq_frames(queue: int) -> str:
@@ -167,6 +188,11 @@ NVME_READ_BYTES = "read_bytes"
 NVME_WRITES = "writes"
 NVME_WRITE_BYTES = "write_bytes"
 NVME_FLUSHES = "flushes"
+NVME_TIMEOUTS = "timeouts"
+NVME_ABORTS = "aborts"
+NVME_RETRIES = "retries"
+NVME_CTRL_RESETS = "ctrl_resets"
+NVME_DEVICE_FAILURES = "device_failures"
 
 # ------------------------------------------------------------------ memory
 MM = "mm"
@@ -177,6 +203,7 @@ MM_BUFFER_REGISTRATIONS = "buffer_registrations"
 MM_FREES = "frees"
 MM_DEFERRED_FREES = "deferred_frees"
 MM_DEALLOCATIONS = "deallocations"
+MM_REGIONS_RECLAIMED = "regions_reclaimed"
 
 # -------------------------------------------------------------------- apps
 RELAY_ESTABLISHED = "relay_established"

@@ -7,14 +7,18 @@ libOS must uphold no matter what the device does.  See docs/faults.md.
 """
 
 from .scenarios import (
+    ALL_LIBOS_KINDS,
     GOLDEN_SCENARIOS,
     NET_LIBOS_KINDS,
     ScenarioFailure,
     ScenarioResult,
     check_reproducible,
     golden_plan,
+    run_crash_echo_scenario,
+    run_crash_storage_scenario,
     run_echo_scenario,
     run_kv_scenario,
+    run_nvme_outage_scenario,
     run_scenario,
     run_storage_scenario,
 )
@@ -25,9 +29,13 @@ __all__ = [
     "run_echo_scenario",
     "run_kv_scenario",
     "run_storage_scenario",
+    "run_crash_echo_scenario",
+    "run_crash_storage_scenario",
+    "run_nvme_outage_scenario",
     "run_scenario",
     "check_reproducible",
     "golden_plan",
     "GOLDEN_SCENARIOS",
     "NET_LIBOS_KINDS",
+    "ALL_LIBOS_KINDS",
 ]

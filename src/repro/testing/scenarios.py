@@ -32,6 +32,8 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 from ..apps.echo import demi_echo_client, demi_echo_server
 from ..apps.kvstore import (OP_GET, OP_PUT, DemiKvServer, demi_kv_client,
                             kv_workload)
+from ..core.types import DemiTimeout, DeviceFailed
+from ..kernelos.reclaim import crash_teardown
 from ..sim.engine import SimulationError
 from ..sim.faults import FaultPlan
 from ..sim.rand import Rng
@@ -46,6 +48,9 @@ __all__ = [
     "run_echo_scenario",
     "run_kv_scenario",
     "run_storage_scenario",
+    "run_crash_echo_scenario",
+    "run_crash_storage_scenario",
+    "run_nvme_outage_scenario",
     "run_scenario",
     "check_reproducible",
     "golden_plan",
@@ -136,6 +141,42 @@ def _check_libos(failures: List[str], world, libos, drained: bool) -> None:
     if waits > completed:
         failures.append("%s woke without work: %d waits > %d completions"
                         % (libos.name, waits, completed))
+
+
+def _check_reclaimed(failures: List[str], libos) -> None:
+    """The crash-reclaim invariant: after teardown the dead process owns
+    *nothing* - no registered buffers, no IOMMU mappings, no queue
+    descriptors, no kernel fds, no in-flight qtokens or NVMe commands."""
+    host = libos.host
+    if host.mm.live_buffer_count:
+        failures.append("%s leaked %d registered buffers after reclaim"
+                        % (host.name, host.mm.live_buffer_count))
+    if host.mm.registered_bytes():
+        failures.append("%s kept %d bytes of registered regions after"
+                        " reclaim" % (host.name, host.mm.registered_bytes()))
+    for nic in host.nics:
+        if nic.iommu.mapped_ranges:
+            failures.append("%s IOMMU still maps %d range(s) after reclaim"
+                            % (nic.name, nic.iommu.mapped_ranges))
+    nvme = getattr(host, "nvme", None)
+    if nvme is not None and nvme.inflight_commands:
+        failures.append("%s still has %d NVMe command(s) in flight after"
+                        " reclaim" % (nvme.name, nvme.inflight_commands))
+    if libos._queues:
+        failures.append("%s qd table not empty after reclaim: %s"
+                        % (libos.name, sorted(libos._queues)))
+    qt = libos.qtokens
+    if qt.in_flight:
+        failures.append("%s kept %d qtoken(s) in flight after reclaim"
+                        % (libos.name, qt.in_flight))
+    if qt.created != qt.completed + qt.cancelled:
+        failures.append(
+            "%s qtoken identity broken after reclaim: created=%d !="
+            " completed=%d + cancelled=%d"
+            % (libos.name, qt.created, qt.completed, qt.cancelled))
+    if host.kernel is not None and host.kernel._fds:
+        failures.append("%s kernel fd table not empty after reclaim: %s"
+                        % (host.name, sorted(host.kernel._fds)))
 
 
 def _check_dma(failures: List[str], world) -> None:
@@ -345,6 +386,215 @@ def run_storage_scenario(plan: FaultPlan, name: str = "storage",
     return _finish(world, name, "spdk", plan, failures, data)
 
 
+def _crash_echo_server(libos, port: int, n_limit: int,
+                       idle_timeout_ns: int) -> Generator:
+    """An echo server that survives its peer's death.
+
+    Unlike :func:`~repro.apps.echo.demi_echo_server` it breaks on *push*
+    errors too (an RDMA peer's death surfaces on the send side as
+    ``retry-exceeded``) and backstops the pop with a timeout - RDMA RC
+    gives no wire-visible crash signal while the server is quiescent, so
+    failure detection needs a timer, exactly as on real verbs hardware.
+    Returns ``(served, outcome)`` where *outcome* names what ended the
+    session.
+    """
+    listen_qd = yield from libos.socket()
+    yield from libos.bind(listen_qd, port)
+    yield from libos.listen(listen_qd)
+    qd = yield from libos.accept(listen_qd)
+    served = 0
+    outcome = "served-all"
+    while served < n_limit:
+        token = libos.pop(qd)
+        try:
+            _idx, result = yield from libos.wait_any([token],
+                                                     timeout_ns=idle_timeout_ns)
+        except DemiTimeout:
+            libos.cancel(token)
+            outcome = "idle-timeout"
+            break
+        if result.error is not None:
+            outcome = result.error
+            break
+        reply = yield from libos.blocking_push(qd, result.sga)
+        if reply.error is not None:
+            outcome = reply.error
+            break
+        served += 1
+    yield from libos.close(qd)
+    yield from libos.close(listen_qd)
+    return served, outcome
+
+
+def run_crash_echo_scenario(kind: str, plan: FaultPlan,
+                            name: str = "crash-mid-stream",
+                            n_messages: int = 600, message_size: int = 128,
+                            idle_timeout_ns: int = 5 * _MS,
+                            limit_ns: int = DEFAULT_LIMIT_NS,
+                            strict: bool = True,
+                            telemetry=False) -> ScenarioResult:
+    """Kill the client mid-stream; the kernel reclaims, the peer unblocks.
+
+    The plan's ``proc_crash("client", at)`` event interrupts the client
+    application with pushes/pops outstanding and runs
+    :func:`~repro.kernelos.reclaim.crash_teardown`.  Checked: the crash-
+    reclaim invariant on the dead host (buffers=0, IOMMU=0, empty qd/fd
+    tables) and the peer-visible semantics - the server observes an
+    RST-driven reset error (TCP kinds) instead of hanging until RTO
+    exhaustion.  *strict=False* relaxes the timing/outcome assertions
+    (for property tests that sweep the crash over the whole horizon,
+    including before connect and after the stream ends) while keeping
+    the reclamation invariant itself.
+    """
+    world, client, server = _build_net_pair(kind, plan, telemetry=telemetry)
+    rng = Rng(plan.seed).fork_named("workload")
+    messages = [rng.bytes(message_size) for _ in range(n_messages)]
+    server_proc = world.sim.spawn(
+        _crash_echo_server(server, 7, n_messages, idle_timeout_ns),
+        name="chaos.crash.server")
+    client_proc = world.sim.spawn(
+        demi_echo_client(client, _SERVER_ADDR[kind], messages, port=7),
+        name="chaos.crash.client")
+    reports: List[Any] = []
+    world.injector.on_crash(client.host.name, lambda: world.sim.spawn(
+        crash_teardown(client, client_proc, report_to=reports),
+        name="chaos.crash.reclaim"))
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    served, outcome = -1, "hung"
+    try:
+        served, outcome = world.sim.run_until_complete(
+            server_proc, limit=world.sim.now + limit_ns)
+    except Exception as err:
+        if strict:
+            failures.append("surviving peer hung after crash: %s: %s"
+                            % (type(err).__name__, err))
+    world.run(until=world.sim.now + QUIESCE_NS)
+    if not reports:
+        failures.append("crash teardown never ran (no proc_crash fired?)")
+    else:
+        data["reclaim"] = reports[0].as_dict()
+    if strict:
+        if served >= n_messages:
+            failures.append("crash landed after the whole stream finished"
+                            " (served=%d) - move proc_crash earlier" % served)
+        if kind in ("dpdk", "posix") and "reset" not in outcome:
+            failures.append(
+                "peer did not observe the RST: outcome=%r (expected a"
+                " connection-reset error)" % (outcome,))
+        _check_libos(failures, world, server, drained=True)
+    _check_reclaimed(failures, client)
+    _check_dma(failures, world)
+    data.update(served=served, outcome=outcome, finished_at=world.sim.now)
+    return _finish(world, name, kind, plan, failures, data)
+
+
+def _crash_storage_workload(libos, records: Sequence[bytes]) -> Generator:
+    """Append forever, fsyncing every few records - the crash is the only
+    exit, so NVMe commands are periodically in flight when it lands."""
+    qd = yield from libos.creat("/chaos")
+    appended = 0
+    while True:
+        record = records[appended % len(records)]
+        result = yield from libos.blocking_push(qd, libos.sga_alloc(record))
+        if result.error is not None:
+            return appended
+        appended += 1
+        if appended % 4 == 0:
+            yield from libos.fsync(qd)
+
+
+def run_crash_storage_scenario(plan: FaultPlan, name: str = "crash-storage",
+                               n_records: int = 8, record_size: int = 2048,
+                               limit_ns: int = DEFAULT_LIMIT_NS,
+                               telemetry=False) -> ScenarioResult:
+    """Kill the SPDK storage process mid-append; reclaim aborts the NVMe
+    commands it left in flight and frees its registered heap."""
+    world, libos = make_spdk_libos(seed=plan.seed, telemetry=telemetry)
+    world.tracer.keep_events = True
+    world.install_faults(plan)
+    rng = Rng(plan.seed).fork_named("workload")
+    records = [rng.bytes(record_size) for _ in range(n_records)]
+    proc = world.sim.spawn(_crash_storage_workload(libos, records),
+                           name="chaos.crash.storage")
+    reports: List[Any] = []
+    world.injector.on_crash(libos.host.name, lambda: world.sim.spawn(
+        crash_teardown(libos, proc, report_to=reports),
+        name="chaos.crash.reclaim"))
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    world.run(until=world.sim.now + plan.horizon + QUIESCE_NS)
+    if proc.alive:
+        failures.append("workload still running after the crash fired")
+    if not reports:
+        failures.append("crash teardown never ran (no proc_crash fired?)")
+    else:
+        data["reclaim"] = reports[0].as_dict()
+    _check_reclaimed(failures, libos)
+    _check_dma(failures, world)
+    data.update(appended=world.tracer.get("%s.file_appends" % libos.name),
+                finished_at=world.sim.now)
+    return _finish(world, name, "spdk", plan, failures, data)
+
+
+def _nvme_outage_workload(libos, records: Sequence[bytes]) -> Generator:
+    """Append then fsync into a dead controller; returns the typed
+    :class:`DeviceFailed` the recovery ladder surfaces (or None)."""
+    qd = yield from libos.creat("/outage")
+    appended = 0
+    for record in records:
+        result = yield from libos.blocking_push(qd, libos.sga_alloc(record))
+        if result.error is not None:
+            break
+        appended += 1
+    try:
+        yield from libos.fsync(qd)
+    except DeviceFailed as err:
+        return appended, err
+    return appended, None
+
+
+def run_nvme_outage_scenario(plan: FaultPlan, name: str = "nvme-outage",
+                             n_records: int = 6, record_size: int = 1024,
+                             limit_ns: int = DEFAULT_LIMIT_NS,
+                             telemetry=False) -> ScenarioResult:
+    """A controller failure the retry ladder cannot outlast: the flush
+    climbs timeout -> abort -> retry -> controller reset, exhausts its
+    attempts, and surfaces a *typed* :class:`DeviceFailed` from the
+    fsync instead of hanging or returning a stringly error."""
+    world, libos = make_spdk_libos(seed=plan.seed, telemetry=telemetry)
+    world.tracer.keep_events = True
+    world.install_faults(plan)
+    rng = Rng(plan.seed).fork_named("workload")
+    records = [rng.bytes(record_size) for _ in range(n_records)]
+    proc = world.sim.spawn(_nvme_outage_workload(libos, records),
+                           name="chaos.nvme.outage")
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    try:
+        appended, err = world.sim.run_until_complete(
+            proc, limit=world.sim.now + limit_ns)
+    except Exception as err2:
+        failures.append("workload did not finish: %s: %s"
+                        % (type(err2).__name__, err2))
+        return _finish(world, name, "spdk", plan, failures, data)
+    world.run(until=world.sim.now + QUIESCE_NS)
+    if err is None:
+        failures.append("device outage never surfaced: fsync completed"
+                        " without DeviceFailed")
+    else:
+        if err.device != libos.nvme.name:
+            failures.append("DeviceFailed names device %r, expected %r"
+                            % (err.device, libos.nvme.name))
+        data.update(failed_op=err.op, attempts=err.attempts)
+    if world.tracer.get("%s.device_failures" % libos.nvme.name) < 1:
+        failures.append("recovery ladder never recorded a device failure")
+    _check_libos(failures, world, libos, drained=True)
+    _check_dma(failures, world)
+    data.update(appended=appended, finished_at=world.sim.now)
+    return _finish(world, name, "spdk", plan, failures, data)
+
+
 # ---------------------------------------------------------------------------
 # Golden scenarios (the chaos battery)
 # ---------------------------------------------------------------------------
@@ -374,6 +624,29 @@ GOLDEN_SCENARIOS: Dict[str, Dict[str, Any]] = {
     "corruption-storm": {
         "workload": "echo", "kinds": ("dpdk", "posix"),
         "blurb": "random bit flips that only L4 checksums can catch",
+    },
+    "crash-mid-stream": {
+        "workload": "crash-echo", "kinds": ("dpdk", "posix", "rdma"),
+        "blurb": "the client process is killed mid-stream; the kernel"
+                 " reclaims its resources and the peer sees a reset",
+    },
+    "crash-storage": {
+        "workload": "crash-storage", "kinds": ("spdk",),
+        "blurb": "the storage process dies with NVMe commands in flight",
+    },
+    "nvme-transient-outage": {
+        "workload": "storage", "kinds": ("spdk",),
+        "blurb": "a controller-failure window the retry ladder outlasts",
+    },
+    "nvme-fatal-outage": {
+        "workload": "nvme-outage", "kinds": ("spdk",),
+        "blurb": "a controller failure outlasting the ladder: typed"
+                 " DeviceFailed surfaces from wait",
+    },
+    "link-flap": {
+        "workload": "echo", "kinds": ("dpdk", "posix"),
+        "blurb": "the client NIC loses carrier mid-stream; rings"
+                 " re-initialize and ARP relearns on recovery",
     },
 }
 
@@ -410,6 +683,26 @@ def golden_plan(name: str, kind: str = "dpdk") -> FaultPlan:
                                              factor=40.0)
     if name == "corruption-storm":
         return FaultPlan(seed=606).corrupt(0, 2 * _MS, rate=0.25)
+    if name == "crash-mid-stream":
+        # Pinned mid-stream: each kind's echo cadence differs, so the
+        # kill lands while roughly half the messages are outstanding.
+        at = {"dpdk": 400 * _US, "posix": 2 * _MS, "rdma": 300 * _US}[kind]
+        return FaultPlan(seed=707).proc_crash("client", at)
+    if name == "crash-storage":
+        return FaultPlan(seed=808).proc_crash("h", 200 * _US)
+    if name == "nvme-transient-outage":
+        # Ends before the ladder exhausts: a retry (or the post-reset
+        # attempt) lands after the window and the workload completes.
+        return FaultPlan(seed=909).nvme_ctrl_fail("nvme0", 0, 350 * _US)
+    if name == "nvme-fatal-outage":
+        # Outlasts the whole ladder: typed DeviceFailed must surface.
+        return FaultPlan(seed=1010).nvme_ctrl_fail("nvme0", 0,
+                                                   DEFAULT_LIMIT_NS)
+    if name == "link-flap":
+        device = "client.dpdk0" if kind == "dpdk" else "client.eth0"
+        at = 200 * _US if kind == "dpdk" else 1 * _MS
+        return FaultPlan(seed=1111).nic_link_flap(device, at,
+                                                  down_ns=250 * _US)
     raise KeyError("unknown golden scenario %r" % (name,))
 
 
@@ -429,6 +722,12 @@ def run_scenario(name: str, kind: str,
         return run_echo_scenario(kind, plan, name=name, **kw)
     if workload == "kv":
         return run_kv_scenario(kind, plan, name=name, **kw)
+    if workload == "crash-echo":
+        return run_crash_echo_scenario(kind, plan, name=name, **kw)
+    if workload == "crash-storage":
+        return run_crash_storage_scenario(plan, name=name, **kw)
+    if workload == "nvme-outage":
+        return run_nvme_outage_scenario(plan, name=name, **kw)
     return run_storage_scenario(plan, name=name, **kw)
 
 

@@ -1,0 +1,177 @@
+"""Crash-safe teardown battery: process kills, reclamation, recovery.
+
+Golden-seed scenarios for the crash/recovery subsystem: a process is
+killed mid-operation (network stream or storage appends), the kernel
+reclaims every resource it held, and surviving peers observe the death
+promptly (RST-driven resets, flushed WRs) instead of hanging.  Device
+recovery gets the same treatment: a transient NVMe controller failure
+is outlasted by the retry ladder, a permanent one surfaces as a typed
+:class:`~repro.core.types.DeviceFailed`, and a NIC link flap ends in
+re-initialized rings and a relearned ARP entry.
+
+Counters are pinned exactly, as in test_scenarios.py: any change to
+teardown ordering or ladder arithmetic shows up as a diff against
+known-good numbers.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.core.types import DeviceFailed
+from repro.testing import check_reproducible, run_scenario
+
+
+def run_golden(name, kind):
+    return run_scenario(name, kind).require_ok()
+
+
+# ---------------------------------------------------------------------------
+# Crash injection + kernel-side reclamation
+# ---------------------------------------------------------------------------
+
+def test_golden_crash_mid_stream_dpdk():
+    # The client dies with ~48 echoes served; teardown RSTs the live
+    # connection and frees its whole registered heap.
+    r = run_golden("crash-mid-stream", "dpdk")
+    assert r.counter("fault.proc_crashes") == 1
+    assert r.counter("client.reclaim.runs") == 1
+    assert r.counter("client.reclaim.tcp_rsts") == 1
+    assert r.counter("client.reclaim.buffers_freed") == 96
+    assert r.counter("client.reclaim.regions_unmapped") == 1
+    assert r.data["outcome"] == "connection reset by peer"
+    assert 0 < r.data["served"] < 600
+
+
+def test_golden_crash_mid_stream_posix():
+    # Same crash through the kernel path: the fd-table walk aborts the
+    # socket and a parked pop qtoken is cancelled.
+    r = run_golden("crash-mid-stream", "posix")
+    assert r.counter("client.reclaim.fds_closed") == 1
+    assert r.counter("client.reclaim.qtokens_cancelled") == 1
+    assert r.counter("client.reclaim.tcp_rsts") == 1
+    assert r.counter("client.reclaim.buffers_freed") == 147
+    assert r.data["outcome"] == "connection reset by peer"
+
+
+def test_golden_crash_mid_stream_rdma():
+    # RC has no RST: teardown destroys the QP (flushing the in-flight
+    # WR) and the server's next send exhausts its retries instead.
+    r = run_golden("crash-mid-stream", "rdma")
+    assert r.counter("client.reclaim.qps_destroyed") == 1
+    assert r.counter("client.rdma0.wr_flushes") == 1
+    assert r.counter("client.reclaim.buffers_freed") == 131
+    assert r.data["outcome"] in ("retry-exceeded", "idle-timeout")
+
+
+def test_golden_crash_storage():
+    # The storage process dies with an NVMe write in flight; reclaim
+    # aborts it and the device ends with an empty submission queue.
+    r = run_golden("crash-storage", "spdk")
+    assert r.counter("fault.proc_crashes") == 1
+    assert r.counter("h.reclaim.nvme_aborts") == 1
+    assert r.counter("h.nvme0.aborts") == 1
+    assert r.counter("h.reclaim.buffers_freed") == 8
+    assert r.data["reclaim"]["nvme_aborted"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Device recovery: the NVMe retry ladder and NIC link flaps
+# ---------------------------------------------------------------------------
+
+def test_golden_nvme_transient_outage():
+    # The 350us controller-failure window eats two attempts; the ladder
+    # retries past it and the workload completes without ever escalating
+    # to a controller reset.
+    r = run_golden("nvme-transient-outage", "spdk")
+    assert r.counter("h.nvme0.timeouts") == 2
+    assert r.counter("h.nvme0.retries") == 2
+    assert r.counter("h.nvme0.ctrl_resets") == 0
+    assert r.counter("h.nvme0.device_failures") == 0
+    assert r.data["flushed"] > 0
+
+
+def test_golden_nvme_fatal_outage():
+    # A failure outlasting all 3 attempts *and* the controller reset:
+    # the post-reset attempt times out too and DeviceFailed surfaces.
+    r = run_golden("nvme-fatal-outage", "spdk")
+    assert r.counter("h.nvme0.timeouts") == 4
+    assert r.counter("h.nvme0.retries") == 3
+    assert r.counter("h.nvme0.ctrl_resets") == 1
+    assert r.counter("h.nvme0.device_failures") == 1
+    assert r.data["failed_op"] == "write"
+    assert r.data["attempts"] == 4
+
+
+def test_device_failed_is_typed():
+    err = DeviceFailed("h.nvme0", "write", 4)
+    assert err.device == "h.nvme0"
+    assert err.op == "write"
+    assert err.attempts == 4
+    assert "recovery ladder exhausted" in str(err)
+
+
+def test_golden_link_flap_dpdk():
+    # 250us of lost carrier mid-stream: frames die at the dead link,
+    # the rings re-initialize on recovery, the stack re-ARPs, and TCP
+    # retransmits its way back to a complete echo stream.
+    r = run_golden("link-flap", "dpdk")
+    assert r.counter("client.dpdk0.link_flaps") == 1
+    assert r.counter("client.dpdk0.ring_reinits") == 1
+    assert r.counter("client.dpdk0.link_down_drops") == 4
+    assert r.counter("client.catnip.stack.arp_relearns") == 1
+    assert r.data["served"] == 20
+
+
+def test_golden_link_flap_posix():
+    # The same flap under the kernel NIC: the in-kernel stack relearns
+    # its ARP entry and the stream still completes.
+    r = run_golden("link-flap", "posix")
+    assert r.counter("client.eth0.link_flaps") == 1
+    assert r.counter("client.eth0.ring_reinits") == 1
+    assert r.counter("client.kstack.arp_relearns") == 1
+    assert r.data["served"] == 20
+
+
+# ---------------------------------------------------------------------------
+# Determinism: crashes and ladders replay bit-identically per seed
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name,kind", [
+    ("crash-mid-stream", "posix"),
+    ("crash-mid-stream", "rdma"),
+    ("crash-storage", "spdk"),
+    ("nvme-fatal-outage", "spdk"),
+    ("link-flap", "dpdk"),
+])
+def test_same_seed_same_crash_trace(name, kind):
+    first, second = check_reproducible(run_scenario, name, kind)
+    assert first.counters == second.counters
+    assert first.events == second.events
+
+
+# ---------------------------------------------------------------------------
+# The `repro chaos` command
+# ---------------------------------------------------------------------------
+
+def test_chaos_cli_runs_a_scenario(capsys):
+    rc = main(["chaos", "crash-storage"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "invariants: all held" in out
+    assert "signature:" in out
+
+
+def test_chaos_cli_replays_a_plan_file(tmp_path, capsys):
+    from repro.testing import golden_plan
+
+    plan_file = tmp_path / "plan.json"
+    plan_file.write_text(golden_plan("nvme-transient-outage", "spdk").to_json())
+    rc = main(["chaos", "nvme-transient-outage", "--plan", str(plan_file)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "seed: 909" in out
+
+
+def test_chaos_cli_rejects_wrong_libos():
+    with pytest.raises(SystemExit):
+        main(["chaos", "crash-storage", "--libos", "dpdk"])

@@ -1,0 +1,113 @@
+"""Leak and double-free accounting on the memory manager.
+
+The crash-reclaim invariant (``live_buffer_count == 0`` and
+``registered_bytes() == 0`` after teardown) is only as trustworthy as
+the accounting underneath it: these tests pin the free/deferred-free
+state machine, the ``free_all``/``reclaim_regions`` teardown helpers,
+and the resolve-miss fault path.
+"""
+
+import pytest
+
+from repro.hw.iommu import IommuFault
+from repro.memory.buffer import BufferError
+
+
+class TestDoubleFree:
+    def test_free_of_freed_buffer_raises(self, world):
+        host = world.add_host("h")
+        buf = host.mm.alloc(64)
+        host.mm.free(buf)
+        with pytest.raises(BufferError, match="double free"):
+            host.mm.free(buf)
+
+    def test_free_of_deferred_buffer_also_raises(self, world):
+        # A buffer freed under an active DMA reference is *freed* even
+        # though deallocation is deferred - a second free is still a bug.
+        host = world.add_host("h")
+        buf = host.mm.alloc(64)
+        buf.hold()
+        host.mm.free(buf)
+        assert world.tracer.get("mm.deferred_frees") == 1
+        with pytest.raises(BufferError, match="double free"):
+            host.mm.free(buf)
+        buf.release()  # the DMA completes; deallocation resolves now
+        assert host.mm.live_buffer_count == 0
+
+
+class TestRegisteredBytesAccounting:
+    def test_mixed_alloc_register_free_returns_to_zero(self, world):
+        host = world.add_host("h")
+        nic = world.add_dpdk(host)
+        small = [host.mm.alloc(256) for _ in range(4)]
+        big = host.mm.alloc(4 * 1024 * 1024)  # forces a second region
+        host.mm.register_buffer(small[0], nic)
+        assert host.mm.registered_bytes() > 0
+        for buf in small:
+            host.mm.free(buf)
+        host.mm.free(big)
+        assert host.mm.live_buffer_count == 0
+        assert host.mm.reclaim_regions() == 2
+        assert host.mm.regions == []
+        assert host.mm.registered_bytes() == 0
+        assert nic.iommu.mapped_ranges == 0
+
+    def test_reclaim_keeps_regions_with_live_buffers(self, world):
+        host = world.add_host("h")
+        keep = host.mm.alloc(128)
+        host.mm.alloc(4 * 1024 * 1024)  # second region, freed below
+        host.mm.free_all()
+        # free_all freed both, so everything reclaims; now re-alloc and
+        # check a live buffer pins its region through a reclaim pass.
+        host.mm.reclaim_regions()
+        live = host.mm.alloc(128)
+        before = host.mm.registered_bytes()
+        assert host.mm.reclaim_regions() == 0
+        assert host.mm.registered_bytes() == before
+        host.mm.free(live)
+        assert keep.deallocated  # earlier teardown really freed it
+
+    def test_reclaim_regions_is_idempotent(self, world):
+        host = world.add_host("h")
+        buf = host.mm.alloc(64)
+        host.mm.free(buf)
+        assert host.mm.reclaim_regions() == 1
+        assert host.mm.reclaim_regions() == 0
+        assert world.tracer.get("mm.regions_reclaimed") == 1
+
+
+class TestFreeAll:
+    def test_free_all_counts_only_newly_freed(self, world):
+        host = world.add_host("h")
+        bufs = [host.mm.alloc(64) for _ in range(5)]
+        host.mm.free(bufs[0])
+        assert host.mm.free_all() == 4
+        assert host.mm.live_buffer_count == 0
+        assert host.mm.free_all() == 0
+
+    def test_free_all_defers_in_flight_dma(self, world):
+        host = world.add_host("h")
+        buf = host.mm.alloc(64)
+        buf.hold()
+        assert host.mm.free_all() == 1
+        # The device still holds it: live until the reference drops.
+        assert host.mm.live_buffer_count == 1
+        assert host.mm.reclaim_regions() == 0
+        buf.release()
+        assert host.mm.live_buffer_count == 0
+        assert host.mm.reclaim_regions() == 1
+
+
+class TestResolveFaults:
+    def test_resolve_miss_names_the_mm_and_counts(self, world):
+        host = world.add_host("h")
+        with pytest.raises(IommuFault) as excinfo:
+            host.mm.resolve(0xdead0000, 16)
+        assert excinfo.value.device == "h.mm"
+        assert world.tracer.get("mm.faults") == 1
+
+    def test_resolve_rejects_overhang_off_buffer_end(self, world):
+        host = world.add_host("h")
+        buf = host.mm.alloc(64)
+        with pytest.raises(IommuFault):
+            host.mm.resolve(buf.addr + 32, buf.capacity)
