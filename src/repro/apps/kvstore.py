@@ -145,11 +145,19 @@ class DemiKvServer:
     """
 
     def __init__(self, libos: LibOS, port: int = 6379,
-                 engine: Optional[KvEngine] = None):
+                 engine: Optional[KvEngine] = None,
+                 shard_index: int = 0, n_shards: int = 1):
         self.libos = libos
         self.engine = engine or KvEngine(libos.host, name=libos.name + ".kv")
         self.port = port
+        #: which KV partition this instance owns (sharded deployments run
+        #: one server per core; see ``repro.cluster``)
+        self.shard_index = shard_index
+        self.n_shards = n_shards
         self.requests_served = 0
+        #: requests for keys another shard owns - nonzero means the
+        #: client's flow steering and key partitioning disagree
+        self.misrouted = 0
         #: application service time per request: pop completion ->
         #: response push completion (what C1 measures)
         self.service_stats = LatencyStats("kv-service")
@@ -204,6 +212,12 @@ class DemiKvServer:
         service_start = libos.sim.now
         yield libos.core.busy(engine.parse_cost())
         op, key, value = decode_request(request_sga.tobytes())
+        if self.n_shards > 1:
+            from .steering import key_partition
+
+            if key_partition(key, self.n_shards) != self.shard_index:
+                self.misrouted += 1
+                libos.count(names.SHARD_MISROUTED)
         yield libos.core.busy(engine.service_cost(op))
         if op == OP_PUT:
             engine.put(key, bytes(value))

@@ -22,13 +22,26 @@ from ..core.api import LibOS
 from ..core.pipeline import ElementRunner
 from ..core.types import Sga
 
-__all__ = ["SteeringPipeline", "partition_of"]
+__all__ = ["SteeringPipeline", "partition_of", "key_partition"]
 
 
 def partition_of(sga: Sga, n_partitions: int) -> int:
     """Steer by the first payload byte (a key hash in a real KV store)."""
     data = sga.tobytes()
     return data[0] % n_partitions if data else 0
+
+
+def key_partition(key: bytes, n_partitions: int) -> int:
+    """Which shard owns *key* in a sharded KV store.
+
+    Uses the NIC's RSS hash (:func:`repro.hw.nic.rss_hash`) so software
+    partitioning and hardware steering agree by construction: a client
+    that wants shard *q* steers its *flow* there (source-port choice),
+    and sends only keys with ``key_partition(key, n) == q`` on it.
+    """
+    from ..hw.nic import rss_hash
+
+    return rss_hash(key) % n_partitions if n_partitions > 1 else 0
 
 
 class SteeringPipeline:

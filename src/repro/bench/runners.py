@@ -44,6 +44,9 @@ __all__ = [
     "echo_rtt_all_stacks",
     "kv_rtt",
     "kv_value_size_sweep",
+    "kv_rtt_sharded",
+    "kv_throughput_scaling",
+    "kv_scaling_document",
 ]
 
 WARMUP = 3
@@ -150,6 +153,94 @@ def kv_rtt(flavor: str, value_size: int = 1024, n_gets: int = 20,
         "get_rtt_mean_ns": get_stats.mean,
         "get_rtt_p99_ns": get_stats.p99,
         "server_cpu_per_req_ns": server_cpu / len(ops),
+    }
+
+
+def kv_rtt_sharded(n_shards: int, n_ops: int = 200, n_keys: int = 32,
+                   value_size: int = 256, get_fraction: float = 0.9,
+                   seed: int = 7) -> Dict[str, object]:
+    """Closed-loop sharded KV run: one steered client per shard.
+
+    Every client pins its flow to its shard's RX queue and draws only
+    that shard's keys, so the run also *measures* the wake-one claim:
+    the row carries the wasted/cross wake-up totals (both must be zero)
+    alongside throughput and per-core utilization.
+    """
+    from ..cluster import shard_workload, sharded_kv_client
+    from ..sim.rand import Rng
+    from ..testbed import make_sharded_kv_world
+
+    w, server, clients = make_sharded_kv_world(n_shards, seed=seed)
+    server.start()
+    rng = Rng(seed).fork_named("kv-scaling")
+    procs = []
+    all_stats = LatencyStats("kv-rtt-sharded")
+    for i, client in enumerate(clients):
+        ops = shard_workload(rng.fork(i), n_ops, i, n_shards,
+                             n_keys=n_keys, value_size=value_size,
+                             get_fraction=get_fraction)
+        procs.append(w.sim.spawn(
+            sharded_kv_client(client, server.ip, i, n_shards, ops,
+                              port=server.port, stats=all_stats),
+            name="bench.client%d" % i))
+    for proc in procs:
+        w.sim.run_until_complete(proc, limit=10**13)
+    elapsed_ns = w.sim.now
+    server.stop()
+    requests = server.requests_served
+    wait_timeouts = sum(
+        w.tracer.get("server.shard%d.wait_timeouts" % i) or 0
+        for i in range(n_shards))
+    stats = _trim(all_stats)
+    return {
+        "cores": n_shards,
+        "requests": requests,
+        "elapsed_ns": elapsed_ns,
+        "throughput_ops_per_s": requests / (elapsed_ns / 1e9),
+        "rtt_mean_ns": stats.mean,
+        "rtt_p99_ns": stats.p99,
+        "per_shard_requests": server.per_shard_requests(),
+        "per_core_utilization": [round(u, 4) for u in
+                                 server.utilizations(elapsed_ns)],
+        "wakeups": server.wakeups,
+        "wasted_wakeups": server.wasted_wakeups,
+        "cross_shard_wakeups": server.cross_wakeups,
+        "misrouted_requests": server.misrouted,
+        "wait_timeouts": wait_timeouts,
+        "qtoken_identity_ok": server.qtoken_identity_ok(),
+    }
+
+
+def kv_throughput_scaling(core_counts: Tuple[int, ...] = (1, 2, 4, 8),
+                          n_ops: int = 200, value_size: int = 256,
+                          seed: int = 7) -> List[Dict[str, object]]:
+    """The scaling sweep: total throughput as shards are added.
+
+    Offered load scales with the shard count (one closed-loop client
+    per shard), so shared-nothing scaling shows as monotonically
+    increasing throughput - any flattening would mean cross-core
+    serialization the architecture claims not to have.
+    """
+    return [kv_rtt_sharded(n, n_ops=n_ops, value_size=value_size, seed=seed)
+            for n in core_counts]
+
+
+def kv_scaling_document(core_counts: Tuple[int, ...] = (1, 2, 4, 8),
+                        n_ops: int = 200, value_size: int = 256,
+                        seed: int = 7) -> Dict[str, object]:
+    """The ``BENCH_kv_scaling.json`` document (schema in docs/api.md)."""
+    rows = kv_throughput_scaling(core_counts, n_ops=n_ops,
+                                 value_size=value_size, seed=seed)
+    return {
+        "bench": "kv_scaling",
+        "schema_version": 1,
+        "seed": seed,
+        "params": {
+            "core_counts": list(core_counts),
+            "n_ops_per_shard": n_ops,
+            "value_size": value_size,
+        },
+        "rows": rows,
     }
 
 

@@ -12,7 +12,10 @@ Commands:
   device) from a trace file, or from a fresh inline run;
 * ``chaos``       - run one golden chaos scenario (crash injection,
   device outages...), print its invariant results and trace signature,
-  and exit nonzero if any invariant was violated.
+  and exit nonzero if any invariant was violated;
+* ``bench``       - run a persisted benchmark (``kv-scaling``: the
+  sharded throughput sweep) and write its JSON document
+  (``tools.check_bench`` validates it in CI).
 """
 
 from __future__ import annotations
@@ -221,6 +224,31 @@ def cmd_chaos(args) -> int:
     return 1
 
 
+def cmd_bench(args) -> int:
+    from .bench.runners import kv_scaling_document
+
+    if args.bench != "kv-scaling":
+        raise SystemExit("unknown bench %r" % args.bench)
+    cores = tuple(int(c) for c in args.cores.split(","))
+    doc = kv_scaling_document(core_counts=cores, n_ops=args.ops,
+                              seed=args.seed)
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print_table(
+        "KV throughput scaling (seed %d, %d ops/shard)"
+        % (args.seed, args.ops),
+        ["cores", "throughput", "RTT mean", "wasted wakes", "cross wakes",
+         "misrouted"],
+        [(r["cores"], "%.0f ops/s" % r["throughput_ops_per_s"],
+          us(r["rtt_mean_ns"]), r["wasted_wakeups"],
+          r["cross_shard_wakeups"], r["misrouted_requests"])
+         for r in doc["rows"]],
+    )
+    print("wrote %s" % args.output)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -255,6 +283,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                           choices=("dpdk", "posix", "rdma", "spdk"))
     p_report.add_argument("--seed", type=int, default=42)
     p_report.set_defaults(fn=cmd_report)
+    p_bench = sub.add_parser(
+        "bench", help="run a persisted benchmark and write its JSON")
+    p_bench.add_argument("bench", choices=("kv-scaling",))
+    p_bench.add_argument("--cores", default="1,2,4,8",
+                         help="comma-separated shard counts "
+                              "(default: 1,2,4,8)")
+    p_bench.add_argument("--ops", type=int, default=200,
+                         help="operations per shard (default: 200)")
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument("-o", "--output", default="BENCH_kv_scaling.json",
+                         help="output path (default: BENCH_kv_scaling.json)")
+    p_bench.set_defaults(fn=cmd_bench)
     p_chaos = sub.add_parser(
         "chaos", help="run one chaos scenario and check its invariants")
     p_chaos.add_argument("scenario", choices=sorted(GOLDEN_SCENARIOS))

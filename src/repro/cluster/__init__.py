@@ -1,0 +1,22 @@
+"""Shared-nothing multi-core serving (the paper's claim at N workers).
+
+One :class:`Shard` per core: its own event loop, qtoken table, KV
+partition, and NIC RX queue.  RSS steers each client flow to exactly one
+shard's queue; clients pick source ports so their flow lands on the
+shard that owns their keys (:mod:`repro.cluster.client`).  Nothing is
+shared across shards - no locks, no cross-core wake-ups - which is what
+lets the section-4.4 wake-one property be checked at N workers instead
+of one.
+"""
+
+from .client import shard_workload, sharded_kv_client, src_port_for_queue
+from .shard import Shard, ShardKvServer, ShardedKvServer
+
+__all__ = [
+    "Shard",
+    "ShardKvServer",
+    "ShardedKvServer",
+    "sharded_kv_client",
+    "shard_workload",
+    "src_port_for_queue",
+]

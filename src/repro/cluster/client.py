@@ -1,0 +1,99 @@
+"""Clients that steer themselves onto a chosen shard.
+
+The NIC hashes (src ip, dst ip, src port, dst port); everything but the
+source port is fixed for a given client/server pair, so the client picks
+the source port: :func:`src_port_for_queue` walks the ephemeral range
+until the tuple hashes onto the wanted RX queue (a handful of probes on
+average - real load generators do exactly this).  The workload generator
+then draws only keys the same shard owns, so flow steering and key
+partitioning agree end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from ..apps.kvstore import (OP_GET, OP_PUT, decode_response, encode_get,
+                            encode_put)
+from ..apps.steering import key_partition
+from ..core.api import LibOS
+from ..core.types import DemiError
+from ..hw.nic import rss_queue_for_flow
+from ..sim.rand import Rng
+from ..sim.trace import LatencyStats
+
+__all__ = ["src_port_for_queue", "sharded_kv_client", "shard_workload"]
+
+#: first ephemeral port (matches the netstack's allocator)
+EPHEMERAL_START = 49152
+
+
+def src_port_for_queue(client_ip: str, server_ip: str, queue: int,
+                       n_queues: int, dst_port: int,
+                       start: int = EPHEMERAL_START) -> int:
+    """The lowest source port >= *start* whose flow RSS-hashes to *queue*."""
+    for port in range(start, 65536):
+        if rss_queue_for_flow(client_ip, server_ip, port, dst_port,
+                              n_queues) == queue:
+            return port
+    raise DemiError("no source port steers %s->%s onto queue %d/%d"
+                    % (client_ip, server_ip, queue, n_queues))
+
+
+def sharded_kv_client(libos: LibOS, server_ip: str, shard_index: int,
+                      n_shards: int,
+                      operations: Sequence[Tuple[int, bytes, Optional[bytes]]],
+                      port: int = 6379,
+                      stats: Optional[LatencyStats] = None) -> Generator:
+    """Like :func:`~repro.apps.kvstore.demi_kv_client`, flow-steered.
+
+    Connects from a source port whose RSS hash lands the connection on
+    shard *shard_index*'s RX queue.  Returns ``(results, stats)``.
+    """
+    stats = stats if stats is not None else LatencyStats("kv-rtt")
+    src_port = src_port_for_queue(libos.ip, server_ip, shard_index,
+                                  n_shards, port)
+    qd = yield from libos.socket()
+    yield from libos.connect(qd, server_ip, port, src_port=src_port)
+    results = []
+    for op, key, value in operations:
+        request = encode_put(key, value) if op == OP_PUT else encode_get(key)
+        start = libos.sim.now
+        yield from libos.blocking_push(qd, libos.sga_alloc(request))
+        result = yield from libos.blocking_pop(qd)
+        stats.add(libos.sim.now - start)
+        results.append(decode_response(result.sga.tobytes())
+                       if op == OP_GET else None)
+    yield from libos.close(qd)
+    return results, stats
+
+
+def shard_workload(rng: Rng, n_ops: int, shard: int, n_shards: int,
+                   n_keys: int = 256, value_size: int = 256,
+                   get_fraction: float = 0.9, zipf_skew: float = 0.99
+                   ) -> List[Tuple[int, bytes, Optional[bytes]]]:
+    """A YCSB-ish mix restricted to keys *shard* owns.
+
+    Scans ``key-%08d`` candidates until ``n_keys`` land on the shard
+    (by :func:`~repro.apps.steering.key_partition`), preloads each with
+    a PUT so later GETs hit, then draws a Zipf-hot mix over them.
+    """
+    owned: List[bytes] = []
+    candidate = 0
+    while len(owned) < n_keys:
+        key = b"key-%08d" % candidate
+        if key_partition(key, n_shards) == shard:
+            owned.append(key)
+        candidate += 1
+        if candidate > 64 * n_keys * max(1, n_shards):
+            raise DemiError("key space too sparse for shard %d/%d"
+                            % (shard, n_shards))
+    ops: List[Tuple[int, bytes, Optional[bytes]]] = [
+        (OP_PUT, key, rng.bytes(value_size)) for key in owned]
+    for _ in range(max(0, n_ops - len(owned))):
+        key = owned[rng.zipf_index(len(owned), zipf_skew)]
+        if rng.chance(get_fraction):
+            ops.append((OP_GET, key, None))
+        else:
+            ops.append((OP_PUT, key, rng.bytes(value_size)))
+    return ops

@@ -192,13 +192,19 @@ class QTokenTable:
         entered = self.sim.now
         completions = [self.completion_of(t) for t in tokens]
         events = list(completions)
+        timer = None
         if timeout_ns is not None:
-            events.append(self.sim.timeout(timeout_ns, WAIT_TIMEOUT))
+            timer = self.sim.timeout(timeout_ns, WAIT_TIMEOUT)
+            events.append(timer)
         which = yield any_of(self.sim, events)
         index, value = which
-        if timeout_ns is not None and index == len(tokens):
+        if timer is not None and index == len(tokens):
             self.counters.count(names.WAIT_TIMEOUTS)
             raise DemiTimeout(timeout_ns, tokens)
+        if timer is not None:
+            # A token won before the deadline: withdraw the timer so it
+            # doesn't linger on the sim heap until the deadline passes.
+            timer.cancel()
         self._retire(tokens[index])
         if charge is not None:
             yield charge()
@@ -219,14 +225,21 @@ class QTokenTable:
         remaining = set(range(len(tokens)))
         deadline = None if timeout_ns is None else self.sim.now + timeout_ns
         while remaining:
-            budget = None if deadline is None else max(0, deadline - self.sim.now)
+            if deadline is not None and self.sim.now >= deadline:
+                # Budget exhausted between rounds: raise right away
+                # instead of re-subscribing to every remaining
+                # completion with a zero-ns timer race.
+                self.counters.count(names.WAIT_TIMEOUTS)
+                raise DemiTimeout(timeout_ns, tokens)
+            budget = None if deadline is None else deadline - self.sim.now
             pending_tokens = [tokens[i] for i in sorted(remaining)]
             index_map = sorted(remaining)
             try:
                 index, value = yield from self.wait_any(pending_tokens, budget,
                                                         charge=None)
             except DemiTimeout:
-                self.counters.count(names.WAIT_TIMEOUTS)
+                # The inner wait_any already counted WAIT_TIMEOUTS once;
+                # re-wrap with the caller's full timeout/token set only.
                 raise DemiTimeout(timeout_ns, tokens)
             results[index_map[index]] = value
             remaining.discard(index_map[index])

@@ -19,6 +19,7 @@ the driver code in the kernel or libOS.
 
 from __future__ import annotations
 
+import struct
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
@@ -29,7 +30,8 @@ from ..telemetry import names
 from .device import Device
 from .iommu import Iommu
 
-__all__ = ["DpdkNic", "KernelNic", "RdmaNic", "HwCq", "HwQp", "RdmaPacket", "QpError"]
+__all__ = ["DpdkNic", "KernelNic", "RdmaNic", "HwCq", "HwQp", "RdmaPacket",
+           "QpError", "rss_hash", "rss_queue_for_flow"]
 
 
 # --------------------------------------------------------------------------
@@ -138,6 +140,35 @@ class _EthernetNic(Device):
             hook()
 
 
+def rss_hash(tuple_bytes: bytes) -> int:
+    """The NIC's RSS hash over the 12 flow-tuple bytes.
+
+    Module-level so software can predict hardware steering: a sharded
+    server partitions its key space with the same function the NIC uses
+    to pick RX queues, and a client picks a source port that hashes its
+    flow onto the shard it wants (see ``repro.cluster``).
+    """
+    h = 0
+    for b in tuple_bytes:
+        h = (h * 31 + b) & 0xFFFFFFFF
+    return h
+
+
+def rss_queue_for_flow(src_ip: str, dst_ip: str, src_port: int,
+                       dst_port: int, n_queues: int) -> int:
+    """Which RX queue the NIC at *dst_ip* steers this IPv4 flow to.
+
+    Packs the tuple exactly as it appears on the wire (frame bytes
+    [26:38]: src ip, dst ip, src port, dst port), so the answer is
+    bit-identical to :meth:`DpdkNic._rss_queue` on the real frame.
+    """
+    from ..netstack.packet import ip_to_bytes
+
+    tuple_bytes = (ip_to_bytes(src_ip) + ip_to_bytes(dst_ip)
+                   + struct.pack("!HH", src_port, dst_port))
+    return rss_hash(tuple_bytes) % n_queues
+
+
 class DpdkNic(_EthernetNic):
     """Poll-mode, kernel-bypass frame NIC (the DPDK device model).
 
@@ -145,16 +176,22 @@ class DpdkNic(_EthernetNic):
     each arriving frame's IPv4 flow tuple and steers it to one of
     ``n_rx_queues`` rings, so independent cores can each poll their own
     ring without sharing - the standard kernel-bypass multi-core recipe.
+
+    With ``replicate_non_ip=True`` the NIC copies non-IPv4 frames (ARP,
+    essentially) into *every* RX ring instead of only queue 0 - the
+    moral equivalent of a broadcast/all-multi filter per queue, so each
+    per-core stack sees ARP traffic without a cross-core control plane.
     """
 
     kind = "dpdk-nic"
 
     def __init__(self, host, fabric, mac, name="dpdk0", rx_ring_size=1024,
-                 iommu=None, n_rx_queues=1):
+                 iommu=None, n_rx_queues=1, replicate_non_ip=False):
         super().__init__(host, fabric, mac, name, rx_ring_size, iommu)
         if n_rx_queues < 1:
             raise ValueError("a NIC needs at least one RX queue")
         self.n_rx_queues = n_rx_queues
+        self.replicate_non_ip = replicate_non_ip
         self._rx_rings: List[Deque[bytes]] = [deque()
                                               for _ in range(n_rx_queues)]
         self._rx_waiters: List[List[Completion]] = [[]
@@ -164,22 +201,30 @@ class DpdkNic(_EthernetNic):
             for q in range(n_rx_queues)]
 
     # -- receive-side scaling ----------------------------------------------
+    def _is_ipv4(self, frame: bytes) -> bool:
+        # ethertype at [12:14]; a steerable frame needs the full 20-byte
+        # IP header plus L4 ports present.
+        return len(frame) >= 38 and frame[12:14] == b"\x08\x00"
+
     def _rss_queue(self, frame: bytes) -> int:
         """Steer by the IPv4 flow tuple; non-IP traffic lands in queue 0."""
         if self.n_rx_queues == 1:
             return 0
-        # ethertype at [12:14]; IPv4 addresses at [26:34]; L4 ports at
-        # [34:38] for a 20-byte IP header.
-        if len(frame) < 38 or frame[12:14] != b"\x08\x00":
+        # IPv4 addresses at [26:34]; L4 ports at [34:38] for a 20-byte
+        # IP header.
+        if not self._is_ipv4(frame):
             return 0
-        tuple_bytes = frame[26:38]
-        h = 0
-        for b in tuple_bytes:
-            h = (h * 31 + b) & 0xFFFFFFFF
-        return h % self.n_rx_queues
+        return rss_hash(frame[26:38]) % self.n_rx_queues
 
     def _rx_ready(self, frame: Any) -> None:
-        queue = self._rss_queue(frame)
+        if (self.replicate_non_ip and self.n_rx_queues > 1
+                and not self._is_ipv4(frame)):
+            for queue in range(self.n_rx_queues):
+                self._enqueue_rx(queue, frame)
+            return
+        self._enqueue_rx(self._rss_queue(frame), frame)
+
+    def _enqueue_rx(self, queue: int, frame: Any) -> None:
         ring = self._rx_rings[queue]
         limit = self.rx_ring_size
         if self.faults is not None:
@@ -425,14 +470,18 @@ class RdmaNic(Device):
         buffer holds forever.
         """
         qp.error = True
+        self._flush_inflight(qp)
+        qp.recv_buffers.clear()
+        self.qps.pop(qp.qpn, None)
+
+    def _flush_inflight(self, qp: HwQp) -> None:
+        """Complete every outstanding send WR with a ``flush`` CQE."""
         for seq in sorted(qp.inflight):
             pkt, _retries, _epoch = qp.inflight[seq]
             qp.send_cq.push({"wr_id": pkt.wr_id, "status": "flush",
                              "opcode": pkt.kind, "qpn": qp.qpn})
             self.count(names.WR_FLUSHES)
         qp.inflight.clear()
-        qp.recv_buffers.clear()
-        self.qps.pop(qp.qpn, None)
 
     # -- verbs: posting work ----------------------------------------------
     def post_recv(self, qp: HwQp, wr_id: int, buffer: Any) -> None:
@@ -542,6 +591,11 @@ class RdmaNic(Device):
             qp.send_cq.push({"wr_id": pkt.wr_id, "status": "retry-exceeded",
                              "opcode": pkt.kind, "qpn": qp.qpn})
             self.count(names.QP_ERRORS)
+            # The QP is now in the error state: nothing else in flight
+            # will ever retransmit, so flush it (real RC hardware
+            # completes the rest with IBV_WC_WR_FLUSH_ERR).  Without
+            # this, those WRs strand forever with no CQE at all.
+            self._flush_inflight(qp)
             return
         self.count(names.RETRANSMITS)
         self._emit(qp, pkt, retries + 1)
@@ -597,6 +651,7 @@ class RdmaNic(Device):
             qp.send_cq.push({"wr_id": orig.wr_id, "status": "rnr-exceeded",
                              "opcode": orig.kind, "qpn": qp.qpn})
             self.count(names.QP_ERRORS)
+            self._flush_inflight(qp)
             return
         del qp.inflight[pkt.seq]
         backoff = self._rto()

@@ -99,11 +99,19 @@ class DpdkLibOS(LibOS):
 
     def __init__(self, host, nic: DpdkNic, ip: str, name: str = "catnip",
                  core=None, rx_burst_size: int = 32,
-                 verify_checksums: bool = False):
+                 verify_checksums: bool = False, rx_queue: int = 0,
+                 arp_responder: bool = True):
         super().__init__(host, name, core)
         self.nic = nic
         self.ip = ip
         self.rx_burst_size = rx_burst_size
+        #: the NIC RX queue this instance polls.  A sharded server runs
+        #: one DpdkLibOS per core, each bound to its own queue; RSS makes
+        #: the NIC deliver each flow to exactly one of them.
+        self.rx_queue = rx_queue
+        if rx_queue >= nic.n_rx_queues:
+            raise DemiError("rx queue %d on a %d-queue NIC"
+                            % (rx_queue, nic.n_rx_queues))
         self.offload_engine = nic.offload
         self.stack = NetStack(
             sim=self.sim,
@@ -117,6 +125,7 @@ class DpdkLibOS(LibOS):
             rx_cost_ns=self.costs.user_net_rx_ns,
             verify_checksums=verify_checksums,
             telemetry=self.telemetry,
+            arp_responder=arp_responder,
         )
         self._poll_proc = self.sim.spawn(self._poll_loop(),
                                          name="%s.poll" % name)
@@ -133,9 +142,10 @@ class DpdkLibOS(LibOS):
     def _poll_loop(self) -> Generator:
         """The poll-mode driver: busy-poll the RX ring, feed the stack."""
         while True:
-            yield self.nic.rx_signal()
+            yield self.nic.rx_signal(self.rx_queue)
             yield self.core.busy(self.costs.dpdk_poll_ns)
-            for frame in self.nic.rx_burst(self.rx_burst_size):
+            for frame in self.nic.rx_burst(self.rx_burst_size,
+                                           self.rx_queue):
                 self.stack.rx_frame(frame)
 
     # -- UDP ---------------------------------------------------------------------
@@ -269,7 +279,10 @@ class DpdkLibOS(LibOS):
         self.count(names.ACCEPTS)
         return new_queue.qd
 
-    def connect(self, qd: int, ip: str, port: int) -> Generator:
+    def connect(self, qd: int, ip: str, port: int,
+                src_port: Optional[int] = None) -> Generator:
+        """*src_port* pins the local port - a client can pick one whose
+        flow tuple RSS-hashes onto a chosen server shard."""
         queue = self._lookup(qd)
         yield self.core.busy(self.costs.kernel_sock_op_ns)
         if isinstance(queue, UdpQueue):
@@ -279,7 +292,7 @@ class DpdkLibOS(LibOS):
                 self.stack.udp_bind(queue.port, self._udp_handler(queue))
             return 0
         if isinstance(queue, TcpQueue):
-            conn = self.stack.tcp_connect(ip, port)
+            conn = self.stack.tcp_connect(ip, port, src_port=src_port)
             yield conn.established
             queue.attach_connection(conn)
             self.count(names.CONNECTS)

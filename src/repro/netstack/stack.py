@@ -54,6 +54,7 @@ class NetStack:
         mtu: int = DEFAULT_MTU,
         verify_checksums: bool = False,
         telemetry=None,
+        arp_responder: bool = True,
     ):
         self.sim = sim
         self.name = name
@@ -68,6 +69,11 @@ class NetStack:
         self.rx_cost_ns = rx_cost_ns
         self.mtu = mtu
         self.verify_checksums = verify_checksums
+        #: answer ARP who-has requests for our IP.  When several stacks
+        #: share one NIC and IP (per-core shards behind RSS), exactly one
+        #: of them must own the responder role or every request draws N
+        #: replies; the others still learn opportunistically.
+        self.arp_responder = arp_responder
 
         self.arp_table: Dict[str, str] = {}
         self._arp_pending: Dict[str, List[Ipv4Packet]] = {}
@@ -115,7 +121,8 @@ class NetStack:
         # Opportunistic learning.
         self.arp_table[arp.sender_ip] = arp.sender_mac
         self._flush_arp_pending(arp.sender_ip)
-        if arp.oper == ARP_REQUEST and arp.target_ip == self.ip:
+        if (self.arp_responder and arp.oper == ARP_REQUEST
+                and arp.target_ip == self.ip):
             reply = ArpPacket(ARP_REPLY, self.mac, self.ip,
                               arp.sender_mac, arp.sender_ip)
             self._tx_frame(arp.sender_mac, ETHERTYPE_ARP, reply.pack())

@@ -133,14 +133,28 @@ class Completion:
 class Timeout(Completion):
     """A completion triggered by the clock after a fixed delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError("negative timeout %r" % delay)
         super().__init__(sim, label="timeout(%d)" % delay)
         self.delay = delay
-        sim._schedule_at(sim.now + int(delay), self.trigger, value)
+        self._entry = sim._schedule_at(sim.now + int(delay), self.trigger,
+                                       value)
+
+    def cancel(self) -> None:
+        """Withdraw the pending trigger; no-op once fired.
+
+        A wait that wins before its deadline must cancel its timer, or
+        the dead entry sits on the heap until the deadline passes - at
+        millions of timed waits that is unbounded heap growth.
+        """
+        if self._done:
+            return
+        self._done = True  # never fires; waiters were never going to win
+        self._callbacks = []
+        self.sim._cancel_scheduled(self._entry)
 
 
 class Process(Completion):
@@ -247,36 +261,71 @@ class Process(Completion):
 
 
 class _MultiWait(Completion):
-    """Shared machinery for :func:`any_of` / :func:`all_of`."""
+    """Shared machinery for :func:`any_of` / :func:`all_of`.
 
-    __slots__ = ("remaining", "mode", "results")
+    When the wait resolves ("any" mode wins, or either mode fails), the
+    callbacks planted on the still-pending events are detached again.
+    Without that, every ``wait_any`` leaves a stale closure on each
+    losing completion - on a long-lived connection queue that is waited
+    thousands of times, the callback list grows without bound.
+    """
+
+    __slots__ = ("remaining", "mode", "results", "_events", "_cbs")
 
     def __init__(self, sim: "Simulator", events: List[Completion], mode: str):
         super().__init__(sim, label="%s(%d)" % (mode, len(events)))
         self.mode = mode
         self.results: List[Any] = [None] * len(events)
         self.remaining = len(events)
+        self._events = events
+        self._cbs: List[Optional[Callable]] = [None] * len(events)
         if not events:
             self.trigger([])
             return
         for i, ev in enumerate(events):
-            ev.subscribe(self._make_cb(i))
+            cb = self._make_cb(i)
+            self._cbs[i] = cb
+            ev.subscribe(cb)
+            if self._done:
+                # An already-triggered event resolved the wait mid-
+                # construction ("any" win or a failure); never subscribe
+                # to the rest, they would leak.
+                break
 
     def _make_cb(self, index: int) -> Callable[[Completion], None]:
         def cb(ev: Completion) -> None:
             if self.triggered:
                 return
+            # Detach before triggering: dispatch resumes the waiting
+            # process synchronously, and it must not observe our stale
+            # callbacks still planted on the losing events.
             if ev._exc is not None:
+                self._detach()
                 self.fail(ev._exc)
                 return
             self.results[index] = ev._value
             self.remaining -= 1
             if self.mode == "any":
+                self._detach()
                 self.trigger((index, ev._value))
             elif self.remaining == 0:
+                self._events = []
+                self._cbs = []
                 self.trigger(list(self.results))
 
         return cb
+
+    def _detach(self) -> None:
+        """Remove our callbacks from the events that did not fire."""
+        for ev, cb in zip(self._events, self._cbs):
+            if cb is None or ev._done:
+                continue
+            try:
+                ev._callbacks.remove(cb)
+            except ValueError:
+                pass
+        self._events = []
+        self._cbs = []
 
 
 def any_of(sim: "Simulator", events: Iterable[Completion]) -> Completion:
@@ -296,6 +345,7 @@ class Simulator:
         self._heap: List[Any] = []
         self._now = 0
         self._seq = 0
+        self._tombstones = 0
         self._active: Optional[Process] = None
         self.processes_spawned = 0
 
@@ -309,11 +359,31 @@ class Simulator:
         return self._active
 
     # -- scheduling -------------------------------------------------------
-    def _schedule_at(self, when: int, fn: Callable, *args: Any) -> None:
+    def _schedule_at(self, when: int, fn: Callable, *args: Any) -> List[Any]:
         if when < self._now:
             raise SimulationError("cannot schedule into the past")
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        # Entries are lists so a cancellation can tombstone one in place
+        # (fn=None) without an O(n) heap removal.  The unique seq in slot
+        # 1 means heap comparisons never reach the (unorderable) fn slot.
+        entry = [when, self._seq, fn, args]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def _cancel_scheduled(self, entry: List[Any]) -> None:
+        """Tombstone a heap entry returned by :meth:`_schedule_at`."""
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = ()
+        self._tombstones += 1
+        # Compact when tombstones dominate, so a workload that cancels
+        # nearly every timer (a server whose waits always win before the
+        # deadline) keeps the heap at O(live entries).
+        if self._tombstones > 64 and self._tombstones * 2 > len(self._heap):
+            self._heap = [e for e in self._heap if e[2] is not None]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
 
     def call_in(self, delay: int, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` after *delay* ns of simulated time."""
@@ -338,9 +408,13 @@ class Simulator:
 
         Returns the simulated time at which the run stopped.
         """
-        heap = self._heap
-        while heap:
+        while self._heap:
+            heap = self._heap  # compaction may replace the list
             when, _seq, fn, args = heap[0]
+            if fn is None:  # tombstoned by a cancellation
+                heapq.heappop(heap)
+                self._tombstones -= 1
+                continue
             if until is not None and when > until:
                 self._now = until
                 return self._now
@@ -354,11 +428,15 @@ class Simulator:
     def run_until_complete(self, proc: Process, limit: int = 10**15) -> Any:
         """Run until *proc* finishes (or the time limit trips) and return
         its value."""
-        heap = self._heap
-        while heap and not proc.triggered:
-            when, _seq, fn, args = heapq.heappop(heap)
+        while self._heap and not proc.triggered:
+            heap = self._heap  # compaction may replace the list
+            entry = heapq.heappop(heap)
+            when, _seq, fn, args = entry
+            if fn is None:  # tombstoned by a cancellation
+                self._tombstones -= 1
+                continue
             if when > limit:
-                heapq.heappush(heap, (when, _seq, fn, args))
+                heapq.heappush(heap, entry)
                 break
             self._now = when
             fn(*args)
@@ -370,4 +448,8 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heapq.heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None

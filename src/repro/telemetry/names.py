@@ -208,3 +208,14 @@ MM_REGIONS_RECLAIMED = "regions_reclaimed"
 # -------------------------------------------------------------------- apps
 RELAY_ESTABLISHED = "relay_established"
 KV_VALUE_COPIES = "kv_value_copies"
+
+# ------------------------------------------------------------------ cluster
+# One set per shard (counted against the shard's libOS scope).  The
+# paper's wake-one claim at N workers is the pair of zeros: a sharded
+# run must end with shard_wasted_wakeups == shard_cross_wakeups == 0.
+SHARD_WAKEUPS = "shard_wakeups"
+SHARD_WASTED_WAKEUPS = "shard_wasted_wakeups"
+SHARD_CROSS_WAKEUPS = "shard_cross_wakeups"
+SHARD_MISROUTED = "shard_misrouted_requests"
+SHARD_CONNS = "shard_connections"
+SHARD_REQUESTS = "shard_requests"

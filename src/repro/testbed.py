@@ -27,6 +27,7 @@ __all__ = [
     "make_kernel_pair",
     "make_net_pair",
     "make_dpdk_libos_pair",
+    "make_sharded_kv_world",
     "make_posix_libos_pair",
     "make_rdma_libos_pair",
     "make_spdk_libos",
@@ -73,9 +74,12 @@ class World:
         self.hosts[name] = host
         return host
 
-    def add_dpdk(self, host: Host, mac: Optional[str] = None) -> DpdkNic:
+    def add_dpdk(self, host: Host, mac: Optional[str] = None,
+                 n_rx_queues: int = 1,
+                 replicate_non_ip: bool = False) -> DpdkNic:
         nic = DpdkNic(host, self.fabric, mac or ("%s-dpdk" % host.name),
-                      name="%s.dpdk0" % host.name)
+                      name="%s.dpdk0" % host.name, n_rx_queues=n_rx_queues,
+                      replicate_non_ip=replicate_non_ip)
         host.nics.append(nic)
         host.mm.attach_device(nic)
         return nic
@@ -181,6 +185,38 @@ def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
         liboses.append(DpdkLibOS(host, nic, ip, name="%s.catnip" % name,
                                  verify_checksums=verify_checksums))
     return w, liboses[0], liboses[1]
+
+
+def make_sharded_kv_world(n_shards: int, drop_rate: float = 0.0,
+                          seed: int = 42, costs: CostModel = DEFAULT_COSTS,
+                          port: int = 6379, telemetry=False):
+    """A server sharded across *n_shards* cores plus one client per shard.
+
+    The server host gets ``max(4, n_shards)`` cores and a DPDK NIC with
+    one RSS RX queue per shard (non-IP frames - ARP - replicated to
+    every queue so each per-core stack learns peer MACs).  Client *i* is
+    its own host/libOS at ``10.0.0.(i+1)``; the server answers at
+    ``10.0.0.100``.  Returns ``(world, ShardedKvServer, [client
+    liboses])`` - the server is built but not started.
+    """
+    from .cluster.shard import ShardedKvServer
+    from .libos.dpdk_libos import DpdkLibOS
+
+    w = World(costs=costs, drop_rate=drop_rate, seed=seed,
+              telemetry=telemetry)
+    server_host = w.add_host("server", cores=max(4, n_shards))
+    server_nic = w.add_dpdk(server_host, mac="02:00:00:00:30:64",
+                            n_rx_queues=n_shards,
+                            replicate_non_ip=(n_shards > 1))
+    server = ShardedKvServer(server_host, server_nic, "10.0.0.100",
+                             n_shards, port=port)
+    clients = []
+    for i in range(n_shards):
+        host = w.add_host("client%d" % i)
+        nic = w.add_dpdk(host, mac="02:00:00:00:30:%02x" % (i + 1))
+        clients.append(DpdkLibOS(host, nic, "10.0.0.%d" % (i + 1),
+                                 name="client%d.catnip" % i))
+    return w, server, clients
 
 
 def make_posix_libos_pair(drop_rate: float = 0.0, seed: int = 42,

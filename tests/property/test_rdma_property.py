@@ -23,8 +23,15 @@ class TestReliabilityProperties:
            st.integers(1, 25))
     @settings(max_examples=25, deadline=None)
     def test_all_sends_delivered_in_order(self, seed, drop_rate, n_messages):
-        """Any seed, any loss up to 30%: every message arrives, in order,
-        uncorrupted - the RC contract."""
+        """Any seed, any loss up to 30%: the bounded-retry RC contract.
+
+        Delivery is an in-order, uncorrupted, gap-free prefix; every
+        posted WR gets exactly one send CQE (an adversarial loss pattern
+        may exhaust the retry budget, which errors the QP and flushes
+        the rest - but nothing ever vanishes silently); every send acked
+        ``ok`` was delivered; and if the QP never errored, everything
+        was delivered and acked.
+        """
         w, (nic_a, qp_a), (nic_b, qp_b) = rdma_pair(drop_rate, seed)
         for i in range(n_messages):
             nic_b.post_recv(qp_b, i, w.hosts["b"].mm.alloc(64))
@@ -32,13 +39,19 @@ class TestReliabilityProperties:
             nic_a.post_send(qp_a, wr_id=i, payload=b"msg-%04d" % i)
         w.run()
         cqes = qp_b.recv_cq.poll(max_cqes=1000)
-        assert [c["wr_id"] for c in cqes] == list(range(n_messages))
+        delivered = [c["wr_id"] for c in cqes]
+        # In-order gap-free prefix, each message uncorrupted.
+        assert delivered == list(range(len(delivered)))
         for i, cqe in enumerate(cqes):
             assert cqe["buffer"].read(0, 8) == b"msg-%04d" % i
-        # Every send also completed on the sender.
+        # Exactly one send CQE per posted WR - no silent loss.
         send_cqes = qp_a.send_cq.poll(max_cqes=1000)
         assert sorted(c["wr_id"] for c in send_cqes) == list(range(n_messages))
-        assert all(c["status"] == "ok" for c in send_cqes)
+        ok_ids = {c["wr_id"] for c in send_cqes if c["status"] == "ok"}
+        assert ok_ids <= set(delivered)
+        if not qp_a.error:
+            assert delivered == list(range(n_messages))
+            assert ok_ids == set(range(n_messages))
 
     @given(st.integers(1, 10**6), st.integers(1, 15))
     @settings(max_examples=15, deadline=None)

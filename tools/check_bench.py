@@ -1,0 +1,109 @@
+"""Validate a ``BENCH_kv_scaling.json`` document: ``python -m
+tools.check_bench BENCH_kv_scaling.json``.
+
+CI runs the scaling bench at a fixed seed and feeds the output here.
+The check is structural plus the two claims the bench exists to pin:
+
+* throughput is **strictly increasing** with the core count (the
+  shared-nothing scaling claim - any flattening means cross-core
+  serialization crept in);
+* ``wasted_wakeups`` and ``cross_shard_wakeups`` are zero in every row
+  (the wake-one claim at N workers, paper section 4.4).
+
+Exits nonzero with one line per violation.  Schema: docs/api.md.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+#: every row must carry these keys (docs/api.md, schema_version 1)
+ROW_KEYS = (
+    "cores", "requests", "elapsed_ns", "throughput_ops_per_s",
+    "rtt_mean_ns", "rtt_p99_ns", "per_shard_requests",
+    "per_core_utilization", "wakeups", "wasted_wakeups",
+    "cross_shard_wakeups", "misrouted_requests", "wait_timeouts",
+    "qtoken_identity_ok",
+)
+
+
+def check_document(doc: object) -> List[str]:
+    """All violations in *doc* (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("bench") != "kv_scaling":
+        errors.append("bench is %r, expected 'kv_scaling'" % doc.get("bench"))
+    if doc.get("schema_version") != 1:
+        errors.append("schema_version is %r, expected 1"
+                      % doc.get("schema_version"))
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append("rows missing or empty")
+        return errors
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append("rows[%d] is not an object" % i)
+            continue
+        missing = [k for k in ROW_KEYS if k not in row]
+        if missing:
+            errors.append("rows[%d] missing keys: %s"
+                          % (i, ", ".join(missing)))
+            continue
+        if row["wasted_wakeups"] != 0:
+            errors.append("rows[%d] (cores=%s): %d wasted wake-ups"
+                          % (i, row["cores"], row["wasted_wakeups"]))
+        if row["cross_shard_wakeups"] != 0:
+            errors.append("rows[%d] (cores=%s): %d cross-shard wake-ups"
+                          % (i, row["cores"], row["cross_shard_wakeups"]))
+        if row["misrouted_requests"] != 0:
+            errors.append("rows[%d] (cores=%s): %d misrouted requests"
+                          % (i, row["cores"], row["misrouted_requests"]))
+        if row["qtoken_identity_ok"] is not True:
+            errors.append("rows[%d] (cores=%s): qtoken identity violated"
+                          % (i, row["cores"]))
+    good = [r for r in rows if isinstance(r, dict)
+            and all(k in r for k in ROW_KEYS)]
+    for prev, cur in zip(good, good[1:]):
+        if cur["cores"] <= prev["cores"]:
+            errors.append("rows not ordered by cores (%s after %s)"
+                          % (cur["cores"], prev["cores"]))
+        if cur["throughput_ops_per_s"] <= prev["throughput_ops_per_s"]:
+            errors.append(
+                "throughput not strictly increasing: %.0f ops/s at "
+                "%s cores vs %.0f ops/s at %s cores"
+                % (cur["throughput_ops_per_s"], cur["cores"],
+                   prev["throughput_ops_per_s"], prev["cores"]))
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m tools.check_bench BENCH_kv_scaling.json",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print("check_bench: cannot read %s: %s" % (argv[0], exc),
+              file=sys.stderr)
+        return 1
+    errors = check_document(doc)
+    for error in errors:
+        print("check_bench: %s" % error, file=sys.stderr)
+    if errors:
+        return 1
+    rows = doc["rows"]
+    print("check_bench: %s ok (%d rows, cores %s, peak %.0f ops/s)"
+          % (argv[0], len(rows),
+             "/".join(str(r["cores"]) for r in rows),
+             rows[-1]["throughput_ops_per_s"]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
