@@ -225,6 +225,8 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_bench(args) -> int:
+    import os
+
     from .bench.runners import kv_scaling_document
 
     if args.bench != "kv-scaling":
@@ -232,17 +234,29 @@ def cmd_bench(args) -> int:
     cores = tuple(int(c) for c in args.cores.split(","))
     doc = kv_scaling_document(core_counts=cores, n_ops=args.ops,
                               seed=args.seed)
+    payload: object = doc
+    if args.append and os.path.exists(args.output):
+        # Trajectory mode: keep prior sweeps alongside the new one so a
+        # run's history accumulates instead of being overwritten
+        # (tools.check_bench validates every document in the list).
+        with open(args.output) as fh:
+            existing = json.load(fh)
+        if isinstance(existing, list):
+            payload = existing + [doc]
+        else:
+            payload = [existing, doc]
     with open(args.output, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
+        json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print_table(
         "KV throughput scaling (seed %d, %d ops/shard)"
         % (args.seed, args.ops),
-        ["cores", "throughput", "RTT mean", "wasted wakes", "cross wakes",
-         "misrouted"],
+        ["cores", "throughput", "RTT mean", "CPU/op", "wasted wakes",
+         "cross wakes", "misrouted"],
         [(r["cores"], "%.0f ops/s" % r["throughput_ops_per_s"],
-          us(r["rtt_mean_ns"]), r["wasted_wakeups"],
-          r["cross_shard_wakeups"], r["misrouted_requests"])
+          us(r["rtt_mean_ns"]), "%.0f ns" % r["per_op_server_cpu_ns"],
+          r["wasted_wakeups"], r["cross_shard_wakeups"],
+          r["misrouted_requests"])
          for r in doc["rows"]],
     )
     print("wrote %s" % args.output)
@@ -286,14 +300,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bench = sub.add_parser(
         "bench", help="run a persisted benchmark and write its JSON")
     p_bench.add_argument("bench", choices=("kv-scaling",))
-    p_bench.add_argument("--cores", default="1,2,4,8",
+    p_bench.add_argument("--cores", default="1,2,4,8,16,32",
                          help="comma-separated shard counts "
-                              "(default: 1,2,4,8)")
+                              "(default: 1,2,4,8,16,32)")
     p_bench.add_argument("--ops", type=int, default=200,
                          help="operations per shard (default: 200)")
     p_bench.add_argument("--seed", type=int, default=7)
     p_bench.add_argument("-o", "--output", default="BENCH_kv_scaling.json",
                          help="output path (default: BENCH_kv_scaling.json)")
+    p_bench.add_argument("--append", action="store_true",
+                         help="append this sweep to an existing output "
+                              "file as a trajectory instead of "
+                              "overwriting it")
     p_bench.set_defaults(fn=cmd_bench)
     p_chaos = sub.add_parser(
         "chaos", help="run one chaos scenario and check its invariants")

@@ -212,6 +212,60 @@ class QTokenTable:
         self._h_dispatch.observe(self.sim.now - entered)
         return index, value
 
+    def wait_any_n(self, tokens: Sequence[QToken],
+                   timeout_ns: Optional[int] = None,
+                   max_n: Optional[int] = None,
+                   charge=None) -> Generator:
+        """Sim-coroutine: batch drain - every ready token in one crossing.
+
+        Blocks like :meth:`wait_any` until at least one token completes,
+        then sweeps the rest of *tokens* and also returns any that are
+        already triggered at that same instant, up to *max_n* entries.
+        Returns a list of ``(index, QResult)`` pairs sorted by index;
+        the list is never empty.  Tokens not returned stay valid.
+
+        This is the crossing-amortization primitive: a server that waited
+        N times to drain N completions now pays one ``wait_dispatch``
+        per *batch*.  The exactly-one-waiter guarantee is untouched -
+        every returned token is retired here, so a second wait on it
+        raises.
+        """
+        if not tokens:
+            raise DemiError("wait_any_n on no tokens")
+        entered = self.sim.now
+        completions = [self.completion_of(t) for t in tokens]
+        events = list(completions)
+        timer = None
+        if timeout_ns is not None:
+            timer = self.sim.timeout(timeout_ns, WAIT_TIMEOUT)
+            events.append(timer)
+        which = yield any_of(self.sim, events)
+        index, value = which
+        if timer is not None and index == len(tokens):
+            self.counters.count(names.WAIT_TIMEOUTS)
+            raise DemiTimeout(timeout_ns, tokens)
+        if timer is not None:
+            timer.cancel()
+        limit = len(tokens) if max_n is None else max(1, max_n)
+        ready: List[Tuple[int, QResult]] = [(index, value)]
+        for i, done in enumerate(completions):
+            if i == index:
+                continue
+            if len(ready) >= limit:
+                break
+            if done.triggered:
+                ready.append((i, done.value))
+        ready.sort(key=lambda pair: pair[0])
+        for i, _ in ready:
+            self._retire(tokens[i])
+        if charge is not None:
+            yield charge()
+        self.counters.count(names.WAITS)
+        self.counters.count(names.BATCH_WAITS)
+        self.counters.count(names.BATCH_WAIT_COMPLETIONS, len(ready))
+        self._h_dispatch.observe(self.sim.now - entered)
+        return ready
+
     def wait_all(self, tokens: Sequence[QToken], timeout_ns: Optional[int] = None,
                  charge=None) -> Generator:
         """Sim-coroutine: wait for every token; returns list of QResults.

@@ -279,6 +279,30 @@ class Syscalls:
         sock.conn.send(bytes(data))
         return len(data)
 
+    def sendv(self, fd: int, chunks) -> Generator:
+        """Vectored send: N buffers through one crossing (writev).
+
+        The kernel-stack answer to the libOS batch push - the copies are
+        still per-byte, but the privilege crossing and socket
+        bookkeeping are paid once for the whole vector.
+        """
+        sock = self.kernel._lookup(fd, "tcp")
+        if sock.conn is None:
+            raise KernelError("sendv on unconnected socket")
+        chunks = list(chunks)
+        if not chunks:
+            raise KernelError("sendv of no buffers")
+        total = sum(len(c) for c in chunks)
+        yield self._syscall(self.costs.kernel_sock_op_ns +
+                            self.costs.copy_ns(total))
+        self.kernel.copied(names.BYTES_COPIED_TX, total)
+        self.kernel.count(names.SENDV_CALLS)
+        if len(chunks) > 1:
+            self.kernel.count(names.SENDV_SYSCALLS_SAVED, len(chunks) - 1)
+        for chunk in chunks:
+            sock.conn.send(bytes(chunk))
+        return total
+
     def recv(self, fd: int, max_bytes: int = 65536) -> Generator:
         """Blocking copying recv; b'' means peer closed."""
         sock = self.kernel._lookup(fd, "tcp")

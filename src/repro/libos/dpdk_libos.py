@@ -20,11 +20,12 @@ and frees are safe at any time thanks to free-protection.
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Tuple
+from typing import Generator, List, Optional, Tuple
 
 from ..core.api import LibOS
 from ..core.queue import DemiQueue
 from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
+from ..sim.engine import any_of
 from ..telemetry import names
 from ..hw.nic import DpdkNic
 from ..netstack.framing import Deframer, frame_message
@@ -100,7 +101,9 @@ class DpdkLibOS(LibOS):
     def __init__(self, host, nic: DpdkNic, ip: str, name: str = "catnip",
                  core=None, rx_burst_size: int = 32,
                  verify_checksums: bool = False, rx_queue: int = 0,
-                 arp_responder: bool = True):
+                 arp_responder: bool = True, batching: bool = False,
+                 tx_queue: Optional[int] = None,
+                 spin_budget_ns: Optional[int] = None):
         super().__init__(host, name, core)
         self.nic = nic
         self.ip = ip
@@ -112,6 +115,24 @@ class DpdkLibOS(LibOS):
         if rx_queue >= nic.n_rx_queues:
             raise DemiError("rx queue %d on a %d-queue NIC"
                             % (rx_queue, nic.n_rx_queues))
+        #: batched fast path: coalesce TX doorbells (one per burst) and
+        #: amortize per-frame RX stack costs.  Off by default - timing of
+        #: the singleton path is part of the repo's golden surface.
+        self.batching = batching
+        #: the NIC TX queue this instance posts to.  Defaults to the
+        #: mirror of ``rx_queue`` so a sharded server's shards never
+        #: serialize behind one TX pipeline (the 8-core knee).
+        if tx_queue is None:
+            tx_queue = rx_queue if rx_queue < nic.n_tx_queues else 0
+        if tx_queue >= nic.n_tx_queues:
+            raise DemiError("tx queue %d on a %d-tx-queue NIC"
+                            % (tx_queue, nic.n_tx_queues))
+        self.tx_queue = tx_queue
+        #: adaptive poll/interrupt policy: spin (poll) for this budget
+        #: after going idle, then arm a coalesced interrupt and sleep.
+        #: None = pure poll mode (the classic DPDK driver).
+        self.spin_budget_ns = spin_budget_ns
+        self._tx_pending: List[Tuple[str, bytes]] = []
         self.offload_engine = nic.offload
         self.stack = NetStack(
             sim=self.sim,
@@ -126,6 +147,8 @@ class DpdkLibOS(LibOS):
             verify_checksums=verify_checksums,
             telemetry=self.telemetry,
             arp_responder=arp_responder,
+            rx_batch_cost_ns=(self.costs.user_net_rx_batch_ns
+                              if batching else None),
         )
         self._poll_proc = self.sim.spawn(self._poll_loop(),
                                          name="%s.poll" % name)
@@ -135,18 +158,74 @@ class DpdkLibOS(LibOS):
 
     # -- driver --------------------------------------------------------------
     def _send_frame(self, dst_mac: str, raw: bytes) -> None:
+        if self.batching:
+            # Park the descriptor; one doorbell covers everything posted
+            # at this instant.  call_in(0) runs after the current event
+            # finishes, so frames emitted together (reply + ACK, several
+            # replies from one batch drain) share a single ring.
+            self._tx_pending.append((dst_mac, raw))
+            if len(self._tx_pending) == 1:
+                self.sim.call_in(0, self._flush_tx)
+            return
         # Doorbell write to hand the descriptor to the NIC.
         self.core.charge_async(self.costs.doorbell_ns)
-        self.nic.post_tx(dst_mac, raw)
+        self.count(names.DOORBELLS)
+        self.nic.post_tx(dst_mac, raw, tx_queue=self.tx_queue)
+
+    def _flush_tx(self) -> None:
+        batch, self._tx_pending = self._tx_pending, []
+        if not batch:
+            return
+        self.core.charge_async(self.costs.doorbell_ns)
+        self.count(names.DOORBELLS)
+        if len(batch) > 1:
+            self.count(names.DOORBELLS_SAVED, len(batch) - 1)
+        self.nic.post_tx_burst(batch, tx_queue=self.tx_queue)
 
     def _poll_loop(self) -> Generator:
         """The poll-mode driver: busy-poll the RX ring, feed the stack."""
         while True:
-            yield self.nic.rx_signal(self.rx_queue)
+            if self.spin_budget_ns is None:
+                yield self.nic.rx_signal(self.rx_queue)
+            else:
+                yield from self._adaptive_wait()
             yield self.core.busy(self.costs.dpdk_poll_ns)
-            for frame in self.nic.rx_burst(self.rx_burst_size,
-                                           self.rx_queue):
-                self.stack.rx_frame(frame)
+            frames = self.nic.rx_burst(self.rx_burst_size, self.rx_queue)
+            if self.batching:
+                self.stack.rx_burst(frames)
+            else:
+                for frame in frames:
+                    self.stack.rx_frame(frame)
+
+    def _adaptive_wait(self) -> Generator:
+        """Spin for the budget, then arm an interrupt and sleep.
+
+        Two regimes: under load, traffic arrives inside the spin budget
+        and the wake is free of interrupt cost (the spin cycles are
+        charged retroactively - they burned CPU, but concurrent work was
+        interleaved, so they must not delay the core's queue).  Idle past
+        the budget, the driver arms the NIC interrupt and blocks; the
+        next burst pays one ``interrupt_ns`` no matter how many frames it
+        carries (coalesced), and wakes the driver exactly once.
+        """
+        signal = self.nic.rx_signal(self.rx_queue)
+        if signal.triggered:
+            return
+        t0 = self.sim.now
+        budget = self.sim.timeout(self.spin_budget_ns)
+        index, _value = yield any_of(self.sim, [signal, budget])
+        if index == 0:
+            # Frames arrived mid-spin: the spin cost is the elapsed time.
+            budget.cancel()
+            self.core.charge_retro(self.sim.now - t0)
+            self.count(names.POLL_SPIN_WAKES)
+            return
+        # Budget exhausted: arm the interrupt and block.
+        self.core.charge_retro(self.spin_budget_ns)
+        self.count(names.POLL_IRQ_ARMS)
+        yield signal
+        self.core.charge_async(self.costs.interrupt_ns)
+        self.count(names.POLL_IRQ_WAKEUPS)
 
     # -- UDP ---------------------------------------------------------------------
     def _udp_push(self, queue: UdpQueue, sga: Sga, token: QToken,

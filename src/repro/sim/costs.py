@@ -66,6 +66,11 @@ class CostModel:
     user_net_tx_ns: int = 350
     #: streamlined user-level stack receive per packet
     user_net_rx_ns: int = 400
+    #: receive cost for the 2nd..Nth frame of one burst: the per-burst
+    #: fixed work (cache warm-up, ring bookkeeping, prefetch) is paid by
+    #: the first frame, so the rest run the hot loop only (DPDK-style
+    #: rx_burst amortization)
+    user_net_rx_batch_ns: int = 150
     #: message framing (length prefix encode/decode) per message
     framing_ns: int = 60
     #: mTCP-style shim: app<->stack-thread queue hop per operation

@@ -60,6 +60,22 @@ class Core:
         self.busy_ns += int(ns)
         self.jobs += 1
 
+    def charge_retro(self, ns: int) -> None:
+        """Account CPU time that was burned while wall time already passed.
+
+        A poll-mode driver spinning on an empty ring is busy for the
+        whole spin, but the spin's wall time has elapsed by the time the
+        accounting happens - the work must not push the core's free
+        horizon into the future the way :meth:`busy`/:meth:`charge_async`
+        do, or the spin would delay work that in reality ran on other
+        cycles interleaved with it.
+        """
+        ns = int(ns)
+        if ns < 0:
+            raise ValueError("negative CPU charge %d" % ns)
+        self.busy_ns += ns
+        self.jobs += 1
+
     @property
     def free_at(self) -> int:
         return self._free_at

@@ -44,6 +44,27 @@ LATE_COMPLETIONS_DROPPED = "late_completions_dropped"
 WAITS = "waits"
 WAIT_TIMEOUTS = "wait_timeouts"
 
+# --------------------------------------------------- batched fast path
+# One crossing, N completions: the amortization ledger.  ``batch_wait_
+# completions / batch_waits`` is the realized batch size; ``doorbells +
+# doorbells_saved`` must equal the frames the libOS posted (tests
+# reconcile both).
+BATCH_WAITS = "batch_waits"
+BATCH_WAIT_COMPLETIONS = "batch_wait_completions"
+BATCH_PUSHES = "batch_pushes"
+BATCH_POPS = "batch_pops"
+DOORBELLS = "doorbells"
+DOORBELLS_SAVED = "doorbells_saved"
+TX_BURSTS = "tx_bursts"
+TX_BURST_FRAMES = "tx_burst_frames"
+RX_BURSTS = "rx_bursts"
+RX_BURST_FRAMES = "rx_burst_frames"
+
+# ------------------------------------------- adaptive poll/interrupt policy
+POLL_SPIN_WAKES = "poll_spin_wakes"
+POLL_IRQ_ARMS = "poll_irq_arms"
+POLL_IRQ_WAKEUPS = "poll_irq_wakeups"
+
 # ---------------------------------------------------------- queue pipelines
 PIPELINE_FILTER_DROPPED = "pipeline.filter_dropped"
 
@@ -219,3 +240,9 @@ SHARD_CROSS_WAKEUPS = "shard_cross_wakeups"
 SHARD_MISROUTED = "shard_misrouted_requests"
 SHARD_CONNS = "shard_connections"
 SHARD_REQUESTS = "shard_requests"
+#: completions drained per shard wake-up (the N-per-crossing win)
+SHARD_BATCH_COMPLETIONS = "shard_batch_completions"
+
+# ----------------------------------------------- legacy kernel batched send
+SENDV_CALLS = "sendv_calls"
+SENDV_SYSCALLS_SAVED = "sendv_syscalls_saved"

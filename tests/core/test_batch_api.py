@@ -1,0 +1,165 @@
+"""Edge cases of the batch API: push_batch, pop_batch, wait_any_n.
+
+The batch calls amortize the syscall-shaped costs (one charge covers
+the whole batch) but must keep the singleton calls' semantics exactly:
+same errors, same exactly-one-waiter guarantee, same token lifecycle.
+"""
+
+import pytest
+
+from repro.core.api import LibOS
+from repro.core.types import DemiError, DemiTimeout
+from repro.testbed import World
+
+
+def fresh_libos():
+    w = World()
+    host = w.add_host("h")
+    return w, LibOS(host, "demi")
+
+
+def run_proc(w, gen):
+    p = w.sim.spawn(gen)
+    w.run()
+    return p.value
+
+
+class TestPushBatchEdges:
+    def test_empty_batch_rejected(self):
+        _w, libos = fresh_libos()
+        with pytest.raises(DemiError):
+            libos.push_batch([])
+
+    def test_empty_sga_rejected(self):
+        _w, libos = fresh_libos()
+        qd = libos.queue()
+        with pytest.raises(DemiError):
+            libos.push_batch([(qd, libos.sga_alloc(b"ok")),
+                              (qd, libos.sga_alloc(b""))])
+
+    def test_unknown_qd_rejected(self):
+        _w, libos = fresh_libos()
+        with pytest.raises(DemiError):
+            libos.push_batch([(9999, libos.sga_alloc(b"x"))])
+
+    def test_batch_charge_is_amortized(self):
+        # One batched push of N charges less CPU than N singleton
+        # pushes: the fixed libos_push cost is paid once per batch.
+        _w1, solo = fresh_libos()
+        qd = solo.queue()
+        for i in range(8):
+            solo.push(qd, solo.sga_alloc(b"m%d" % i))
+        _w2, batched = fresh_libos()
+        qd2 = batched.queue()
+        batched.push_batch([(qd2, batched.sga_alloc(b"m%d" % i))
+                            for i in range(8)])
+        assert batched.core.busy_ns < solo.core.busy_ns
+
+
+class TestPopBatchEdges:
+    def test_empty_batch_rejected(self):
+        _w, libos = fresh_libos()
+        with pytest.raises(DemiError):
+            libos.pop_batch([])
+
+    def test_tokens_cancellable_like_singletons(self):
+        _w, libos = fresh_libos()
+        qds = [libos.queue() for _ in range(3)]
+        tokens = libos.pop_batch(qds)
+        for token in tokens:
+            libos.cancel(token)
+        t = libos.qtokens
+        assert t.cancelled == 3
+        assert t.created == t.completed + t.cancelled + t.in_flight
+
+
+class TestWaitAnyN:
+    def test_returns_all_ready_sorted_by_index(self):
+        w, libos = fresh_libos()
+        qds = [libos.queue() for _ in range(4)]
+
+        def proc():
+            # Fill queues 3, 1, 0 before popping; queue 2 stays empty.
+            for i in (3, 1, 0):
+                yield from libos.blocking_push(
+                    qds[i], libos.sga_alloc(b"q%d" % i))
+            tokens = libos.pop_batch(qds)
+            ready = yield from libos.wait_any_n(tokens)
+            return ready
+
+        ready = run_proc(w, proc())
+        assert [i for i, _ in ready] == [0, 1, 3]
+        assert [r.sga.tobytes() for _, r in ready] == [b"q0", b"q1", b"q3"]
+
+    def test_max_n_bounds_the_drain_and_rest_stay_valid(self):
+        w, libos = fresh_libos()
+        qds = [libos.queue() for _ in range(4)]
+
+        def proc():
+            for i in range(4):
+                yield from libos.blocking_push(
+                    qds[i], libos.sga_alloc(b"q%d" % i))
+            tokens = libos.pop_batch(qds)
+            first = yield from libos.wait_any_n(tokens, max_n=2)
+            assert len(first) == 2
+            # The undrained tokens are still waitable afterwards.
+            rest = [t for i, t in enumerate(tokens)
+                    if i not in {j for j, _ in first}]
+            results = yield from libos.wait_all(rest)
+            return len(first) + len(results)
+
+        assert run_proc(w, proc()) == 4
+
+    def test_returned_tokens_are_retired(self):
+        w, libos = fresh_libos()
+        qd = libos.queue()
+
+        def proc():
+            yield from libos.blocking_push(qd, libos.sga_alloc(b"x"))
+            tokens = libos.pop_batch([qd])
+            yield from libos.wait_any_n(tokens)
+            with pytest.raises(DemiError):
+                yield from libos.wait(tokens[0])
+            return True
+
+        assert run_proc(w, proc()) is True
+
+    def test_empty_token_list_rejected(self):
+        w, libos = fresh_libos()
+
+        def proc():
+            with pytest.raises(DemiError):
+                yield from libos.wait_any_n([])
+            return True
+
+        assert run_proc(w, proc()) is True
+
+    def test_timeout_raises_and_tokens_survive(self):
+        w, libos = fresh_libos()
+        qd = libos.queue()
+
+        def proc():
+            tokens = libos.pop_batch([qd])
+            with pytest.raises(DemiTimeout):
+                yield from libos.wait_any_n(tokens, timeout_ns=10_000)
+            yield from libos.blocking_push(qd, libos.sga_alloc(b"late"))
+            result = yield from libos.wait(tokens[0])
+            return result.sga.tobytes()
+
+        assert run_proc(w, proc()) == b"late"
+
+    def test_batch_counters_account_for_the_drain(self):
+        w, libos = fresh_libos()
+        qds = [libos.queue() for _ in range(3)]
+
+        def proc():
+            for i in range(3):
+                yield from libos.blocking_push(
+                    qds[i], libos.sga_alloc(b"q%d" % i))
+            tokens = libos.pop_batch(qds)
+            yield from libos.wait_any_n(tokens)
+
+        run_proc(w, proc())
+        assert w.tracer.get("demi.batch_waits") == 1
+        assert w.tracer.get("demi.batch_wait_completions") == 3
+        assert w.tracer.get("demi.batch_pops") == 1

@@ -1,0 +1,110 @@
+"""Tests for the vectored send syscall (``sendv``/writev).
+
+``sendv`` is the kernel-stack answer to the libOS batch push: the
+per-byte copies remain, but N buffers cross the user/kernel boundary
+through one syscall.
+"""
+
+import pytest
+
+from repro.kernelos.kernel import KernelError
+
+from ..conftest import make_kernel_pair
+
+CHUNKS = [b"alpha-", b"beta-", b"gamma-", b"delta"]
+TOTAL = sum(len(c) for c in CHUNKS)
+
+
+def run_pair(w, client_gen, server_gen):
+    cp = w.sim.spawn(client_gen, name="client")
+    sp = w.sim.spawn(server_gen, name="server")
+    w.run()
+    assert cp.triggered and sp.triggered
+    return cp.value, sp.value
+
+
+def echo_server(kernel, nbytes):
+    def server():
+        sys = kernel.thread()
+        fd = yield from sys.socket()
+        yield from sys.bind(fd, 80)
+        yield from sys.listen(fd)
+        conn_fd = yield from sys.accept(fd)
+        data = b""
+        while len(data) < nbytes:
+            data += yield from sys.recv(conn_fd)
+        return data
+    return server()
+
+
+class TestSendv:
+    def test_chunks_arrive_concatenated_in_order(self):
+        w, ka, kb = make_kernel_pair()
+
+        def client():
+            sys = ka.thread()
+            fd = yield from sys.socket()
+            yield from sys.connect(fd, "10.0.0.2", 80)
+            sent = yield from sys.sendv(fd, CHUNKS)
+            return sent
+
+        sent, received = run_pair(w, client(), echo_server(kb, TOTAL))
+        assert sent == TOTAL
+        assert received == b"".join(CHUNKS)
+
+    def test_one_syscall_covers_the_whole_vector(self):
+        w, ka, kb = make_kernel_pair()
+
+        def client():
+            sys = ka.thread()
+            fd = yield from sys.socket()
+            yield from sys.connect(fd, "10.0.0.2", 80)
+            yield from sys.sendv(fd, CHUNKS)
+
+        run_pair(w, client(), echo_server(kb, TOTAL))
+        # socket, connect, sendv: the vector is one privilege crossing.
+        assert w.tracer.get("client.kernel.syscalls") == 3
+        assert w.tracer.get("client.kernel.sendv_calls") == 1
+        assert (w.tracer.get("client.kernel.sendv_syscalls_saved")
+                == len(CHUNKS) - 1)
+        assert w.tracer.get("client.kernel.bytes_copied_tx") == TOTAL
+
+    def test_single_chunk_saves_nothing(self):
+        w, ka, kb = make_kernel_pair()
+
+        def client():
+            sys = ka.thread()
+            fd = yield from sys.socket()
+            yield from sys.connect(fd, "10.0.0.2", 80)
+            yield from sys.sendv(fd, [b"solo"])
+
+        run_pair(w, client(), echo_server(kb, 4))
+        assert w.tracer.get("client.kernel.sendv_calls") == 1
+        assert w.tracer.get("client.kernel.sendv_syscalls_saved") == 0
+
+    def test_empty_vector_rejected(self):
+        w, ka, kb = make_kernel_pair()
+
+        def client():
+            sys = ka.thread()
+            fd = yield from sys.socket()
+            yield from sys.connect(fd, "10.0.0.2", 80)
+            with pytest.raises(KernelError):
+                yield from sys.sendv(fd, [])
+            yield from sys.send(fd, b"post")
+
+        run_pair(w, client(), echo_server(kb, 4))
+
+    def test_unconnected_socket_rejected(self):
+        w, ka, _kb = make_kernel_pair()
+
+        def client():
+            sys = ka.thread()
+            fd = yield from sys.socket()
+            with pytest.raises(KernelError):
+                yield from sys.sendv(fd, [b"x"])
+            return True
+
+        p = w.sim.spawn(client())
+        w.run()
+        assert p.value is True

@@ -2,13 +2,21 @@
 tools.check_bench BENCH_kv_scaling.json``.
 
 CI runs the scaling bench at a fixed seed and feeds the output here.
-The check is structural plus the two claims the bench exists to pin:
+The file holds either one sweep document or a *trajectory* - a JSON list
+of documents accumulated with ``repro bench kv-scaling --append``; every
+document in the list is validated.  The check is structural plus the
+claims the bench exists to pin:
 
 * throughput is **strictly increasing** with the core count (the
   shared-nothing scaling claim - any flattening means cross-core
   serialization crept in);
 * ``wasted_wakeups`` and ``cross_shard_wakeups`` are zero in every row
-  (the wake-one claim at N workers, paper section 4.4).
+  (the wake-one claim at N workers, paper section 4.4);
+* schema v2 only: ``per_op_server_cpu_ns`` stays within the sweep's
+  ``params.per_op_budget_ns`` plus the amortized per-shard setup
+  allowance (``per_op_setup_allowance_ns * cores / requests``) in every
+  row - the batched-fast-path cost budget; a regression here means
+  marginal per-op work crept back up.
 
 Exits nonzero with one line per violation.  Schema: docs/api.md.
 """
@@ -28,6 +36,12 @@ ROW_KEYS = (
     "qtoken_identity_ok",
 )
 
+#: schema_version 2 adds the batched fast path's cost accounting
+V2_ROW_KEYS = (
+    "per_op_server_cpu_ns", "doorbells", "doorbells_saved",
+    "requests_per_wakeup",
+)
+
 
 def check_document(doc: object) -> List[str]:
     """All violations in *doc* (empty list = valid)."""
@@ -36,9 +50,29 @@ def check_document(doc: object) -> List[str]:
         return ["document is not a JSON object"]
     if doc.get("bench") != "kv_scaling":
         errors.append("bench is %r, expected 'kv_scaling'" % doc.get("bench"))
-    if doc.get("schema_version") != 1:
-        errors.append("schema_version is %r, expected 1"
-                      % doc.get("schema_version"))
+    version = doc.get("schema_version")
+    if version not in (1, 2):
+        errors.append("schema_version is %r, expected 1 or 2" % version)
+        return errors
+    required = ROW_KEYS + V2_ROW_KEYS if version == 2 else ROW_KEYS
+    budget = None
+    setup_allowance = 0
+    if version == 2:
+        params = doc.get("params")
+        if not isinstance(params, dict) or "per_op_budget_ns" not in params:
+            errors.append("schema v2 params missing per_op_budget_ns")
+        else:
+            budget = params["per_op_budget_ns"]
+            if not isinstance(budget, (int, float)) or budget <= 0:
+                errors.append("per_op_budget_ns is %r, expected a positive "
+                              "number" % (budget,))
+                budget = None
+            allowance = params.get("per_op_setup_allowance_ns", 0)
+            if not isinstance(allowance, (int, float)) or allowance < 0:
+                errors.append("per_op_setup_allowance_ns is %r, expected a "
+                              "non-negative number" % (allowance,))
+            else:
+                setup_allowance = allowance
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         errors.append("rows missing or empty")
@@ -47,7 +81,7 @@ def check_document(doc: object) -> List[str]:
         if not isinstance(row, dict):
             errors.append("rows[%d] is not an object" % i)
             continue
-        missing = [k for k in ROW_KEYS if k not in row]
+        missing = [k for k in required if k not in row]
         if missing:
             errors.append("rows[%d] missing keys: %s"
                           % (i, ", ".join(missing)))
@@ -64,8 +98,20 @@ def check_document(doc: object) -> List[str]:
         if row["qtoken_identity_ok"] is not True:
             errors.append("rows[%d] (cores=%s): qtoken identity violated"
                           % (i, row["cores"]))
+        if budget is not None:
+            # Each shard pays a fixed connection-setup cost; short runs
+            # cannot amortize it, so the gate is on marginal per-op work.
+            limit = budget + (setup_allowance * row["cores"]
+                              / max(1, row["requests"]))
+            if row["per_op_server_cpu_ns"] > limit:
+                errors.append(
+                    "rows[%d] (cores=%s): per-op server CPU %.0f ns "
+                    "exceeds the %.0f ns budget (%.0f ns + amortized "
+                    "setup allowance)"
+                    % (i, row["cores"], row["per_op_server_cpu_ns"],
+                       limit, budget))
     good = [r for r in rows if isinstance(r, dict)
-            and all(k in r for k in ROW_KEYS)]
+            and all(k in r for k in required)]
     for prev, cur in zip(good, good[1:]):
         if cur["cores"] <= prev["cores"]:
             errors.append("rows not ordered by cores (%s after %s)"
@@ -79,6 +125,31 @@ def check_document(doc: object) -> List[str]:
     return errors
 
 
+def check_payload(payload: object) -> List[str]:
+    """Validate one document or a trajectory (list of documents)."""
+    if isinstance(payload, list):
+        if not payload:
+            return ["trajectory is empty"]
+        errors: List[str] = []
+        for i, doc in enumerate(payload):
+            errors.extend("doc[%d]: %s" % (i, e)
+                          for e in check_document(doc))
+        return errors
+    return check_document(payload)
+
+
+def _summarize(payload: object, path: str) -> str:
+    docs = payload if isinstance(payload, list) else [payload]
+    last = docs[-1]
+    rows = last["rows"]
+    label = ("%d documents, latest " % len(docs)
+             if isinstance(payload, list) else "")
+    return ("check_bench: %s ok (%s%d rows, cores %s, peak %.0f ops/s)"
+            % (path, label, len(rows),
+               "/".join(str(r["cores"]) for r in rows),
+               rows[-1]["throughput_ops_per_s"]))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if len(argv) != 1:
@@ -87,21 +158,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     try:
         with open(argv[0]) as fh:
-            doc = json.load(fh)
+            payload = json.load(fh)
     except (OSError, ValueError) as exc:
         print("check_bench: cannot read %s: %s" % (argv[0], exc),
               file=sys.stderr)
         return 1
-    errors = check_document(doc)
+    errors = check_payload(payload)
     for error in errors:
         print("check_bench: %s" % error, file=sys.stderr)
     if errors:
         return 1
-    rows = doc["rows"]
-    print("check_bench: %s ok (%d rows, cores %s, peak %.0f ops/s)"
-          % (argv[0], len(rows),
-             "/".join(str(r["cores"]) for r in rows),
-             rows[-1]["throughput_ops_per_s"]))
+    print(_summarize(payload, argv[0]))
     return 0
 
 
