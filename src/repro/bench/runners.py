@@ -47,6 +47,7 @@ __all__ = [
     "kv_rtt_sharded",
     "kv_throughput_scaling",
     "kv_scaling_document",
+    "kv_scaling_document_from_rows",
 ]
 
 WARMUP = 3
@@ -203,42 +204,13 @@ def kv_rtt_sharded(n_shards: int, n_ops: int = 200, n_keys: int = 32,
         w.sim.run_until_complete(proc, limit=10**13)
     elapsed_ns = w.sim.now
     server.stop()
-    requests = server.requests_served
-    wait_timeouts = sum(
-        w.tracer.get("server.shard%d.wait_timeouts" % i) or 0
-        for i in range(n_shards))
-    doorbells = sum(
-        w.tracer.get("server.shard%d.doorbells" % i) or 0
-        for i in range(n_shards))
-    doorbells_saved = sum(
-        w.tracer.get("server.shard%d.doorbells_saved" % i) or 0
-        for i in range(n_shards))
-    server_busy_ns = sum(s.core.busy_ns for s in server.shards)
     stats = LatencyStats("kv-rtt-sharded")
     for client_stats in per_client:
         stats.extend(client_stats.samples[WARMUP:])
-    return {
-        "cores": n_shards,
-        "requests": requests,
-        "elapsed_ns": elapsed_ns,
-        "throughput_ops_per_s": requests / (elapsed_ns / 1e9),
-        "rtt_mean_ns": stats.mean,
-        "rtt_p99_ns": stats.p99,
-        "per_shard_requests": server.per_shard_requests(),
-        "per_core_utilization": [round(u, 4) for u in
-                                 server.utilizations(elapsed_ns)],
-        "wakeups": server.wakeups,
-        "wasted_wakeups": server.wasted_wakeups,
-        "cross_shard_wakeups": server.cross_wakeups,
-        "misrouted_requests": server.misrouted,
-        "wait_timeouts": wait_timeouts,
-        "qtoken_identity_ok": server.qtoken_identity_ok(),
-        # -- batched fast-path accounting (schema v2) --------------------
-        "per_op_server_cpu_ns": round(server_busy_ns / max(1, requests), 1),
-        "doorbells": doorbells,
-        "doorbells_saved": doorbells_saved,
-        "requests_per_wakeup": round(requests / max(1, server.wakeups), 3),
-    }
+    row = server.metrics_row(elapsed_ns, w.tracer)
+    row["rtt_mean_ns"] = stats.mean
+    row["rtt_p99_ns"] = stats.p99
+    return row
 
 
 def kv_throughput_scaling(core_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32),
@@ -255,12 +227,17 @@ def kv_throughput_scaling(core_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32),
             for n in core_counts]
 
 
-def kv_scaling_document(core_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32),
-                        n_ops: int = 200, value_size: int = 256,
-                        seed: int = 7) -> Dict[str, object]:
-    """The ``BENCH_kv_scaling.json`` document (schema in docs/api.md)."""
-    rows = kv_throughput_scaling(core_counts, n_ops=n_ops,
-                                 value_size=value_size, seed=seed)
+def kv_scaling_document_from_rows(rows: List[Dict[str, object]],
+                                  core_counts: Tuple[int, ...],
+                                  n_ops: int = 200, value_size: int = 256,
+                                  seed: int = 7) -> Dict[str, object]:
+    """Wrap pre-computed sweep rows as a ``kv_scaling`` document.
+
+    The experiment runner produces the rows (one
+    :func:`kv_rtt_sharded` result per core count, possibly computed in
+    parallel worker processes); this assembles the exact persisted
+    document ``tools.check_bench`` / ``repro exp validate`` gate on.
+    """
     return {
         "bench": "kv_scaling",
         "schema_version": 2,
@@ -274,6 +251,16 @@ def kv_scaling_document(core_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32),
         },
         "rows": rows,
     }
+
+
+def kv_scaling_document(core_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+                        n_ops: int = 200, value_size: int = 256,
+                        seed: int = 7) -> Dict[str, object]:
+    """The ``BENCH_kv_scaling.json`` document (schema in docs/api.md)."""
+    rows = kv_throughput_scaling(core_counts, n_ops=n_ops,
+                                 value_size=value_size, seed=seed)
+    return kv_scaling_document_from_rows(rows, core_counts, n_ops=n_ops,
+                                         value_size=value_size, seed=seed)
 
 
 def kv_value_size_sweep(sizes: Tuple[int, ...] = (64, 1024, 4096, 16384),

@@ -15,7 +15,15 @@ Commands:
   and exit nonzero if any invariant was violated;
 * ``bench``       - run a persisted benchmark (``kv-scaling``: the
   sharded throughput sweep) and write its JSON document
-  (``tools.check_bench`` validates it in CI).
+  (``tools.check_bench`` validates it in CI);
+* ``exp``         - declarative experiment orchestration
+  (:mod:`repro.experiments`): ``run`` a spec file (specs and/or
+  matrices) across worker processes and append the schema-validated
+  trajectory, ``validate`` spec files and ``BENCH_*.json`` payloads,
+  ``list`` the workload registry or a spec file's expansion.
+
+``bench`` and ``chaos`` are thin aliases over the same experiment
+layer ``exp`` drives (docs/experiments.md).
 """
 
 from __future__ import annotations
@@ -192,65 +200,55 @@ def cmd_report(args) -> int:
 
 
 def cmd_chaos(args) -> int:
+    """Thin alias: one chaos scenario through the experiment layer."""
+    from .experiments import ExperimentSpec, execute_spec
     from .sim.faults import FaultPlan
-    from .testing.scenarios import golden_plan, run_scenario
+    from .testing.scenarios import golden_plan
 
-    spec = GOLDEN_SCENARIOS[args.scenario]
-    kind = args.libos or spec["kinds"][0]
-    if kind not in spec["kinds"]:
+    scenario = GOLDEN_SCENARIOS[args.scenario]
+    kind = args.libos or scenario["kinds"][0]
+    if kind not in scenario["kinds"]:
         raise SystemExit("scenario %r runs on %s, not %r"
-                         % (args.scenario, "/".join(spec["kinds"]), kind))
+                         % (args.scenario, "/".join(scenario["kinds"]), kind))
     if args.plan:
         with open(args.plan) as fh:
             plan = FaultPlan.from_json(fh.read())
+        if args.seed is not None:
+            plan = FaultPlan(seed=args.seed, events=list(plan.events))
     else:
         plan = golden_plan(args.scenario, kind)
-    if args.seed is not None:
-        plan = FaultPlan(seed=args.seed, events=list(plan.events))
-    result = run_scenario(args.scenario, kind, plan=plan)
-    print("scenario : %s (%s)" % (args.scenario, spec["blurb"]))
+        if args.seed is not None:
+            plan = FaultPlan(seed=args.seed, events=list(plan.events))
+    spec = ExperimentSpec(
+        workload="chaos", libos=kind, cores=1,
+        fault_plan=plan.to_dict(), seed=plan.seed,
+        # The single-scenario CLI runs once; reproducibility across
+        # replays is the battery's job (repro exp run / chaos_battery).
+        params={"scenario": args.scenario, "check_reproducible": False})
+    result = execute_spec(spec)
+    print("scenario : %s (%s)" % (args.scenario, scenario["blurb"]))
     print("libos    : %s   seed: %d" % (kind, plan.seed))
     print("plan     : %s" % plan.describe())
-    for key, value in sorted(result.data.items()):
+    print("run      : %s" % spec.run_id)
+    metrics = dict(result.metrics)
+    signature = metrics.pop("signature", "?")
+    for key, value in sorted(metrics.items()):
         print("%-9s: %s" % (key, value))
-    print("signature: %s" % result.signature)
-    if result.ok:
+    print("signature: %s" % signature)
+    if result.status == "ok" and result.ok:
         print("invariants: all held")
         return 0
-    print("invariants: %d VIOLATED" % len(result.failures))
+    print("invariants: %d VIOLATED" % max(1, len(result.failures)))
     for failure in result.failures:
         print("  - %s" % failure)
-    print(result.repro_line())
+    print("repro: scenario=%s kind=%s seed=%d plan=%s"
+          % (args.scenario, kind, plan.seed, plan.to_json()))
     return 1
 
 
-def cmd_bench(args) -> int:
-    import os
-
-    from .bench.runners import kv_scaling_document
-
-    if args.bench != "kv-scaling":
-        raise SystemExit("unknown bench %r" % args.bench)
-    cores = tuple(int(c) for c in args.cores.split(","))
-    doc = kv_scaling_document(core_counts=cores, n_ops=args.ops,
-                              seed=args.seed)
-    payload: object = doc
-    if args.append and os.path.exists(args.output):
-        # Trajectory mode: keep prior sweeps alongside the new one so a
-        # run's history accumulates instead of being overwritten
-        # (tools.check_bench validates every document in the list).
-        with open(args.output) as fh:
-            existing = json.load(fh)
-        if isinstance(existing, list):
-            payload = existing + [doc]
-        else:
-            payload = [existing, doc]
-    with open(args.output, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+def _print_scaling_table(doc: dict, seed: int, ops: int) -> None:
     print_table(
-        "KV throughput scaling (seed %d, %d ops/shard)"
-        % (args.seed, args.ops),
+        "KV throughput scaling (seed %d, %d ops/shard)" % (seed, ops),
         ["cores", "throughput", "RTT mean", "CPU/op", "wasted wakes",
          "cross wakes", "misrouted"],
         [(r["cores"], "%.0f ops/s" % r["throughput_ops_per_s"],
@@ -259,8 +257,166 @@ def cmd_bench(args) -> int:
           r["misrouted_requests"])
          for r in doc["rows"]],
     )
+
+
+def cmd_bench(args) -> int:
+    """Thin alias: the kv-scaling sweep through the experiment Runner."""
+    from .bench.runners import kv_scaling_document_from_rows
+    from .experiments import (ExperimentSpec, Runner, append_document,
+                              atomic_write_json)
+
+    if args.bench != "kv-scaling":
+        raise SystemExit("unknown bench %r" % args.bench)
+    cores = tuple(int(c) for c in args.cores.split(","))
+    specs = [ExperimentSpec(workload="kv-scaling", libos="dpdk", cores=c,
+                            fault_plan="none", seed=args.seed,
+                            params={"n_ops": args.ops})
+             for c in cores]
+    rows = Runner(workers=args.workers).run(specs)
+    failed = [r for r in rows if r["status"] != "ok"]
+    if failed:
+        for row in failed:
+            print("bench run %s (cores=%d) failed: %s"
+                  % (row["run_id"], row["cores"],
+                     "; ".join(row["failures"])), file=sys.stderr)
+        return 1
+    doc = kv_scaling_document_from_rows([r["metrics"] for r in rows],
+                                        cores, n_ops=args.ops,
+                                        seed=args.seed)
+    if args.append:
+        # Trajectory mode: keep prior sweeps alongside the new one so a
+        # run's history accumulates instead of being overwritten
+        # (tools.check_bench validates every document in the list).
+        append_document(args.output, doc)
+    else:
+        atomic_write_json(args.output, doc)
+    _print_scaling_table(doc, args.seed, args.ops)
     print("wrote %s" % args.output)
     return 0
+
+
+def _load_batch(path: str):
+    from .experiments import load_spec_file, validate_spec
+
+    batch = load_spec_file(path)
+    problems = []
+    for spec in batch.specs:
+        reason = validate_spec(spec)
+        if reason is not None:
+            problems.append("%s: %s" % (spec.describe(), reason))
+    return batch, problems
+
+
+def cmd_exp_run(args) -> int:
+    from .experiments import (Runner, append_document, check_document,
+                              completed_rows, load_payload,
+                              trajectory_document)
+
+    batch, problems = _load_batch(args.spec)
+    if problems:
+        for problem in problems:
+            print("exp run: invalid spec: %s" % problem, file=sys.stderr)
+        return 2
+    cached = {}
+    if args.resume:
+        existing = load_payload(args.output)
+        if existing is not None:
+            cached = completed_rows(existing, batch.name)
+    print("batch %r: %d runs (%d cached), %d worker(s)"
+          % (batch.name, len(batch.specs),
+             sum(1 for s in batch.specs if s.run_id in cached),
+             args.workers))
+    rows = Runner(workers=args.workers, progress=print).run(
+        batch.specs, cached=cached)
+    doc = trajectory_document(batch, rows)
+    print_table(
+        "experiment batch %r (seeded, deterministic)" % batch.name,
+        ["run", "workload", "libos", "cores", "plan", "seed", "status"],
+        [(r["run_id"], r["workload"], r["libos"], r["cores"],
+          r["fault_plan"] if isinstance(r["fault_plan"], str)
+          else "inline", r["seed"],
+          "ok" if r["status"] == "ok" and r["ok"] else "FAIL")
+         for r in rows],
+    )
+    errors = check_document(doc)
+    if errors:
+        for error in errors:
+            print("exp run: %s" % error, file=sys.stderr)
+        print("exp run: trajectory NOT appended (%d violation(s))"
+              % len(errors), file=sys.stderr)
+        return 1
+    trajectory = append_document(args.output, doc)
+    print("appended document %d to %s (%d rows, all gates passed)"
+          % (len(trajectory), args.output, len(rows)))
+    return 0
+
+
+def cmd_exp_list(args) -> int:
+    from .experiments import WORKLOADS
+    from .sim.faults import named_plans
+
+    if args.spec:
+        batch, problems = _load_batch(args.spec)
+        print_table(
+            "batch %r: %d runs" % (batch.name, len(batch.specs)),
+            ["run", "workload", "libos", "cores", "plan", "seed"],
+            [(s.run_id, s.workload, s.libos, s.cores, s.plan_name(), s.seed)
+             for s in batch.specs],
+        )
+        for problem in problems:
+            print("invalid: %s" % problem, file=sys.stderr)
+        return 1 if problems else 0
+    print_table(
+        "registered workloads",
+        ["workload", "what it runs"],
+        [(name, WORKLOADS[name]["blurb"]) for name in sorted(WORKLOADS)],
+    )
+    print("named fault plans: %s" % ", ".join(named_plans()))
+    print("run one: python -m repro exp run experiments/ci_matrix.json")
+    return 0
+
+
+def cmd_exp_validate(args) -> int:
+    from .experiments import SpecError, check_payload
+
+    status = 0
+    for path in args.paths:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print("exp validate: cannot read %s: %s" % (path, exc),
+                  file=sys.stderr)
+            status = 1
+            continue
+        if isinstance(payload, dict) and ("workload" in payload
+                                          or "matrix" in payload
+                                          or "experiments" in payload):
+            try:
+                batch, problems = _load_batch(path)
+            except SpecError as exc:
+                print("exp validate: %s" % exc, file=sys.stderr)
+                status = 1
+                continue
+            for problem in problems:
+                print("exp validate: %s: %s" % (path, problem),
+                      file=sys.stderr)
+            if problems:
+                status = 1
+            else:
+                print("exp validate: %s ok (spec file, %d runs)"
+                      % (path, len(batch.specs)))
+            continue
+        errors = check_payload(payload)
+        for error in errors:
+            print("exp validate: %s: %s" % (path, error), file=sys.stderr)
+        if errors:
+            status = 1
+        else:
+            from .experiments.schema import summarize
+
+            print("exp validate: %s" % summarize(payload, path))
+    return status
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -312,7 +468,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="append this sweep to an existing output "
                               "file as a trajectory instead of "
                               "overwriting it")
+    p_bench.add_argument("--workers", type=int, default=1,
+                         help="host processes to fan the sweep out "
+                              "across (default: 1, inline)")
     p_bench.set_defaults(fn=cmd_bench)
+    p_exp = sub.add_parser(
+        "exp", help="declarative experiment orchestration "
+                    "(specs, matrices, trajectories)")
+    exp_sub = p_exp.add_subparsers(dest="exp_command", required=True)
+    p_run = exp_sub.add_parser(
+        "run", help="execute a spec file; append the trajectory document")
+    p_run.add_argument("spec", help="experiments/*.json spec file")
+    p_run.add_argument("-o", "--output", default="BENCH_experiments.json",
+                       help="trajectory file to append to "
+                            "(default: BENCH_experiments.json)")
+    p_run.add_argument("--workers", type=int, default=1,
+                       help="host processes to fan runs out across "
+                            "(default: 1, inline)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="reuse ok rows already in the output "
+                            "trajectory (matched by run_id) instead of "
+                            "re-running them")
+    p_run.set_defaults(fn=cmd_exp_run)
+    p_list = exp_sub.add_parser(
+        "list", help="list registered workloads, or a spec file's runs")
+    p_list.add_argument("spec", nargs="?", default=None,
+                        help="spec file to expand (omit to list the "
+                             "workload registry)")
+    p_list.set_defaults(fn=cmd_exp_list)
+    p_validate = exp_sub.add_parser(
+        "validate", help="validate spec files and BENCH_*.json payloads")
+    p_validate.add_argument("paths", nargs="+",
+                            help="spec files and/or bench documents / "
+                                 "trajectories")
+    p_validate.set_defaults(fn=cmd_exp_validate)
     p_chaos = sub.add_parser(
         "chaos", help="run one chaos scenario and check its invariants")
     p_chaos.add_argument("scenario", choices=sorted(GOLDEN_SCENARIOS))

@@ -233,3 +233,44 @@ class ShardedKvServer:
 
     def qtoken_identity_ok(self) -> bool:
         return all(s.qtoken_identity_ok() for s in self.shards)
+
+    def metrics_row(self, elapsed_ns: int, tracer) -> dict:
+        """One scaling-bench row's worth of server-side accounting.
+
+        Everything the ``kv_scaling`` document schema requires from the
+        server (docs/api.md): request totals, the wake-one counters that
+        must stay zero, the qtoken identity, and the batched-fast-path
+        cost columns.  The bench runner adds the client-side latency
+        numbers on top.
+        """
+        requests = self.requests_served
+        wait_timeouts = doorbells = doorbells_saved = 0
+        server_busy_ns = 0
+        for shard in self.shards:
+            scope = shard.libos.name
+            wait_timeouts += tracer.get("%s.wait_timeouts" % scope) or 0
+            doorbells += tracer.get("%s.doorbells" % scope) or 0
+            doorbells_saved += tracer.get("%s.doorbells_saved" % scope) or 0
+            server_busy_ns += shard.core.busy_ns
+        return {
+            "cores": self.n_shards,
+            "requests": requests,
+            "elapsed_ns": elapsed_ns,
+            "throughput_ops_per_s": (requests / (elapsed_ns / 1e9)
+                                     if elapsed_ns else 0.0),
+            "per_shard_requests": self.per_shard_requests(),
+            "per_core_utilization": [round(u, 4) for u in
+                                     self.utilizations(elapsed_ns)],
+            "wakeups": self.wakeups,
+            "wasted_wakeups": self.wasted_wakeups,
+            "cross_shard_wakeups": self.cross_wakeups,
+            "misrouted_requests": self.misrouted,
+            "wait_timeouts": wait_timeouts,
+            "qtoken_identity_ok": self.qtoken_identity_ok(),
+            # -- batched fast-path accounting (schema v2) ----------------
+            "per_op_server_cpu_ns": round(server_busy_ns / max(1, requests),
+                                          1),
+            "doorbells": doorbells,
+            "doorbells_saved": doorbells_saved,
+            "requests_per_wakeup": round(requests / max(1, self.wakeups), 3),
+        }

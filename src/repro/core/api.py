@@ -18,7 +18,6 @@ Conventions (see DESIGN.md):
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Dict, Generator, Optional, Sequence, Set, Type
 
 from ..sim.cpu import Core
@@ -30,9 +29,9 @@ from .wait import QTokenTable
 
 __all__ = ["LibOS"]
 
-_LEGACY_TIMEOUT_WARNING = (
-    "legacy_timeout sentinels ((-1, None) / None) are deprecated; catch "
-    "repro.core.types.DemiTimeout instead.  The shim goes away next release."
+_LEGACY_TIMEOUT_ERROR = (
+    "the legacy_timeout sentinel shim ((-1, None) / None) has been removed; "
+    "drop legacy_timeout=True and catch repro.core.types.DemiTimeout instead."
 )
 
 
@@ -198,21 +197,13 @@ class LibOS:
         The improved-epoll of section 4.4: returns the data directly and
         wakes exactly one waiter per completion.  A timeout raises
         :class:`DemiTimeout` (losing tokens stay waitable).
-
-        *legacy_timeout* restores the deprecated ``(-1, None)`` sentinel
-        for one release; new code should catch :class:`DemiTimeout`.
         """
-        try:
-            index, result = yield from self.qtokens.wait_any(
-                tokens, timeout_ns, charge=self._wait_charge)
-            self._raise_device_failed(result)
-            return index, result
-        except DemiTimeout:
-            if legacy_timeout:
-                warnings.warn(_LEGACY_TIMEOUT_WARNING, DeprecationWarning,
-                              stacklevel=2)
-                return -1, None
-            raise
+        if legacy_timeout:
+            raise TypeError(_LEGACY_TIMEOUT_ERROR)
+        index, result = yield from self.qtokens.wait_any(
+            tokens, timeout_ns, charge=self._wait_charge)
+        self._raise_device_failed(result)
+        return index, result
 
     def wait_any_n(self, tokens: Sequence[QToken],
                    timeout_ns: Optional[int] = None,
@@ -236,21 +227,15 @@ class LibOS:
                  legacy_timeout: bool = False) -> Generator:
         """Block until every token completes: list of QResults.
 
-        A timeout raises :class:`DemiTimeout`; *legacy_timeout* restores
-        the deprecated ``None`` sentinel for one release.
+        A timeout raises :class:`DemiTimeout`.
         """
-        try:
-            results = yield from self.qtokens.wait_all(
-                tokens, timeout_ns, charge=self._wait_charge)
-            for result in results:
-                self._raise_device_failed(result)
-            return results
-        except DemiTimeout:
-            if legacy_timeout:
-                warnings.warn(_LEGACY_TIMEOUT_WARNING, DeprecationWarning,
-                              stacklevel=2)
-                return None
-            raise
+        if legacy_timeout:
+            raise TypeError(_LEGACY_TIMEOUT_ERROR)
+        results = yield from self.qtokens.wait_all(
+            tokens, timeout_ns, charge=self._wait_charge)
+        for result in results:
+            self._raise_device_failed(result)
+        return results
 
     def blocking_push(self, qd: int, sga: Sga) -> Generator:
         """push + wait on the returned qtoken."""

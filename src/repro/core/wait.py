@@ -10,10 +10,10 @@ claims over epoll:
 2. each completion wakes exactly one waiter - no thundering herd, no
    wasted wake-ups.
 
-Timeouts raise :class:`repro.core.types.DemiTimeout`; the old in-band
+Timeouts raise :class:`repro.core.types.DemiTimeout`.  The old in-band
 sentinels (``(-1, None)`` from ``wait_any``, ``None`` from ``wait_all``)
-survive one more release behind ``LibOS.wait_any(..., legacy_timeout=
-True)``.
+are gone: passing ``legacy_timeout=True`` now raises ``TypeError`` with
+a migration hint.
 """
 
 from __future__ import annotations

@@ -1,0 +1,59 @@
+"""Declarative experiment orchestration: one API for every sweep.
+
+The kv-scaling sweep, the golden chaos battery, and the claim-suite
+RTT benches used to be three hand-rolled drivers with three output
+shapes.  This package replaces them with one pipeline::
+
+    spec (JSON) -> Matrix.expand() -> Runner -> trajectory document
+                                                  |
+                         repro.experiments.schema +-> BENCH_*.json
+
+* :mod:`~repro.experiments.spec` - :class:`ExperimentSpec` (workload,
+  libos, cores, fault_plan, seed, params; JSON round-trippable, with a
+  content-addressed ``run_id``), :class:`Matrix` axis expansion, and
+  the ``experiments/*.json`` batch loader;
+* :mod:`~repro.experiments.workloads` - the registry adapting existing
+  runners (chaos scenarios, sharded scaling bench, RTT benches) to the
+  uniform validate/run contract;
+* :mod:`~repro.experiments.runner` - :class:`Runner` fan-out over host
+  processes, typed :class:`RunResult` rows, resumable batches;
+* :mod:`~repro.experiments.schema` - per-bench document validation
+  (structural keys + budgets + monotonicity) shared with
+  ``tools/check_bench.py``;
+* :mod:`~repro.experiments.store` - fsync-and-rename persistence so an
+  interrupted run can never truncate a committed baseline.
+
+CLI: ``repro exp run|list|validate`` (see docs/experiments.md).
+"""
+
+from .runner import (RunResult, Runner, completed_rows, execute_spec,
+                     trajectory_document)
+from .schema import check_document, check_payload, validate_file
+from .spec import ExperimentSpec, Matrix, SpecBatch, SpecError, load_spec_file
+from .store import append_document, atomic_write_json, load_payload
+from .workloads import (WORKLOADS, register_workload, run_spec,
+                        validate_spec, workload_names)
+
+__all__ = [
+    "ExperimentSpec",
+    "Matrix",
+    "SpecBatch",
+    "SpecError",
+    "load_spec_file",
+    "RunResult",
+    "Runner",
+    "execute_spec",
+    "trajectory_document",
+    "completed_rows",
+    "check_document",
+    "check_payload",
+    "validate_file",
+    "atomic_write_json",
+    "append_document",
+    "load_payload",
+    "WORKLOADS",
+    "register_workload",
+    "workload_names",
+    "validate_spec",
+    "run_spec",
+]

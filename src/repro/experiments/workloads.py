@@ -1,0 +1,266 @@
+"""The workload registry: every experiment names one of these.
+
+A workload adapts an existing runner (the chaos scenarios, the sharded
+scaling bench, the claim-suite RTT benches) to the uniform experiment
+contract:
+
+* ``validate(spec)`` - ``None`` if the spec is runnable, else a reason
+  string (used by :meth:`Matrix.expand` to reject or skip invalid
+  combinations, and by ``repro exp validate`` before any run starts);
+* ``run(spec)`` - execute it and return ``{"metrics": {...}, "ok":
+  bool, "failures": [...]}``; metrics must be JSON-serializable and
+  deterministic for a given spec (same seed, same trajectory - the
+  Runner's tests assert this byte-for-byte).
+
+The spec's ``cores`` axis means what the workload says it means:
+server *shards* for ``kv-scaling`` (dpdk only - sharding rides RSS),
+concurrent closed-loop *client sessions* for ``kv`` (any network
+libOS).  ``params.counters`` (a list of leaf names) merges a
+:func:`repro.telemetry.counter_rollup` slice of the run's counters
+into the metrics for workloads that expose them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..telemetry import counter_rollup
+from .spec import ExperimentSpec
+
+__all__ = ["WORKLOADS", "register_workload", "workload_names",
+           "validate_spec", "run_spec"]
+
+#: name -> {"validate": spec -> Optional[str], "run": spec -> dict,
+#:          "blurb": str}
+WORKLOADS: Dict[str, Dict[str, Any]] = {}
+
+
+def register_workload(name: str, validate: Callable, run: Callable,
+                      blurb: str = "", replace: bool = False) -> None:
+    if name in WORKLOADS and not replace:
+        raise ValueError("workload %r already registered" % name)
+    WORKLOADS[name] = {"validate": validate, "run": run, "blurb": blurb}
+
+
+def workload_names() -> List[str]:
+    return sorted(WORKLOADS)
+
+
+def validate_spec(spec: ExperimentSpec) -> Optional[str]:
+    """``None`` if *spec* can run, else why it cannot."""
+    entry = WORKLOADS.get(spec.workload)
+    if entry is None:
+        return ("unknown workload %r (have: %s)"
+                % (spec.workload, ", ".join(workload_names())))
+    reason = entry["validate"](spec)
+    if reason is not None:
+        return reason
+    # Plan resolution failures (unknown name, malformed inline dict)
+    # should surface at validate time, not mid-run.
+    try:
+        spec.resolve_plan()
+    except (KeyError, ValueError, TypeError) as exc:
+        return "fault_plan does not resolve: %s" % exc
+    return None
+
+
+def run_spec(spec: ExperimentSpec) -> Dict[str, Any]:
+    """Execute one validated spec; returns ``{metrics, ok, failures}``."""
+    reason = validate_spec(spec)
+    if reason is not None:
+        raise ValueError("invalid spec (%s): %s" % (spec.describe(), reason))
+    return WORKLOADS[spec.workload]["run"](spec)
+
+
+def _numeric_data(data: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in data.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)}
+
+
+def _merge_counters(metrics: Dict[str, Any], counters,
+                    spec: ExperimentSpec) -> None:
+    leaves = spec.params.get("counters", ())
+    if leaves:
+        metrics.update(counter_rollup(counters, leaves=tuple(leaves)))
+
+
+# -- kv: N concurrent closed-loop clients against one KV server ------------
+def _kv_validate(spec: ExperimentSpec) -> Optional[str]:
+    from ..testing.scenarios import NET_LIBOS_KINDS
+
+    if spec.libos not in NET_LIBOS_KINDS:
+        return ("libos %r cannot run 'kv' (have: %s)"
+                % (spec.libos, ", ".join(NET_LIBOS_KINDS)))
+    return None
+
+
+def _kv_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    from ..testing.scenarios import run_kv_concurrent_scenario
+
+    params = spec.params
+    result = run_kv_concurrent_scenario(
+        spec.libos, spec.resolve_plan(),
+        n_clients=spec.cores,
+        n_ops=params.get("n_ops", 40),
+        n_keys=params.get("n_keys", 16),
+        value_size=params.get("value_size", 256),
+        get_fraction=params.get("get_fraction", 0.7))
+    metrics = _numeric_data(result.data)
+    metrics["signature"] = result.signature
+    _merge_counters(metrics, result.counters, spec)
+    return {"metrics": metrics, "ok": result.ok, "failures": result.failures}
+
+
+# -- chaos: one golden scenario under its (seed-overridden) plan -----------
+def _chaos_scenario(spec: ExperimentSpec) -> Optional[str]:
+    from ..testing.scenarios import GOLDEN_SCENARIOS
+
+    scenario = spec.params.get("scenario")
+    if scenario is None and (isinstance(spec.fault_plan, str)
+                             and spec.fault_plan in GOLDEN_SCENARIOS):
+        scenario = spec.fault_plan
+    return scenario
+
+
+def _chaos_validate(spec: ExperimentSpec) -> Optional[str]:
+    from ..testing.scenarios import GOLDEN_SCENARIOS
+
+    scenario = _chaos_scenario(spec)
+    if scenario is None:
+        return ("'chaos' needs params.scenario or a golden-scenario "
+                "fault_plan name")
+    if scenario not in GOLDEN_SCENARIOS:
+        return ("unknown scenario %r (have: %s)"
+                % (scenario, ", ".join(sorted(GOLDEN_SCENARIOS))))
+    kinds = GOLDEN_SCENARIOS[scenario]["kinds"]
+    if spec.libos not in kinds:
+        return ("scenario %r does not run on %r (only %s)"
+                % (scenario, spec.libos, ", ".join(kinds)))
+    if spec.cores != 1:
+        return "'chaos' scenarios are single-core (cores must be 1)"
+    return None
+
+
+def _chaos_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    from ..testing.scenarios import run_scenario
+
+    scenario = _chaos_scenario(spec)
+    # fault_plan "none" on a chaos run means "the scenario's golden
+    # plan at this spec's seed" - a chaos scenario without its faults
+    # would not exercise anything.
+    if spec.fault_plan == "none":
+        from ..sim.faults import plan_by_name
+        plan = plan_by_name(scenario, kind=spec.libos, seed=spec.seed)
+    else:
+        plan = spec.resolve_plan()
+    result = run_scenario(scenario, spec.libos, plan=plan)
+    failures = list(result.failures)
+    metrics = _numeric_data(result.data)
+    metrics["signature"] = result.signature
+    if spec.params.get("check_reproducible", True):
+        second = run_scenario(scenario, spec.libos, plan=plan)
+        metrics["replayed"] = 1
+        if second.signature != result.signature:
+            failures.append("non-deterministic: replay signature %s != %s"
+                            % (second.signature, result.signature))
+    _merge_counters(metrics, result.counters, spec)
+    return {"metrics": metrics, "ok": not failures, "failures": failures}
+
+
+# -- kv-scaling: the sharded throughput sweep (one row per run) ------------
+def _kv_scaling_validate(spec: ExperimentSpec) -> Optional[str]:
+    if spec.libos != "dpdk":
+        return "'kv-scaling' shards ride RSS: dpdk only"
+    if spec.fault_plan != "none":
+        return "'kv-scaling' is a performance bench: fault_plan must be 'none'"
+    return None
+
+
+def _kv_scaling_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    from ..bench.runners import kv_rtt_sharded
+
+    params = spec.params
+    row = kv_rtt_sharded(spec.cores,
+                         n_ops=params.get("n_ops", 200),
+                         n_keys=params.get("n_keys", 32),
+                         value_size=params.get("value_size", 256),
+                         get_fraction=params.get("get_fraction", 0.9),
+                         seed=spec.seed)
+    failures: List[str] = []
+    if row["wasted_wakeups"] != 0:
+        failures.append("%d wasted wake-ups" % row["wasted_wakeups"])
+    if row["cross_shard_wakeups"] != 0:
+        failures.append("%d cross-shard wake-ups"
+                        % row["cross_shard_wakeups"])
+    if row["misrouted_requests"] != 0:
+        failures.append("%d misrouted requests" % row["misrouted_requests"])
+    if row["qtoken_identity_ok"] is not True:
+        failures.append("qtoken identity violated")
+    return {"metrics": dict(row), "ok": not failures, "failures": failures}
+
+
+# -- echo-rtt / kv-rtt: the claim-suite latency benches --------------------
+_ECHO_FLAVORS = ("posix", "mtcp", "posix-libos", "dpdk", "rdma")
+_KV_RTT_FLAVORS = ("posix", "dpdk")
+
+
+def _rtt_validate(flavors, bench):
+    def validate(spec: ExperimentSpec) -> Optional[str]:
+        if spec.libos not in flavors:
+            return ("%r runs on flavors %s, not %r"
+                    % (bench, ", ".join(flavors), spec.libos))
+        if spec.cores != 1:
+            return "%r is a single-core RTT bench (cores must be 1)" % bench
+        if spec.fault_plan != "none":
+            return ("%r is a performance bench: fault_plan must be 'none'"
+                    % bench)
+        return None
+    return validate
+
+
+def _echo_rtt_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    from ..bench.runners import echo_rtt
+
+    params = spec.params
+    row = echo_rtt(spec.libos,
+                   message_size=params.get("message_size", 64),
+                   count=params.get("count", 20),
+                   seed=spec.seed)
+    metrics = _numeric_data(row)
+    ok = row["rtt_mean_ns"] > 0
+    return {"metrics": metrics, "ok": ok,
+            "failures": [] if ok else ["no RTT samples recorded"]}
+
+
+def _kv_rtt_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    from ..bench.runners import kv_rtt
+
+    params = spec.params
+    row = kv_rtt(spec.libos,
+                 value_size=params.get("value_size", 1024),
+                 n_gets=params.get("n_gets", 20),
+                 seed=spec.seed)
+    metrics = _numeric_data(row)
+    ok = row["get_rtt_mean_ns"] > 0
+    return {"metrics": metrics, "ok": ok,
+            "failures": [] if ok else ["no GET samples recorded"]}
+
+
+register_workload(
+    "kv", _kv_validate, _kv_run,
+    blurb="cores concurrent closed-loop KV clients, any network libOS,"
+          " fault-plan compatible")
+register_workload(
+    "chaos", _chaos_validate, _chaos_run,
+    blurb="one golden chaos scenario (params.scenario) incl. replay"
+          " determinism check")
+register_workload(
+    "kv-scaling", _kv_scaling_validate, _kv_scaling_run,
+    blurb="sharded KV throughput at cores shards (dpdk), wake-one"
+          " counters checked")
+register_workload(
+    "echo-rtt", _rtt_validate(_ECHO_FLAVORS, "echo-rtt"), _echo_rtt_run,
+    blurb="echo round-trip + per-request syscall/copy/interrupt costs")
+register_workload(
+    "kv-rtt", _rtt_validate(_KV_RTT_FLAVORS, "kv-rtt"), _kv_rtt_run,
+    blurb="KV GET round-trip + server CPU per request")

@@ -19,8 +19,8 @@ events, and never touches the tracer's counters - so a run's
 """
 
 from . import names
-from .export import (breakdown_from_events, chrome_trace_events, snapshot,
-                     write_chrome_trace)
+from .export import (breakdown_from_events, chrome_trace_events,
+                     counter_rollup, snapshot, write_chrome_trace)
 from .metrics import Counter, Gauge, Histogram, NULL_METRIC
 from .spans import DISABLED, NULL_SPAN, Span, Telemetry
 
@@ -38,4 +38,5 @@ __all__ = [
     "write_chrome_trace",
     "snapshot",
     "breakdown_from_events",
+    "counter_rollup",
 ]

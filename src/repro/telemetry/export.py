@@ -18,7 +18,7 @@ import json
 from typing import Dict, List
 
 __all__ = ["chrome_trace_events", "write_chrome_trace", "snapshot",
-           "breakdown_from_events"]
+           "breakdown_from_events", "counter_rollup"]
 
 #: stable lane ordering inside a track
 _CATEGORY_ORDER = ("app", "libos", "netstack", "device")
@@ -98,6 +98,31 @@ def snapshot(telemetry) -> dict:
         "metrics": {name: metric.summary()
                     for name, metric in sorted(telemetry.metrics.items())},
     }
+
+
+def counter_rollup(tracer, leaves=(), prefixes=()) -> Dict[str, int]:
+    """Sum a tracer's counters by leaf name across scopes.
+
+    The experiment layer persists a compact, deterministic slice of a
+    run's counters into its trajectory rows: ``leaves`` selects which
+    leaf names to keep (e.g. ``("retransmissions", "syscalls")``),
+    ``prefixes`` optionally restricts which scopes contribute (e.g.
+    ``("server.",)``).  Empty *leaves* keeps every leaf.  Counters like
+    ``client.shard0.retransmissions`` and ``server.retransmissions``
+    both roll up under the ``retransmissions`` key.  Accepts a
+    :class:`~repro.sim.trace.Tracer` or a plain ``{name: value}``
+    mapping (e.g. ``ScenarioResult.counters``).
+    """
+    counters = getattr(tracer, "counters", tracer)
+    out: Dict[str, int] = {}
+    for name, value in counters.items():
+        if prefixes and not any(name.startswith(p) for p in prefixes):
+            continue
+        leaf = name.rsplit(".", 1)[-1]
+        if leaves and leaf not in leaves:
+            continue
+        out[leaf] = out.get(leaf, 0) + value
+    return out
 
 
 def breakdown_from_events(events) -> Dict[str, dict]:

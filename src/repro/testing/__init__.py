@@ -17,6 +17,7 @@ from .scenarios import (
     run_crash_echo_scenario,
     run_crash_storage_scenario,
     run_echo_scenario,
+    run_kv_concurrent_scenario,
     run_kv_scenario,
     run_nvme_outage_scenario,
     run_scenario,
@@ -28,6 +29,7 @@ __all__ = [
     "ScenarioFailure",
     "run_echo_scenario",
     "run_kv_scenario",
+    "run_kv_concurrent_scenario",
     "run_storage_scenario",
     "run_crash_echo_scenario",
     "run_crash_storage_scenario",

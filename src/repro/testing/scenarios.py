@@ -35,8 +35,9 @@ from ..apps.kvstore import (OP_GET, OP_PUT, DemiKvServer, demi_kv_client,
 from ..core.types import DemiTimeout, DeviceFailed
 from ..kernelos.reclaim import crash_teardown
 from ..sim.engine import SimulationError
-from ..sim.faults import FaultPlan
+from ..sim.faults import FaultPlan, register_plan
 from ..sim.rand import Rng
+from ..sim.trace import LatencyStats
 from ..testbed import (make_dpdk_libos_pair, make_posix_libos_pair,
                        make_rdma_libos_pair, make_spdk_libos)
 
@@ -47,6 +48,7 @@ __all__ = [
     "ScenarioResult",
     "run_echo_scenario",
     "run_kv_scenario",
+    "run_kv_concurrent_scenario",
     "run_storage_scenario",
     "run_crash_echo_scenario",
     "run_crash_storage_scenario",
@@ -334,6 +336,104 @@ def run_kv_scenario(kind: str, plan: FaultPlan, name: str = "kv",
     _check_dma(failures, world)
     data.update(served=kv.requests_served, rtt_p50=stats.p50,
                 finished_at=world.sim.now)
+    return _finish(world, name, kind, plan, failures, data)
+
+
+def run_kv_concurrent_scenario(kind: str, plan: FaultPlan,
+                               name: str = "kv-concurrent",
+                               n_clients: int = 2, n_ops: int = 40,
+                               n_keys: int = 16, value_size: int = 256,
+                               get_fraction: float = 0.7,
+                               limit_ns: int = DEFAULT_LIMIT_NS,
+                               telemetry=False) -> ScenarioResult:
+    """The KV store under faults with *n_clients* closed loops at once.
+
+    This is the experiment layer's generic matrix workload: one
+    :class:`DemiKvServer` serves ``n_clients`` concurrent connections
+    (each a closed loop of ``n_ops`` operations) while the plan
+    misbehaves underneath.  Every client owns a disjoint key space
+    (keys are prefixed with the client index), so each reply stream is
+    checked against its own sequential replay - concurrency cannot
+    legitimately reorder observations within one connection.
+
+    The result's ``data`` carries the throughput/latency metrics the
+    experiment trajectory persists: aggregate ``throughput_ops_per_s``,
+    trimmed ``rtt_mean_ns`` / ``rtt_p99_ns``, and ``requests`` served.
+    """
+    world, client, server = _build_net_pair(kind, plan, telemetry=telemetry)
+    rng = Rng(plan.seed).fork_named("workload")
+    kv = DemiKvServer(server, port=6379)
+    server_proc = world.sim.spawn(kv.run(), name="chaos.kv.server")
+    per_client_ops = []
+    procs = []
+    for i in range(n_clients):
+        ops = [(op, b"c%d-" % i + key, value)
+               for op, key, value in kv_workload(
+                   rng.fork(i), n_ops, n_keys=n_keys,
+                   value_size=value_size, get_fraction=get_fraction)]
+        per_client_ops.append(ops)
+        procs.append(world.sim.spawn(
+            demi_kv_client(client, _SERVER_ADDR[kind], ops, port=6379),
+            name="chaos.kv.client%d" % i))
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    outputs = []
+    try:
+        for proc in procs:
+            outputs.append(world.sim.run_until_complete(
+                proc, limit=world.sim.now + limit_ns))
+    except Exception as err:
+        failures.append("workload did not finish: %s: %s"
+                        % (type(err).__name__, err))
+        return _finish(world, name, kind, plan, failures, data)
+    elapsed_ns = world.sim.now
+    kv.stop()
+    try:
+        world.sim.run_until_complete(server_proc,
+                                     limit=world.sim.now + 100 * _MS)
+    except Exception as err:
+        failures.append("kv server failed to stop: %s: %s"
+                        % (type(err).__name__, err))
+    world.run(until=world.sim.now + QUIESCE_NS)
+    # Per-client replay: disjoint key spaces make each model independent.
+    total_ops = n_clients * n_ops
+    stats = LatencyStats("kv-concurrent")
+    for i, (ops, (results, client_stats)) in enumerate(
+            zip(per_client_ops, outputs)):
+        model: Dict[bytes, bytes] = {}
+        stale = 0
+        for (op, key, value), result in zip(ops, results):
+            if op == OP_PUT:
+                model[key] = value
+                continue
+            found, got = result
+            expect_found = key in model
+            if found != expect_found or (found and got != model[key]):
+                stale += 1
+        if stale:
+            failures.append("client %d: %d GETs returned wrong/stale data"
+                            % (i, stale))
+        if len(results) != n_ops:
+            failures.append("client %d completed %d of %d operations"
+                            % (i, len(results), n_ops))
+        # Trim each client's cold start (ARP + connect) individually.
+        stats.extend(client_stats.samples[3:])
+    if kv.requests_served != total_ops:
+        failures.append("server served %d of %d requests"
+                        % (kv.requests_served, total_ops))
+    _check_libos(failures, world, client, drained=True)
+    _check_libos(failures, world, server, drained=False)
+    _check_dma(failures, world)
+    data.update(
+        requests=kv.requests_served,
+        clients=n_clients,
+        elapsed_ns=elapsed_ns,
+        throughput_ops_per_s=(kv.requests_served / (elapsed_ns / 1e9)
+                              if elapsed_ns else 0.0),
+        rtt_mean_ns=stats.mean,
+        rtt_p99_ns=stats.p99,
+        finished_at=world.sim.now,
+    )
     return _finish(world, name, kind, plan, failures, data)
 
 
@@ -704,6 +804,16 @@ def golden_plan(name: str, kind: str = "dpdk") -> FaultPlan:
         return FaultPlan(seed=1111).nic_link_flap(device, at,
                                                   down_ns=250 * _US)
     raise KeyError("unknown golden scenario %r" % (name,))
+
+
+# Expose every golden plan to the experiment layer's plan-by-name
+# lookup (repro.sim.faults.plan_by_name): an ExperimentSpec can say
+# fault_plan="partition-heal" and get the same pinned windows the chaos
+# battery runs, sized for its libOS kind.
+for _name in GOLDEN_SCENARIOS:
+    register_plan(_name, lambda kind, _n=_name: golden_plan(_n, kind),
+                  replace=True)
+del _name
 
 
 def run_scenario(name: str, kind: str,

@@ -8,8 +8,6 @@ while the descriptor is still resolvable, and a re-close of an
 already-closed qd must be a charged no-op.
 """
 
-import warnings
-
 import pytest
 
 from repro.core.api import LibOS
@@ -101,36 +99,30 @@ class TestCloseWithPendingPop:
 
 
 class TestLegacyTimeoutShim:
-    def test_wait_any_sentinel_warns(self):
+    """The sentinel shim is gone: legacy_timeout=True is a TypeError."""
+
+    def test_wait_any_legacy_flag_raises_type_error(self):
         w, libos = make_libos()
         qd = libos.queue()
         token = libos.pop(qd)
 
         def proc():
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                result = yield from libos.wait_any(
+            with pytest.raises(TypeError, match="DemiTimeout"):
+                yield from libos.wait_any(
                     [token], timeout_ns=1000, legacy_timeout=True)
-            assert result == (-1, None)
-            assert any(issubclass(c.category, DeprecationWarning)
-                       for c in caught)
 
         w.sim.spawn(proc())
         w.run()
 
-    def test_wait_all_sentinel_warns(self):
+    def test_wait_all_legacy_flag_raises_type_error(self):
         w, libos = make_libos()
         qd = libos.queue()
         token = libos.pop(qd)
 
         def proc():
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                result = yield from libos.wait_all(
+            with pytest.raises(TypeError, match="legacy_timeout"):
+                yield from libos.wait_all(
                     [token], timeout_ns=1000, legacy_timeout=True)
-            assert result is None
-            assert any(issubclass(c.category, DeprecationWarning)
-                       for c in caught)
 
         w.sim.spawn(proc())
         w.run()

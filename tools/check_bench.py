@@ -4,8 +4,13 @@ tools.check_bench BENCH_kv_scaling.json``.
 CI runs the scaling bench at a fixed seed and feeds the output here.
 The file holds either one sweep document or a *trajectory* - a JSON list
 of documents accumulated with ``repro bench kv-scaling --append``; every
-document in the list is validated.  The check is structural plus the
-claims the bench exists to pin:
+document in the list is validated.
+
+The checks themselves live in :mod:`repro.experiments.schema` (shared
+with ``repro exp validate``, which also understands the generic
+``experiment`` trajectory documents); this tool is the kv_scaling-only
+entry point CI has always invoked.  The gates are structural keys plus
+the claims the bench exists to pin:
 
 * throughput is **strictly increasing** with the core count (the
   shared-nothing scaling claim - any flattening means cross-core
@@ -24,130 +29,34 @@ Exits nonzero with one line per violation.  Schema: docs/api.md.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from typing import List, Optional
 
+try:
+    from repro.experiments import schema as _schema
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                    os.pardir, "src"))
+    from repro.experiments import schema as _schema
+
 #: every row must carry these keys (docs/api.md, schema_version 1)
-ROW_KEYS = (
-    "cores", "requests", "elapsed_ns", "throughput_ops_per_s",
-    "rtt_mean_ns", "rtt_p99_ns", "per_shard_requests",
-    "per_core_utilization", "wakeups", "wasted_wakeups",
-    "cross_shard_wakeups", "misrouted_requests", "wait_timeouts",
-    "qtoken_identity_ok",
-)
+ROW_KEYS = _schema.KV_SCALING_ROW_KEYS
 
 #: schema_version 2 adds the batched fast path's cost accounting
-V2_ROW_KEYS = (
-    "per_op_server_cpu_ns", "doorbells", "doorbells_saved",
-    "requests_per_wakeup",
-)
+V2_ROW_KEYS = _schema.KV_SCALING_V2_ROW_KEYS
 
-
-def check_document(doc: object) -> List[str]:
-    """All violations in *doc* (empty list = valid)."""
-    errors: List[str] = []
-    if not isinstance(doc, dict):
-        return ["document is not a JSON object"]
-    if doc.get("bench") != "kv_scaling":
-        errors.append("bench is %r, expected 'kv_scaling'" % doc.get("bench"))
-    version = doc.get("schema_version")
-    if version not in (1, 2):
-        errors.append("schema_version is %r, expected 1 or 2" % version)
-        return errors
-    required = ROW_KEYS + V2_ROW_KEYS if version == 2 else ROW_KEYS
-    budget = None
-    setup_allowance = 0
-    if version == 2:
-        params = doc.get("params")
-        if not isinstance(params, dict) or "per_op_budget_ns" not in params:
-            errors.append("schema v2 params missing per_op_budget_ns")
-        else:
-            budget = params["per_op_budget_ns"]
-            if not isinstance(budget, (int, float)) or budget <= 0:
-                errors.append("per_op_budget_ns is %r, expected a positive "
-                              "number" % (budget,))
-                budget = None
-            allowance = params.get("per_op_setup_allowance_ns", 0)
-            if not isinstance(allowance, (int, float)) or allowance < 0:
-                errors.append("per_op_setup_allowance_ns is %r, expected a "
-                              "non-negative number" % (allowance,))
-            else:
-                setup_allowance = allowance
-    rows = doc.get("rows")
-    if not isinstance(rows, list) or not rows:
-        errors.append("rows missing or empty")
-        return errors
-    for i, row in enumerate(rows):
-        if not isinstance(row, dict):
-            errors.append("rows[%d] is not an object" % i)
-            continue
-        missing = [k for k in required if k not in row]
-        if missing:
-            errors.append("rows[%d] missing keys: %s"
-                          % (i, ", ".join(missing)))
-            continue
-        if row["wasted_wakeups"] != 0:
-            errors.append("rows[%d] (cores=%s): %d wasted wake-ups"
-                          % (i, row["cores"], row["wasted_wakeups"]))
-        if row["cross_shard_wakeups"] != 0:
-            errors.append("rows[%d] (cores=%s): %d cross-shard wake-ups"
-                          % (i, row["cores"], row["cross_shard_wakeups"]))
-        if row["misrouted_requests"] != 0:
-            errors.append("rows[%d] (cores=%s): %d misrouted requests"
-                          % (i, row["cores"], row["misrouted_requests"]))
-        if row["qtoken_identity_ok"] is not True:
-            errors.append("rows[%d] (cores=%s): qtoken identity violated"
-                          % (i, row["cores"]))
-        if budget is not None:
-            # Each shard pays a fixed connection-setup cost; short runs
-            # cannot amortize it, so the gate is on marginal per-op work.
-            limit = budget + (setup_allowance * row["cores"]
-                              / max(1, row["requests"]))
-            if row["per_op_server_cpu_ns"] > limit:
-                errors.append(
-                    "rows[%d] (cores=%s): per-op server CPU %.0f ns "
-                    "exceeds the %.0f ns budget (%.0f ns + amortized "
-                    "setup allowance)"
-                    % (i, row["cores"], row["per_op_server_cpu_ns"],
-                       limit, budget))
-    good = [r for r in rows if isinstance(r, dict)
-            and all(k in r for k in required)]
-    for prev, cur in zip(good, good[1:]):
-        if cur["cores"] <= prev["cores"]:
-            errors.append("rows not ordered by cores (%s after %s)"
-                          % (cur["cores"], prev["cores"]))
-        if cur["throughput_ops_per_s"] <= prev["throughput_ops_per_s"]:
-            errors.append(
-                "throughput not strictly increasing: %.0f ops/s at "
-                "%s cores vs %.0f ops/s at %s cores"
-                % (cur["throughput_ops_per_s"], cur["cores"],
-                   prev["throughput_ops_per_s"], prev["cores"]))
-    return errors
+#: all violations in one kv_scaling document (empty list = valid)
+check_document = _schema.check_kv_scaling_document
 
 
 def check_payload(payload: object) -> List[str]:
     """Validate one document or a trajectory (list of documents)."""
-    if isinstance(payload, list):
-        if not payload:
-            return ["trajectory is empty"]
-        errors: List[str] = []
-        for i, doc in enumerate(payload):
-            errors.extend("doc[%d]: %s" % (i, e)
-                          for e in check_document(doc))
-        return errors
-    return check_document(payload)
+    return _schema.check_payload(payload, check=check_document)
 
 
 def _summarize(payload: object, path: str) -> str:
-    docs = payload if isinstance(payload, list) else [payload]
-    last = docs[-1]
-    rows = last["rows"]
-    label = ("%d documents, latest " % len(docs)
-             if isinstance(payload, list) else "")
-    return ("check_bench: %s ok (%s%d rows, cores %s, peak %.0f ops/s)"
-            % (path, label, len(rows),
-               "/".join(str(r["cores"]) for r in rows),
-               rows[-1]["throughput_ops_per_s"]))
+    return "check_bench: %s" % _schema.summarize(payload, path)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
