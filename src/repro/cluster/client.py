@@ -11,18 +11,21 @@ partitioning agree end to end.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
-from ..apps.kvstore import (OP_GET, OP_PUT, decode_response, encode_get,
-                            encode_put)
+from ..apps.kvstore import (OP_GET, OP_PUT, STATUS_OK, decode_response,
+                            encode_get, encode_put)
 from ..apps.steering import key_partition
 from ..core.api import LibOS
-from ..core.types import DemiError
+from ..core.retry import retry_with_backoff
+from ..core.types import DemiError, DemiTimeout
 from ..hw.nic import rss_queue_for_flow
 from ..sim.rand import Rng
 from ..sim.trace import LatencyStats
+from ..telemetry import names
 
-__all__ = ["src_port_for_queue", "sharded_kv_client", "shard_workload"]
+__all__ = ["src_port_for_queue", "sharded_kv_client", "shard_workload",
+           "ReplicatedKvClient"]
 
 #: first ephemeral port (matches the netstack's allocator)
 EPHEMERAL_START = 49152
@@ -97,3 +100,133 @@ def shard_workload(rng: Rng, n_ops: int, shard: int, n_shards: int,
         else:
             ops.append((OP_PUT, key, rng.bytes(value_size)))
     return ops
+
+
+class ReplicatedKvClient:
+    """A router for the chain-replicated tier (:mod:`repro.cluster.replica`).
+
+    Consults the :class:`~repro.cluster.replica.ClusterDirectory` per
+    operation - PUTs go to the key's chain head, GETs to its tail - and
+    owns the whole failure policy: every transient fault (connect
+    refused by a dying node, a request timing out because the server
+    crashed mid-flight, an ``ECONNRESET``-style pop error, a
+    ``STATUS_MOVED`` redirect from a stale route) closes the cached
+    connection, re-resolves the chain against the directory, and retries
+    under one seeded-backoff budget.  An operation fails only when
+    :class:`~repro.core.retry.RetryBudgetExceeded` says the budget is
+    spent - which the replication scenarios treat as "this write was
+    never acknowledged", the only loss chain replication permits.
+    """
+
+    def __init__(self, libos, directory, rng: Rng, port: int = 6380,
+                 request_timeout_ns: int = 400_000,
+                 base_delay_ns: int = 20_000, max_delay_ns: int = 250_000,
+                 max_attempts: int = 10, budget_ns: int = 5_000_000):
+        self.libos = libos
+        self.directory = directory
+        self.rng = rng
+        self.port = port
+        self.request_timeout_ns = request_timeout_ns
+        self.base_delay_ns = base_delay_ns
+        self.max_delay_ns = max_delay_ns
+        self.max_attempts = max_attempts
+        self.budget_ns = budget_ns
+        self.stats = LatencyStats("repl-kv-rtt")
+        self._conns: Dict[str, int] = {}
+
+    # -- public ops ---------------------------------------------------------
+    def put(self, key: bytes, value: bytes) -> Generator:
+        """Sim-coroutine: replicated PUT; returns once the tail committed."""
+        yield from self._op(OP_PUT, key, value)
+
+    def get(self, key: bytes) -> Generator:
+        """Sim-coroutine: linearizable GET from the key's chain tail."""
+        result = yield from self._op(OP_GET, key, None)
+        return result
+
+    def close(self) -> Generator:
+        for target in sorted(self._conns):
+            qd = self._conns[target]
+            yield from self.libos.close(qd)
+        self._conns.clear()
+
+    # -- machinery ----------------------------------------------------------
+    def _op(self, op: int, key: bytes, value: Optional[bytes]) -> Generator:
+        start = self.libos.sim.now
+        result = yield from retry_with_backoff(
+            self.libos.sim, lambda: self._attempt(op, key, value),
+            rng=self.rng, retry_on=(DemiError,),
+            base_delay_ns=self.base_delay_ns,
+            max_delay_ns=self.max_delay_ns,
+            max_attempts=self.max_attempts, budget_ns=self.budget_ns,
+            op="%s %r" % ("PUT" if op == OP_PUT else "GET", key))
+        # RTT includes retries and failovers: this is what the client felt.
+        self.stats.add(self.libos.sim.now - start)
+        return result
+
+    def _attempt(self, op: int, key: bytes,
+                 value: Optional[bytes]) -> Generator:
+        chain_id = self.directory.chain_for_key(key)
+        target = (self.directory.head(chain_id) if op == OP_PUT
+                  else self.directory.tail(chain_id))
+        if target is None:
+            raise DemiError("chain %d has no live members" % chain_id)
+        try:
+            qd = yield from self._conn(target)
+            request = (encode_put(key, value) if op == OP_PUT
+                       else encode_get(key))
+            reply = yield from self._request(qd, request)
+            if reply[0] != STATUS_OK and op == OP_PUT:
+                raise DemiError("PUT not acknowledged by %s (status %d)"
+                                % (target, reply[0]))
+            if op == OP_GET:
+                if reply[0] not in (STATUS_OK, ord("N")):
+                    raise DemiError("GET redirected by %s (status %d)"
+                                    % (target, reply[0]))
+                return decode_response(bytes(reply))
+            return None
+        except DemiError:
+            self.libos.count(names.REPL_CLIENT_RETRIES)
+            yield from self._drop(target)
+            raise
+
+    def _conn(self, target: str) -> Generator:
+        qd = self._conns.get(target)
+        if qd is not None:
+            return qd
+        libos = self.libos
+        qd = yield from libos.socket()
+        try:
+            yield from libos.connect(qd, self.directory.addr_of(target),
+                                     self.port)
+        except Exception as exc:
+            # VerbsError from a closed/crashed listener is transient from
+            # the router's point of view: surface it typed so the retry
+            # loop re-resolves the chain and tries the new member.
+            yield from libos.close(qd)
+            if isinstance(exc, DemiError):
+                raise
+            raise DemiError("connect to %s failed: %s" % (target, exc))
+        self._conns[target] = qd
+        return qd
+
+    def _request(self, qd: int, request: bytes) -> Generator:
+        libos = self.libos
+        pushed = yield from libos.blocking_push(qd, libos.sga_alloc(request))
+        if pushed.error is not None:
+            raise DemiError("push failed: %s" % pushed.error)
+        token = libos.pop(qd)
+        try:
+            _index, result = yield from libos.wait_any(
+                [token], timeout_ns=self.request_timeout_ns)
+        except DemiTimeout:
+            libos.cancel(token)
+            raise DemiError("request timed out")
+        if result.error is not None:
+            raise DemiError("connection failed: %s" % result.error)
+        return result.sga.tobytes()
+
+    def _drop(self, target: str) -> Generator:
+        qd = self._conns.pop(target, None)
+        if qd is not None:
+            yield from self.libos.close(qd)

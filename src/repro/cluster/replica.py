@@ -1,0 +1,676 @@
+"""Chain-replicated multi-host KV over one-sided RDMA (the ROADMAP's
+multi-host tier).
+
+Keys consistent-hash across hosts with the same RSS-derived partition
+function the single-host shards use (:func:`~repro.apps.steering.
+key_partition`), so per-host RSS sharding and cross-host placement
+compose.  Each key range is a *chain*: a rotation of the node list,
+``replication`` members long.  Writes enter at the head, which assigns a
+dense per-chain sequence number, applies locally, and forwards the entry
+downstream by RDMA-WRITING a torn-write-proof record
+(:mod:`repro.rmem.ring`) into the successor's replication log - the
+successor's CPU polls its own memory, applies, and forwards again.  The
+tail's apply is the *commit point*: committed sequence numbers flow back
+upstream through one-sided writes into each predecessor's commit cell,
+and only then does the head acknowledge the client.  An acknowledged
+write therefore exists on every live replica, and reads served at the
+tail are linearizable per key.
+
+Failure handling is the point.  Adjacent chain members exchange
+one-sided heartbeats into each other's lease cells; a peer's death
+surfaces either as a failed write (the dead host's
+``crash_teardown``/:meth:`ReplicaNode.crash` destroys its QPs, so
+retries exhaust into flush/``retry-exceeded`` CQEs) or as a lease
+expiring.  Either way the survivor reports the death to the
+:class:`ClusterDirectory`, which bumps the membership epoch and tells
+every live node to *reconfigure*: stale links are torn down, the chain
+is spliced around the dead node (the new upstream replays its log
+suffix into the new downstream - replicas are never left behind), and a
+new tail declares everything it has applied committed.  Clients route
+via the directory and retry with seeded backoff
+(:class:`~repro.cluster.client.ReplicatedKvClient`); a replica that is
+not the right head/tail for a key answers :data:`STATUS_MOVED` so a
+stale route corrects itself.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Generator, List, Optional, Sequence
+
+from ..apps.kvstore import (OP_GET, OP_PUT, STATUS_MISSING, STATUS_OK,
+                            KvEngine, decode_request)
+from ..apps.steering import key_partition
+from ..core.retry import RetryBudgetExceeded, retry_with_backoff
+from ..core.types import DemiError, DemiTimeout
+from ..hw.nic import QpError
+from ..kernelos.reclaim import crash_teardown
+from ..libos.rdma_libos import RdmaLibOS
+from ..rdma.cm import RdmaCm
+from ..rdma.verbs import QueuePair, VerbsError
+from ..rmem.ring import (LocalRingConsumer, RemoteRing, RingProducer,
+                         _OneSided as OneSided)
+from ..sim.engine import any_of
+from ..sim.rand import Rng
+from ..sim.sync import WaitQueue
+from ..telemetry import names
+
+__all__ = ["ClusterDirectory", "ReplicaNode", "STATUS_MOVED",
+           "encode_entry", "decode_entry", "DEFAULT_KV_PORT"]
+
+#: a replica that is not the right chain member for the request
+STATUS_MOVED = ord("M")
+
+DEFAULT_KV_PORT = 6380
+#: the replication plane listens one port above the client plane
+REPL_PORT_OFFSET = 1
+
+_U64 = struct.Struct("!Q")
+#: replication log entry: chain-local seq, key, value
+_ENTRY = struct.Struct("!QH")   # seq, klen (value length-prefixed after key)
+#: chain_id, epoch, commit-cell addr, hb-cell addr, sender-name length
+_SYNC_REQ = struct.Struct("!IIQQH")
+#: ring base, slot_size, n_slots, receiver's applied seq, hb-cell addr
+_SYNC_RESP = struct.Struct("!QIIQQ")
+_HANDSHAKE_BYTES = 256
+
+
+def encode_entry(seq: int, key: bytes, value: bytes) -> bytes:
+    return (_ENTRY.pack(seq, len(key)) + key
+            + struct.pack("!I", len(value)) + value)
+
+
+def decode_entry(payload: bytes):
+    seq, klen = _ENTRY.unpack_from(payload, 0)
+    key = payload[_ENTRY.size:_ENTRY.size + klen]
+    (vlen,) = struct.unpack_from("!I", payload, _ENTRY.size + klen)
+    off = _ENTRY.size + klen + 4
+    return seq, key, payload[off:off + vlen]
+
+
+class ClusterDirectory:
+    """The control plane: static node list, live membership, chain maps.
+
+    Plays the role rdmacm plays for connections - an off-fabric
+    rendezvous every node and client can consult.  Membership only
+    shrinks (``report_dead``); each death bumps ``epoch`` and schedules
+    a reconfigure on every surviving registered node, in node-list order
+    so runs replay deterministically.
+    """
+
+    def __init__(self, tracer, nodes: Sequence[str], replication: int = 3,
+                 n_chains: Optional[int] = None):
+        if replication < 1:
+            raise DemiError("replication factor must be >= 1")
+        self.node_names = list(nodes)
+        self.replication = min(replication, len(self.node_names))
+        self.n_chains = n_chains if n_chains is not None else len(self.node_names)
+        self.alive = set(self.node_names)
+        self.epoch = 0
+        self.counters = tracer.scope("cluster")
+        self._members: Dict[str, "ReplicaNode"] = {}
+        self._addrs: Dict[str, str] = {}
+
+    def register(self, node: "ReplicaNode") -> None:
+        self._members[node.name] = node
+        self._addrs[node.name] = node.nic.addr
+
+    def addr_of(self, name: str) -> str:
+        return self._addrs[name]
+
+    def chain_for_key(self, key: bytes) -> int:
+        return key_partition(key, self.n_chains)
+
+    def chain_members(self, chain_id: int) -> List[str]:
+        """The live chain, head first: a rotation of the node list
+        starting at ``chain_id``, skipping the dead, ``replication``
+        long.  A death therefore splices the chain *and* (when
+        replication < cluster size) recruits the next node in rotation
+        as the new tail - the replay path brings it up to date."""
+        n = len(self.node_names)
+        start = chain_id % n
+        ordered = self.node_names[start:] + self.node_names[:start]
+        return [name for name in ordered
+                if name in self.alive][:self.replication]
+
+    def head(self, chain_id: int) -> Optional[str]:
+        members = self.chain_members(chain_id)
+        return members[0] if members else None
+
+    def tail(self, chain_id: int) -> Optional[str]:
+        members = self.chain_members(chain_id)
+        return members[-1] if members else None
+
+    def report_dead(self, name: str) -> None:
+        """Idempotent: the first reporter wins; later detections no-op."""
+        if name not in self.alive:
+            return
+        self.alive.discard(name)
+        self.epoch += 1
+        self.counters.count(names.REPL_FAILOVERS)
+        for survivor in self.node_names:
+            node = self._members.get(survivor)
+            if survivor in self.alive and node is not None:
+                node.schedule_reconfigure()
+
+
+class _Chain:
+    """One node's view of one chain: the log and replication cursors."""
+
+    def __init__(self, chain_id: int, sim, owner: str):
+        self.chain_id = chain_id
+        #: highest seq applied to the local engine (log is dense: entry
+        #: for seq s lives at ``log[s - 1]``)
+        self.applied = 0
+        #: highest seq known committed (applied at the tail)
+        self.committed = 0
+        self.log: List[tuple] = []   # (key, value) by seq - 1
+        self.commit_wq = WaitQueue(sim, "%s.c%d.commit" % (owner, chain_id))
+        self.fwd_wq = WaitQueue(sim, "%s.c%d.fwd" % (owner, chain_id))
+        self.down: Optional[_DownLink] = None
+        self.up: Optional[_UpLink] = None
+
+
+class _DownLink:
+    """Outbound leg to the chain successor (we produce, they consume)."""
+
+    def __init__(self, peer: str, qp: QueuePair, producer: RingProducer,
+                 commit_cell, hb_cell, peer_hb_addr: int, sent_seq: int):
+        self.peer = peer
+        self.qp = qp
+        self.producer = producer
+        self.ops = producer.ops          # ONE completion reaper per QP side
+        self.commit_cell = commit_cell   # successor writes committed here
+        self.hb_cell = hb_cell           # successor heartbeats here
+        self.peer_hb_addr = peer_hb_addr
+        self.sent_seq = sent_seq
+        self.procs: List = []
+
+
+class _UpLink:
+    """Inbound leg from the chain predecessor (ring lives in our arena)."""
+
+    def __init__(self, peer: str, qp: QueuePair, ring: RemoteRing, arena,
+                 consumer: LocalRingConsumer, peer_commit_addr: int,
+                 peer_hb_addr: int, hb_cell):
+        self.peer = peer
+        self.qp = qp
+        self.ops = OneSided(qp)          # shared by hb + commit publisher
+        self.ring = ring
+        self.arena = arena
+        self.consumer = consumer
+        self.peer_commit_addr = peer_commit_addr
+        self.peer_hb_addr = peer_hb_addr
+        self.hb_cell = hb_cell           # predecessor heartbeats here
+        self.procs: List = []
+
+
+class ReplicaNode:
+    """One host of the replicated tier: engine, client plane, repl plane."""
+
+    def __init__(self, world, name: str, directory: ClusterDirectory,
+                 cm: RdmaCm, rng: Optional[Rng] = None,
+                 port: int = DEFAULT_KV_PORT,
+                 slot_size: int = 512, n_slots: int = 32,
+                 ring_poll_ns: int = 2_000,
+                 hb_interval_ns: int = 20_000,
+                 lease_ns: int = 150_000,
+                 commit_poll_ns: int = 3_000,
+                 commit_timeout_ns: int = 1_000_000,
+                 idle_timeout_ns: int = 2_000_000):
+        self.world = world
+        self.sim = world.sim
+        self.name = name
+        self.directory = directory
+        self.cm = cm
+        self.rng = rng if rng is not None else Rng(0xC7A1).fork_named(name)
+        self.host = world.add_host(name)
+        self.nic = world.add_rdma(self.host)
+        self.libos = RdmaLibOS(self.host, self.nic, cm,
+                               name="%s.catmint" % name)
+        self.mm = self.host.mm
+        self.engine = KvEngine(self.host, name="%s.kv" % name)
+        self.port = port
+        self.repl_port = port + REPL_PORT_OFFSET
+        self.slot_size = slot_size
+        self.n_slots = n_slots
+        self.ring_poll_ns = ring_poll_ns
+        self.hb_interval_ns = hb_interval_ns
+        self.lease_ns = lease_ns
+        self.commit_poll_ns = commit_poll_ns
+        self.commit_timeout_ns = commit_timeout_ns
+        self.idle_timeout_ns = idle_timeout_ns
+        self.counters = self.host.tracer.scope(name)
+        self.chains: Dict[int, _Chain] = {}
+        self.crashed = False
+        self._procs: List = []
+        self._repl_listener = None
+        self._reconfig_dirty = False
+        self._reconfig_proc = None
+        directory.register(self)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        # Every node tracks every chain, member or not: when a death
+        # recruits it as a new tail (replication < cluster size), the
+        # upstream's sync must find a chain to replay into.
+        for chain_id in range(self.directory.n_chains):
+            self.chains[chain_id] = _Chain(chain_id, self.sim, self.name)
+        self._spawn(self._repl_acceptor(), "repl.accept")
+        self._spawn(self._client_plane(), "kv.serve")
+        self.schedule_reconfigure()
+
+    def _spawn(self, gen, label: str):
+        proc = self.sim.spawn(gen, name="%s.%s" % (self.name, label))
+        self._procs.append(proc)
+        return proc
+
+    def crash(self, report_to: Optional[list] = None) -> Generator:
+        """Sim-coroutine: die abruptly and let the kernel reclaim.
+
+        Raw replication QPs and the rendezvous listener are not in the
+        libOS qd table, so they are severed here first (stopping the NIC
+        from landing one-sided writes into soon-to-be-freed memory and
+        making peers' writes fail fast); then the ordinary
+        :func:`~repro.kernelos.reclaim.crash_teardown` walk reclaims the
+        client plane, every registered buffer - ring arenas, lease and
+        commit cells included - and the IOMMU mappings beneath them.
+        """
+        self.crashed = True
+        for proc in self._procs:
+            if proc is not None and proc.alive:
+                proc.interrupt("proc_crash")
+        if self._repl_listener is not None:
+            self._repl_listener.close()
+            self._repl_listener = None
+        for chain_id in sorted(self.chains):
+            chain = self.chains[chain_id]
+            for link in (chain.down, chain.up):
+                if link is not None:
+                    link.qp.destroy()
+            chain.down = None
+            chain.up = None
+        report = yield from crash_teardown(self.libos, None,
+                                           report_to=report_to)
+        return report
+
+    # -- roles --------------------------------------------------------------
+    def _members(self, chain_id: int) -> List[str]:
+        return self.directory.chain_members(chain_id)
+
+    def _is_head(self, chain_id: int) -> bool:
+        return self.directory.head(chain_id) == self.name
+
+    def _is_tail(self, chain_id: int) -> bool:
+        return self.directory.tail(chain_id) == self.name
+
+    # -- failure detection --------------------------------------------------
+    def _suspect(self, peer: str) -> None:
+        if self.crashed or peer not in self.directory.alive:
+            return
+        self.directory.report_dead(peer)
+
+    # -- reconfiguration (initial wiring + failover splices) ---------------
+    def schedule_reconfigure(self) -> None:
+        self._reconfig_dirty = True
+        if self._reconfig_proc is None or not self._reconfig_proc.alive:
+            self._reconfig_proc = self._spawn(self._reconfigure_loop(),
+                                              "reconfig")
+
+    def _reconfigure_loop(self) -> Generator:
+        while self._reconfig_dirty and not self.crashed:
+            self._reconfig_dirty = False
+            yield from self._reconfigure_once()
+
+    def _reconfigure_once(self) -> Generator:
+        for chain_id in sorted(self.chains):
+            chain = self.chains[chain_id]
+            members = self._members(chain_id)
+            if self.name not in members:
+                self._teardown_down(chain)
+                self._teardown_up(chain)
+                continue
+            index = members.index(self.name)
+            pred = members[index - 1] if index > 0 else None
+            succ = members[index + 1] if index + 1 < len(members) else None
+            if chain.up is not None and chain.up.peer != pred:
+                self._teardown_up(chain)
+                if self.directory.epoch > 0:
+                    # The upstream side of a splice: our predecessor
+                    # changed (a new one will sync in, or we are the new
+                    # head).
+                    self.counters.count(names.REPL_CHAIN_SPLICES)
+            current = chain.down.peer if chain.down is not None else None
+            if current != succ:
+                spliced = self.directory.epoch > 0
+                self._teardown_down(chain)
+                if succ is not None:
+                    try:
+                        yield from self._establish_down(chain, succ)
+                    except RetryBudgetExceeded:
+                        # Can't even open a control-path connection to the
+                        # successor: treat it as dead so the next pass
+                        # splices around it instead of retrying forever.
+                        self.counters.count(names.REPL_LINK_FAULTS)
+                        self._suspect(succ)
+                        self._reconfig_dirty = True
+                        continue
+                if spliced:
+                    self.counters.count(names.REPL_CHAIN_SPLICES)
+            if succ is None:
+                # We are the tail now: our apply is the commit point, so
+                # everything already applied commits retroactively.
+                self._advance_commit(chain, chain.applied)
+
+    # -- downstream link (we are the producer) ------------------------------
+    def _establish_down(self, chain: _Chain, peer: str) -> Generator:
+        link = yield from retry_with_backoff(
+            self.sim, lambda: self._connect_down(chain, peer),
+            rng=self.rng, retry_on=(DemiError, VerbsError, QpError),
+            base_delay_ns=20_000, max_delay_ns=200_000, max_attempts=6,
+            budget_ns=3_000_000, op="%s sync chain %d -> %s"
+            % (self.name, chain.chain_id, peer))
+        chain.down = link
+        replay = chain.applied - link.sent_seq
+        if replay > 0:
+            self.counters.count(names.REPL_ENTRIES_REPLAYED, replay)
+        link.procs = [
+            self._spawn(self._forwarder(chain, link),
+                        "c%d.fwd" % chain.chain_id),
+            self._spawn(self._hb_writer(link, link.ops, link.peer_hb_addr),
+                        "c%d.hb.down" % chain.chain_id),
+            self._spawn(self._commit_monitor(chain, link),
+                        "c%d.commitmon" % chain.chain_id),
+            self._spawn(self._lease_monitor(link, link.hb_cell),
+                        "c%d.lease.down" % chain.chain_id),
+        ]
+
+    def _connect_down(self, chain: _Chain, peer: str) -> Generator:
+        """One sync attempt: connect, exchange SYNC, build the producer."""
+        qp = yield from self.cm.connect(
+            self.nic, self.directory.addr_of(peer),
+            self.port + REPL_PORT_OFFSET)
+        commit_cell = self.mm.alloc(8)
+        commit_cell.write(0, _U64.pack(0))
+        hb_cell = self.mm.alloc(8)
+        hb_cell.write(0, _U64.pack(0))
+        recv_buf = self.mm.alloc(_HANDSHAKE_BYTES)
+        try:
+            qp.post_recv(recv_buf)
+            name_bytes = self.name.encode("ascii")
+            qp.post_send(_SYNC_REQ.pack(chain.chain_id, self.directory.epoch,
+                                        commit_cell.addr, hb_cell.addr,
+                                        len(name_bytes)) + name_bytes)
+            cqe = yield from qp.wait_send_completion()
+            if cqe["status"] != "ok":
+                raise DemiError("sync send failed: %s" % cqe["status"])
+            cqe = yield from qp.wait_recv_completion()
+            if cqe["status"] != "ok":
+                raise DemiError("sync recv failed: %s" % cqe["status"])
+            buf = cqe["buffer"]
+            (ring_base, slot_size, n_slots,
+             peer_applied, peer_hb_addr) = _SYNC_RESP.unpack(
+                buf.read(0, _SYNC_RESP.size))
+            self.mm.free(buf)
+        except BaseException:
+            qp.destroy()
+            self.mm.free(commit_cell)
+            self.mm.free(hb_cell)
+            if not recv_buf.freed:
+                self.mm.free(recv_buf)
+            raise
+        ring = RemoteRing(ring_base, slot_size, n_slots)
+        producer = RingProducer(qp, ring)
+        return _DownLink(peer, qp, producer, commit_cell, hb_cell,
+                         peer_hb_addr, sent_seq=min(peer_applied,
+                                                    chain.applied))
+
+    def _teardown_down(self, chain: _Chain) -> None:
+        link = chain.down
+        if link is None:
+            return
+        chain.down = None
+        for proc in link.procs:
+            if proc.alive:
+                proc.interrupt("chain reconfig")
+        link.qp.destroy()
+        self.mm.free(link.commit_cell)
+        self.mm.free(link.hb_cell)
+
+    def _forwarder(self, chain: _Chain, link: _DownLink) -> Generator:
+        """The single writer of this link's ring: ships the log suffix
+        (replay after a splice) then follows new applies."""
+        try:
+            while True:
+                while link.sent_seq < chain.applied:
+                    seq = link.sent_seq + 1
+                    key, value = chain.log[seq - 1]
+                    yield from link.producer.push(encode_entry(seq, key,
+                                                               value))
+                    link.sent_seq = seq
+                    self.counters.count(names.REPL_ENTRIES_FORWARDED)
+                yield chain.fwd_wq.wait()
+        except (DemiError, QpError):
+            self.counters.count(names.REPL_LINK_FAULTS)
+            self._suspect(link.peer)
+
+    def _commit_monitor(self, chain: _Chain, link: _DownLink) -> Generator:
+        """Polls the local commit cell the successor one-sided-writes."""
+        while True:
+            (committed,) = _U64.unpack(link.commit_cell.read(0, 8))
+            if committed > chain.committed:
+                self._advance_commit(chain, committed)
+            yield self.sim.timeout(self.commit_poll_ns)
+
+    # -- upstream link (predecessor produces into our arena) ----------------
+    def _repl_acceptor(self) -> Generator:
+        self._repl_listener = self.cm.listen(self.nic, self.repl_port)
+        while True:
+            try:
+                qp = yield from self._repl_listener.accept()
+            except VerbsError:
+                return
+            self._spawn(self._handle_sync(qp), "repl.sync")
+
+    def _handle_sync(self, qp: QueuePair) -> Generator:
+        buf = self.mm.alloc(_HANDSHAKE_BYTES)
+        qp.post_recv(buf)
+        cqe = yield from qp.wait_recv_completion()
+        if cqe["status"] != "ok":
+            qp.destroy()
+            return
+        data = cqe["buffer"].read(0, _HANDSHAKE_BYTES)
+        self.mm.free(cqe["buffer"])
+        chain_id, _epoch, commit_addr, hb_addr, nlen = _SYNC_REQ.unpack_from(
+            data, 0)
+        peer = data[_SYNC_REQ.size:_SYNC_REQ.size + nlen].decode("ascii")
+        chain = self.chains.get(chain_id)
+        if chain is None or peer not in self.directory.alive:
+            qp.destroy()
+            return
+        if chain.up is not None:
+            self._teardown_up(chain)
+        probe = RemoteRing(0, self.slot_size, self.n_slots)
+        arena = self.mm.alloc(probe.total_bytes)
+        arena.write(0, bytes(probe.total_bytes))
+        ring = RemoteRing(arena.addr, self.slot_size, self.n_slots)
+        hb_cell = self.mm.alloc(8)
+        hb_cell.write(0, _U64.pack(0))
+        qp.post_send(_SYNC_RESP.pack(ring.base_addr, self.slot_size,
+                                     self.n_slots, chain.applied,
+                                     hb_cell.addr))
+        cqe = yield from qp.wait_send_completion()
+        if cqe["status"] != "ok":
+            qp.destroy()
+            self.mm.free(arena)
+            self.mm.free(hb_cell)
+            return
+        consumer = LocalRingConsumer(self.host, ring,
+                                     poll_interval_ns=self.ring_poll_ns)
+        link = _UpLink(peer, qp, ring, arena, consumer, commit_addr,
+                       hb_addr, hb_cell)
+        chain.up = link
+        self.counters.count(names.REPL_SYNCS)
+        link.procs = [
+            self._spawn(self._pump(chain, link),
+                        "c%d.pump" % chain_id),
+            self._spawn(self._hb_writer(link, link.ops, link.peer_hb_addr),
+                        "c%d.hb.up" % chain_id),
+            self._spawn(self._commit_publisher(chain, link),
+                        "c%d.commitpub" % chain_id),
+            self._spawn(self._lease_monitor(link, link.hb_cell),
+                        "c%d.lease.up" % chain_id),
+        ]
+
+    def _teardown_up(self, chain: _Chain) -> None:
+        link = chain.up
+        if link is None:
+            return
+        chain.up = None
+        for proc in link.procs:
+            if proc.alive:
+                proc.interrupt("chain reconfig")
+        link.qp.destroy()
+        self.mm.free(link.arena)
+        self.mm.free(link.hb_cell)
+
+    def _pump(self, chain: _Chain, link: _UpLink) -> Generator:
+        """Applies entries the predecessor lands in our replication log."""
+        while True:
+            payload = yield from link.consumer.pop()
+            seq, key, value = decode_entry(payload)
+            if seq != chain.applied + 1:
+                continue   # a replayed duplicate from a fresh link
+            yield self.libos.core.busy(self.engine.service_cost(OP_PUT))
+            self.engine.put(key, value)
+            chain.applied = seq
+            chain.log.append((key, value))
+            self.counters.count(names.REPL_ENTRIES_APPLIED)
+            chain.fwd_wq.pulse()
+            if self._is_tail(chain.chain_id):
+                self._advance_commit(chain, seq)
+
+    def _commit_publisher(self, chain: _Chain, link: _UpLink) -> Generator:
+        """Pushes our committed watermark into the predecessor's cell."""
+        published = 0
+        try:
+            while True:
+                if chain.committed > published:
+                    watermark = chain.committed
+                    yield from link.ops.write(link.peer_commit_addr,
+                                              _U64.pack(watermark))
+                    published = watermark
+                    self.counters.count(names.REPL_COMMIT_PUBLISHES)
+                else:
+                    yield chain.commit_wq.wait()
+        except (DemiError, QpError):
+            self.counters.count(names.REPL_LINK_FAULTS)
+            self._suspect(link.peer)
+
+    # -- shared link machinery ----------------------------------------------
+    def _hb_writer(self, link, ops: OneSided, peer_hb_addr: int) -> Generator:
+        beat = 0
+        try:
+            while True:
+                beat += 1
+                yield from ops.write(peer_hb_addr, _U64.pack(beat))
+                self.counters.count(names.REPL_HEARTBEATS)
+                yield self.sim.timeout(self.hb_interval_ns)
+        except (DemiError, QpError):
+            self.counters.count(names.REPL_LINK_FAULTS)
+            self._suspect(link.peer)
+
+    def _lease_monitor(self, link, hb_cell) -> Generator:
+        """Declares the peer dead if its heartbeats stop advancing."""
+        last = None
+        while True:
+            yield self.sim.timeout(self.lease_ns)
+            beat = hb_cell.read(0, 8)
+            if beat == last:
+                self.counters.count(names.REPL_LEASE_EXPIRIES)
+                self._suspect(link.peer)
+                return
+            last = beat
+
+    # -- the write path ------------------------------------------------------
+    def _apply_local(self, chain: _Chain, key: bytes, value: bytes) -> int:
+        seq = chain.applied + 1
+        self.engine.put(key, value)
+        chain.applied = seq
+        chain.log.append((key, value))
+        self.counters.count(names.REPL_ENTRIES_APPLIED)
+        chain.fwd_wq.pulse()
+        if self._is_tail(chain.chain_id):
+            self._advance_commit(chain, seq)
+        return seq
+
+    def _advance_commit(self, chain: _Chain, seq: int) -> None:
+        seq = min(seq, chain.applied)
+        if seq > chain.committed:
+            chain.committed = seq
+            chain.commit_wq.pulse()
+
+    def _wait_committed(self, chain: _Chain, seq: int) -> Generator:
+        deadline = self.sim.now + self.commit_timeout_ns
+        while chain.committed < seq:
+            if self.crashed or self.sim.now >= deadline:
+                return False
+            remaining = deadline - self.sim.now
+            yield any_of(self.sim, [
+                chain.commit_wq.wait(),
+                self.sim.timeout(min(self.commit_poll_ns * 4, remaining))])
+        return True
+
+    # -- the client plane ----------------------------------------------------
+    def _client_plane(self) -> Generator:
+        libos = self.libos
+        listen_qd = yield from libos.socket()
+        yield from libos.bind(listen_qd, self.port)
+        yield from libos.listen(listen_qd)
+        while True:
+            qd = yield from libos.accept(listen_qd)
+            self._spawn(self._serve_conn(qd), "kv.conn%d" % qd)
+
+    def _serve_conn(self, qd: int) -> Generator:
+        libos = self.libos
+        while True:
+            token = libos.pop(qd)
+            try:
+                _index, result = yield from libos.wait_any(
+                    [token], timeout_ns=self.idle_timeout_ns)
+            except DemiTimeout:
+                libos.cancel(token)
+                break
+            if result.error is not None:
+                break
+            yield from self._serve_request(qd, result.sga.tobytes())
+        yield from libos.close(qd)
+
+    def _serve_request(self, qd: int, request: bytes) -> Generator:
+        libos = self.libos
+        yield libos.core.busy(self.engine.parse_cost())
+        op, key, value = decode_request(request)
+        chain_id = self.directory.chain_for_key(key)
+        chain = self.chains.get(chain_id)
+        reply: Optional[bytes] = None
+        if op == OP_PUT:
+            if chain is not None and self._is_head(chain_id):
+                yield libos.core.busy(self.engine.service_cost(op))
+                seq = self._apply_local(chain, key, bytes(value))
+                committed = yield from self._wait_committed(chain, seq)
+                if committed:
+                    self.counters.count(names.REPL_WRITES_ACKED)
+                    reply = struct.pack("!BI", STATUS_OK, 0)
+        else:
+            if chain is not None and self._is_tail(chain_id):
+                yield libos.core.busy(self.engine.service_cost(op))
+                buf = self.engine.get(key)
+                if buf is None:
+                    reply = bytes([STATUS_MISSING])
+                else:
+                    reply = (struct.pack("!BI", STATUS_OK, buf.capacity)
+                             + buf.read())
+        if reply is None:
+            self.counters.count(names.REPL_REDIRECTS)
+            reply = bytes([STATUS_MOVED])
+        yield from libos.blocking_push(qd, libos.sga_alloc(reply))

@@ -10,6 +10,7 @@ from .pipeline import (
     SortedQueue,
 )
 from .queue import DemiQueue, MemoryQueue
+from .retry import RetryBudgetExceeded, retry_with_backoff
 from .types import OP_POP, OP_PUSH, DemiError, QResult, QToken, Sga, SgaSegment
 from .wait import QTokenTable
 
@@ -30,6 +31,8 @@ __all__ = [
     "QToken",
     "QTokenTable",
     "DemiError",
+    "RetryBudgetExceeded",
+    "retry_with_backoff",
     "OP_PUSH",
     "OP_POP",
 ]

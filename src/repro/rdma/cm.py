@@ -32,8 +32,17 @@ class CmListener:
         #: queued (qp, client_established_completion) pairs
         self._accept_queue: List[Tuple[QueuePair, object]] = []
         self.accept_wq = WaitQueue(cm.sim, "cm.accept")
+        self.closed = False
 
     def _deliver(self, qp: QueuePair, established) -> None:
+        if self.closed:
+            # Raced with close(): the request arrives after the listener
+            # went away. Reject instead of queueing into the void.
+            qp.destroy()
+            established.fail(VerbsError(
+                "connection rejected: listener %s:%d closed"
+                % (self.nic.addr, self.port)))
+            return
         self._accept_queue.append((qp, established))
         self.accept_wq.pulse()
 
@@ -53,12 +62,28 @@ class CmListener:
     def accept(self) -> Generator:
         """Sim-coroutine: wait for and return the next connected QP."""
         while not self._accept_queue:
+            if self.closed:
+                raise VerbsError("listener %s:%d closed"
+                                 % (self.nic.addr, self.port))
             yield self.accept_wq.wait()
         qp, established = self._accept_queue.pop(0)
         return self._finish_accept(qp, established)
 
     def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
         self.cm._listeners.pop((self.nic.addr, self.port), None)
+        # Pending connect requests nobody accepted must be rejected, not
+        # stranded: the client's connect() is parked on *established* and
+        # would otherwise hang forever.
+        pending, self._accept_queue = self._accept_queue, []
+        for qp, established in pending:
+            qp.destroy()
+            established.fail(VerbsError(
+                "connection rejected: listener %s:%d closed"
+                % (self.nic.addr, self.port)))
+        self.accept_wq.pulse()
 
 
 class RdmaCm:

@@ -12,16 +12,24 @@ Layout of a ring in remote memory::
     base +  0: consumer cursor (u64)  - written by the consumer, read by
                the producer when the ring looks full
     base + 16: slot[0] .. slot[n-1], each ``slot_size`` bytes:
-               [seq u64][length u32][payload]
+               [seq u64][length u32][payload][stamp u64]
 
 Single producer, single consumer.  The producer writes a whole slot
-(header+payload) with one RDMA WRITE; the sequence number acts as the
-commit marker (slot for seq *s* is slot ``(s-1) % n``, so a stale slot
-holds a seq exactly *n* smaller - never the expected one).  The consumer
-RDMA-READs the expected slot; on a seq match it consumes and periodically
-writes its cursor back for producer flow control.  An empty poll costs a
-round trip - the honest price of disaggregation - so the consumer backs
-off ``poll_interval_ns`` between misses.
+(header+payload+stamp) with one RDMA WRITE.  A record counts as present
+only when *both* commit markers agree: the leading sequence number must
+be the expected one (slot for seq *s* is slot ``(s-1) % n``, so a stale
+slot holds a seq exactly *n* smaller - never the expected one) **and**
+the trailing stamp - ``seq ^ RECORD_MAGIC`` written *after* the payload
+- must match.  A consumer polling the write window therefore never
+observes a half-written entry: any truncation of the slot write leaves
+either a stale/torn header or a stale stamp, and :func:`decode_record`
+rejects it (``tests/property`` truncates at every byte offset to prove
+it).  The consumer RDMA-READs the expected slot (or, for
+:class:`LocalRingConsumer`, polls its own arena directly); on a decode
+it consumes and periodically writes its cursor back for producer flow
+control.  An empty poll costs a round trip - the honest price of
+disaggregation - so the consumer backs off ``poll_interval_ns`` between
+misses.
 """
 
 from __future__ import annotations
@@ -34,20 +42,56 @@ from ..core.types import OP_PUSH, DemiError, QResult, QToken, Sga
 from ..rdma.verbs import QueuePair
 from ..telemetry import names
 
-__all__ = ["RemoteRing", "RingProducer", "RingConsumer", "RmemQueue",
-           "RING_HEADER_BYTES", "SLOT_HEADER"]
+__all__ = ["RemoteRing", "RingProducer", "RingConsumer",
+           "LocalRingConsumer", "RmemQueue", "RING_HEADER_BYTES",
+           "SLOT_HEADER", "RECORD_STAMP", "RECORD_MAGIC",
+           "encode_record", "decode_record"]
 
 SLOT_HEADER = struct.Struct("!QI")  # seq, payload length
+RECORD_STAMP = struct.Struct("!Q")  # trailing commit marker: seq ^ MAGIC
+#: xor'd into the trailing stamp so a slot whose payload happens to
+#: contain the raw sequence number cannot fake a commit marker
+RECORD_MAGIC = 0x5EA1ED5EA1ED5EA1
 RING_HEADER_BYTES = 16
 DEFAULT_POLL_INTERVAL_NS = 3000
+
+
+def encode_record(seq: int, payload: bytes) -> bytes:
+    """One torn-write-proof slot image: header, payload, trailing stamp."""
+    return (SLOT_HEADER.pack(seq, len(payload)) + payload
+            + RECORD_STAMP.pack(seq ^ RECORD_MAGIC))
+
+
+def decode_record(slot: bytes, expected_seq: int,
+                  max_payload: int) -> Optional[bytes]:
+    """The payload of *slot* iff it holds a complete record *expected_seq*.
+
+    Returns ``None`` for an empty, stale, or torn slot.  The check is
+    deliberately end-to-end: the leading seq proves the writer started
+    this record, the length must be geometrically possible, and the
+    trailing stamp (written last, after the payload) proves the write
+    ran to completion.
+    """
+    if len(slot) < SLOT_HEADER.size + RECORD_STAMP.size:
+        return None
+    seq, length = SLOT_HEADER.unpack_from(slot, 0)
+    if seq != expected_seq or length > max_payload:
+        return None
+    stamp_off = SLOT_HEADER.size + length
+    if stamp_off + RECORD_STAMP.size > len(slot):
+        return None
+    (stamp,) = RECORD_STAMP.unpack_from(slot, stamp_off)
+    if stamp != seq ^ RECORD_MAGIC:
+        return None
+    return slot[SLOT_HEADER.size:stamp_off]
 
 
 class RemoteRing:
     """Geometry of a ring hosted in a memory node's arena."""
 
     def __init__(self, base_addr: int, slot_size: int, n_slots: int):
-        if slot_size <= SLOT_HEADER.size:
-            raise DemiError("slot size must exceed the slot header")
+        if slot_size <= SLOT_HEADER.size + RECORD_STAMP.size:
+            raise DemiError("slot size must exceed the record framing")
         if n_slots < 2:
             raise DemiError("a ring needs at least 2 slots")
         self.base_addr = base_addr
@@ -56,7 +100,7 @@ class RemoteRing:
 
     @property
     def max_payload(self) -> int:
-        return self.slot_size - SLOT_HEADER.size
+        return self.slot_size - SLOT_HEADER.size - RECORD_STAMP.size
 
     @property
     def total_bytes(self) -> int:
@@ -137,7 +181,7 @@ class RingProducer:
             if self.next_seq - self._cached_consumed > ring.n_slots:
                 self.full_stalls += 1
                 yield self.ops.sim.timeout(poll_interval_ns)
-        slot = SLOT_HEADER.pack(self.next_seq, len(payload)) + payload
+        slot = encode_record(self.next_seq, payload)
         yield from self.ops.write(ring.slot_addr(self.next_seq), slot)
         self.next_seq += 1
 
@@ -162,12 +206,11 @@ class RingConsumer:
         while True:
             slot = yield from self.ops.read(ring.slot_addr(self.next_seq),
                                             ring.slot_size)
-            seq, length = SLOT_HEADER.unpack(slot[:SLOT_HEADER.size])
-            if seq == self.next_seq:
+            payload = decode_record(slot, self.next_seq, ring.max_payload)
+            if payload is not None:
                 break
             self.empty_polls += 1
             yield self.ops.sim.timeout(self.poll_interval_ns)
-        payload = slot[SLOT_HEADER.size:SLOT_HEADER.size + length]
         self.next_seq += 1
         self._since_cursor_update += 1
         if self._since_cursor_update >= self.CURSOR_EVERY:
@@ -181,6 +224,63 @@ class RingConsumer:
         self._since_cursor_update = 0
         yield from self.ops.write(self.ring.cursor_addr,
                                   struct.pack("!Q", self.next_seq - 1))
+
+
+class LocalRingConsumer:
+    """The pop side for a ring living in *this* host's own arena.
+
+    A replica's replication log is RDMA-WRITTEN into its memory by the
+    upstream node; the local CPU polls the write window directly, so an
+    empty poll costs a cache probe instead of a fabric round trip and
+    the cursor write-back is a plain store.  The torn-record framing is
+    what makes the direct poll safe: the NIC may be landing a slot's
+    bytes at the very moment we read them, and :func:`decode_record`
+    only accepts a record whose trailing stamp proves the write
+    finished.
+    """
+
+    CURSOR_EVERY = 4
+
+    def __init__(self, host, ring: RemoteRing,
+                 poll_interval_ns: int = DEFAULT_POLL_INTERVAL_NS):
+        self.host = host
+        self.mm = host.mm
+        self.sim = host.sim
+        self.ring = ring
+        self.poll_interval_ns = poll_interval_ns
+        self.next_seq = 1
+        self._since_cursor_update = 0
+        self.empty_polls = 0
+
+    def pop_nb(self) -> Optional[bytes]:
+        """One poll attempt; ``None`` when no complete record is present."""
+        ring = self.ring
+        slot = self.mm.read_mem(ring.slot_addr(self.next_seq),
+                                ring.slot_size)
+        payload = decode_record(slot, self.next_seq, ring.max_payload)
+        if payload is None:
+            self.empty_polls += 1
+            return None
+        self.next_seq += 1
+        self._since_cursor_update += 1
+        if self._since_cursor_update >= self.CURSOR_EVERY:
+            self.flush_cursor()
+        return payload
+
+    def pop(self) -> Generator:
+        """Sim-coroutine: poll until the next element arrives."""
+        while True:
+            payload = self.pop_nb()
+            if payload is not None:
+                return payload
+            yield self.sim.timeout(self.poll_interval_ns)
+
+    def flush_cursor(self) -> None:
+        """Publish consumption progress (a local store; producer reads it
+        over the fabric when the ring looks full)."""
+        self._since_cursor_update = 0
+        self.mm.write_mem(self.ring.cursor_addr,
+                          struct.pack("!Q", self.next_seq - 1))
 
 
 class RmemQueue(DemiQueue):

@@ -243,6 +243,24 @@ SHARD_REQUESTS = "shard_requests"
 #: completions drained per shard wake-up (the N-per-crossing win)
 SHARD_BATCH_COMPLETIONS = "shard_batch_completions"
 
+# -------------------------------------------------------------- replication
+# Chain-replicated KV tier (repro.cluster.replica).  Counted against the
+# replica host's tracer scope ("repl") except the client-side retry
+# counters, which land under the client libOS scope.
+REPL_WRITES_ACKED = "repl_writes_acked"
+REPL_ENTRIES_FORWARDED = "repl_entries_forwarded"
+REPL_ENTRIES_APPLIED = "repl_entries_applied"
+REPL_ENTRIES_REPLAYED = "repl_entries_replayed"
+REPL_COMMIT_PUBLISHES = "repl_commit_publishes"
+REPL_HEARTBEATS = "repl_heartbeats"
+REPL_LEASE_EXPIRIES = "repl_lease_expiries"
+REPL_CHAIN_SPLICES = "repl_chain_splices"
+REPL_FAILOVERS = "repl_failovers"
+REPL_REDIRECTS = "repl_redirects"
+REPL_SYNCS = "repl_syncs"
+REPL_LINK_FAULTS = "repl_link_faults"
+REPL_CLIENT_RETRIES = "repl_client_retries"
+
 # ----------------------------------------------- legacy kernel batched send
 SENDV_CALLS = "sendv_calls"
 SENDV_SYSCALLS_SAVED = "sendv_syscalls_saved"

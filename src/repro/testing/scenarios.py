@@ -32,13 +32,19 @@ from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 from ..apps.echo import demi_echo_client, demi_echo_server
 from ..apps.kvstore import (OP_GET, OP_PUT, DemiKvServer, demi_kv_client,
                             kv_workload)
+from ..cluster.client import ReplicatedKvClient
+from ..cluster.replica import ClusterDirectory, ReplicaNode
+from ..core.retry import RetryBudgetExceeded
 from ..core.types import DemiTimeout, DeviceFailed
 from ..kernelos.reclaim import crash_teardown
+from ..libos.rdma_libos import RdmaLibOS
+from ..rdma.cm import RdmaCm
 from ..sim.engine import SimulationError
 from ..sim.faults import FaultPlan, register_plan
 from ..sim.rand import Rng
 from ..sim.trace import LatencyStats
-from ..testbed import (make_dpdk_libos_pair, make_posix_libos_pair,
+from ..telemetry import names
+from ..testbed import (World, make_dpdk_libos_pair, make_posix_libos_pair,
                        make_rdma_libos_pair, make_spdk_libos)
 
 __all__ = [
@@ -53,6 +59,7 @@ __all__ = [
     "run_crash_echo_scenario",
     "run_crash_storage_scenario",
     "run_nvme_outage_scenario",
+    "run_replica_crash_scenario",
     "run_scenario",
     "check_reproducible",
     "golden_plan",
@@ -699,6 +706,239 @@ def run_nvme_outage_scenario(plan: FaultPlan, name: str = "nvme-outage",
 # Golden scenarios (the chaos battery)
 # ---------------------------------------------------------------------------
 
+class _KeyTracker:
+    """Per-key linearizability bookkeeping for one client's (disjoint) keys.
+
+    Chain replication's contract after an acknowledged write: a read may
+    never travel backwards past it.  ``floor`` is the newest value known
+    committed for a key; ``pending`` holds values whose PUT was attempted
+    *after* the floor but never acknowledged (each is "maybe applied" -
+    the client gave up, the chain may or may not have kept it).  A read
+    is admissible iff it returns the floor or one of those pending
+    values; observing a pending value proves it committed, so it becomes
+    the new floor and everything attempted before it is superseded.
+    """
+
+    def __init__(self) -> None:
+        self.floor: Dict[bytes, bytes] = {}
+        self.pending: Dict[bytes, List[bytes]] = {}
+        self.acked = 0
+
+    def attempt(self, key: bytes, value: bytes) -> None:
+        self.pending.setdefault(key, []).append(value)
+
+    def ack(self, key: bytes, value: bytes) -> None:
+        self.acked += 1
+        self._promote(key, value)
+
+    def _promote(self, key: bytes, value: bytes) -> None:
+        pend = self.pending.get(key, [])
+        if value in pend:
+            del pend[:pend.index(value) + 1]
+        self.floor[key] = value
+
+    def observe(self, key: bytes, found: bool,
+                value: Optional[bytes]) -> Optional[str]:
+        """``None`` if the read is admissible, else the violation."""
+        floor = self.floor.get(key)
+        pend = self.pending.get(key, [])
+        if not found or value is None:
+            if floor is not None:
+                return ("GET %r found nothing but %r was acknowledged"
+                        % (key, floor))
+            return None  # never acked: a miss is always admissible
+        value = bytes(value)
+        if floor is not None and value == floor:
+            return None
+        if value in pend:
+            self._promote(key, value)
+            return None
+        return ("GET %r returned %r; admissible were floor=%r or "
+                "unacked-pending=%r" % (key, value, floor, pend))
+
+    def keys(self) -> List[bytes]:
+        return sorted(set(self.floor) | set(self.pending))
+
+
+def _replica_client_driver(client: ReplicatedKvClient, index: int,
+                           rng: Rng, tracker: _KeyTracker,
+                           violations: List[str], n_ops: int, n_keys: int,
+                           value_size: int, settle_ns: int) -> Generator:
+    """One client's workload leg against the replicated tier.
+
+    Writes only its own key prefix (so per-key operation order is total
+    and the tracker's model is exact), mixes in reads, rides out every
+    transient via the router's retry loop, and - after the dust settles -
+    re-reads every key it ever touched: the direct check that no
+    acknowledged write was lost across the failover.
+    """
+    sim = client.libos.sim
+    yield sim.timeout(50 * _US)  # let the chains finish their initial sync
+    for op_index in range(n_ops):
+        key = b"c%d-k%02d" % (index, rng.randint(0, n_keys - 1))
+        if op_index % 4 == 3 and key in tracker.pending:
+            try:
+                found, value = yield from client.get(key)
+            except RetryBudgetExceeded:
+                continue  # an unanswered read asserts nothing
+            problem = tracker.observe(key, found, value)
+            if problem is not None:
+                violations.append(problem)
+        else:
+            value = b"c%d-v%04d-" % (index, op_index)
+            value += rng.bytes(max(0, value_size - len(value)))
+            tracker.attempt(key, value)
+            try:
+                yield from client.put(key, value)
+            except RetryBudgetExceeded:
+                continue  # unacked: may or may not have committed
+            tracker.ack(key, value)
+    yield sim.timeout(settle_ns)
+    for key in tracker.keys():
+        try:
+            found, value = yield from client.get(key)
+        except RetryBudgetExceeded as err:
+            violations.append("final read of %r never answered: %s"
+                              % (key, err))
+            continue
+        problem = tracker.observe(key, found, value)
+        if problem is not None:
+            violations.append("after failover: %s" % problem)
+    yield from client.close()
+
+
+def run_replica_crash_scenario(kind: str, plan: FaultPlan,
+                               name: str = "replica-crash-head",
+                               n_nodes: int = 3, replication: int = 3,
+                               n_chains: int = 1, n_clients: int = 2,
+                               n_ops: int = 40, n_keys: int = 8,
+                               value_size: int = 64,
+                               settle_ns: int = 2 * _MS,
+                               limit_ns: int = DEFAULT_LIMIT_NS,
+                               telemetry=False) -> ScenarioResult:
+    """Kill one replica of a chain mid-stream; the tier must not blink.
+
+    Three hosts form one chain (head -> middle -> tail) so the plan's
+    ``proc_crash("replicaN", at)`` targets an exact chain position.
+    Clients keep writing through the crash via the retrying router.
+    Checked, beyond the usual libOS/DMA/reclaim invariants: **no
+    acknowledged write is lost** and every read is linearizable per key
+    (the :class:`_KeyTracker` model), the survivors converge (equal
+    ``applied``, ``committed == applied``), the failover actually
+    happened (directory epoch bumped, chain spliced), and the dead host
+    reclaims to zero buffers / zero IOMMU mappings.
+    """
+    if kind != "rdma":
+        raise ValueError("replicated-KV scenarios run on 'rdma' only")
+    world = World(seed=plan.seed, telemetry=telemetry)
+    world.tracer.keep_events = True
+    sim = world.sim
+    cm = RdmaCm(sim)
+    node_names = ["replica%d" % i for i in range(n_nodes)]
+    directory = ClusterDirectory(world.tracer, node_names,
+                                 replication=replication, n_chains=n_chains)
+    base_rng = Rng(plan.seed)
+    nodes = [ReplicaNode(world, node_name, directory, cm,
+                         rng=base_rng.fork_named(node_name))
+             for node_name in node_names]
+    clients: List[ReplicatedKvClient] = []
+    for i in range(n_clients):
+        host = world.add_host("cl%d" % i)
+        nic = world.add_rdma(host)
+        libos = RdmaLibOS(host, nic, cm, name="cl%d.catmint" % i)
+        clients.append(ReplicatedKvClient(
+            libos, directory, base_rng.fork_named("cl%d.retry" % i)))
+    world.install_faults(plan)
+    for node in nodes:
+        node.start()
+    reports: List[Any] = []
+    for node in nodes:
+        world.injector.on_crash(
+            node.host.name,
+            (lambda n: lambda: sim.spawn(n.crash(report_to=reports),
+                                         name="%s.crash" % n.name))(node))
+    trackers = [_KeyTracker() for _ in range(n_clients)]
+    violations: List[str] = []
+    client_procs = [
+        sim.spawn(_replica_client_driver(
+            clients[i], i, base_rng.fork_named("cl%d.ops" % i), trackers[i],
+            violations, n_ops, n_keys, value_size, settle_ns),
+            name="chaos.replica.cl%d" % i)
+        for i in range(n_clients)]
+
+    def _join() -> Generator:
+        for proc in client_procs:
+            yield proc
+        return "done"
+
+    failures: List[str] = []
+    data: Dict[str, Any] = {}
+    try:
+        sim.run_until_complete(sim.spawn(_join(), name="chaos.replica.join"),
+                               limit=sim.now + limit_ns)
+    except Exception as err:
+        failures.append("replicated clients hung or died: %s: %s"
+                        % (type(err).__name__, err))
+    world.run(until=sim.now + QUIESCE_NS)
+    # -- who died, and did the kernel really reclaim it ---------------------
+    dead = [n for n in nodes if n.crashed]
+    if not reports or not dead:
+        failures.append("crash teardown never ran (no proc_crash fired?)")
+    else:
+        data["reclaim"] = reports[0].as_dict()
+        for node in dead:
+            _check_reclaimed(failures, node.libos)
+    failures.extend(violations)
+    # -- replica convergence: the chain agrees after the splice -------------
+    survivors = [n for n in nodes if not n.crashed]
+    for chain_id in range(n_chains):
+        states = [(n.name, n.chains[chain_id].applied,
+                   n.chains[chain_id].committed) for n in survivors
+                  if chain_id in n.chains
+                  and n.name in directory.chain_members(chain_id)]
+        if len({applied for _, applied, _ in states}) > 1:
+            failures.append("chain %d diverged after failover: %s"
+                            % (chain_id, states))
+        for node_name, applied, committed in states:
+            if committed != applied:
+                failures.append(
+                    "chain %d on %s left %d applied entries uncommitted"
+                    % (chain_id, node_name, applied - committed))
+    # -- the failover must actually have been exercised ---------------------
+    acked = sum(t.acked for t in trackers)
+    splices = sum(world.tracer.get("%s.%s" % (n.name,
+                                              names.REPL_CHAIN_SPLICES))
+                  for n in nodes)
+    failovers = world.tracer.get("cluster.%s" % names.REPL_FAILOVERS)
+    if dead and not failovers:
+        failures.append("a replica died but the directory never failed over")
+    if dead and not splices:
+        failures.append("a replica died but no survivor spliced the chain")
+    if not acked:
+        failures.append("no write was ever acknowledged - nothing was tested")
+    for client in clients:
+        _check_libos(failures, world, client.libos, drained=True)
+    for node in survivors:
+        _check_libos(failures, world, node.libos, drained=False)
+    _check_dma(failures, world)
+    rtt = LatencyStats("repl-rtt")
+    for client in clients:
+        rtt.extend(client.stats.samples)
+    data.update(
+        acked=acked, lost_acked=len(violations),
+        rtt_p99_ns=int(rtt.p99) if rtt.samples else 0,
+        failovers=failovers, splices=splices,
+        log_replayed=sum(
+            world.tracer.get("%s.%s" % (n.name, names.REPL_ENTRIES_REPLAYED))
+            for n in nodes),
+        client_retries=sum(
+            world.tracer.get("cl%d.catmint.%s"
+                             % (i, names.REPL_CLIENT_RETRIES))
+            for i in range(n_clients)),
+        finished_at=sim.now)
+    return _finish(world, name, kind, plan, failures, data)
+
+
 #: name -> which workload drives it and which libOS kinds it runs on
 GOLDEN_SCENARIOS: Dict[str, Dict[str, Any]] = {
     "handshake-loss": {
@@ -747,6 +987,21 @@ GOLDEN_SCENARIOS: Dict[str, Dict[str, Any]] = {
         "workload": "echo", "kinds": ("dpdk", "posix"),
         "blurb": "the client NIC loses carrier mid-stream; rings"
                  " re-initialize and ARP relearns on recovery",
+    },
+    "replica-crash-head": {
+        "workload": "kv-replicated", "kinds": ("rdma",),
+        "blurb": "the chain head dies mid-stream; clients fail over to"
+                 " the new head and no acknowledged write is lost",
+    },
+    "replica-crash-middle": {
+        "workload": "kv-replicated", "kinds": ("rdma",),
+        "blurb": "a middle replica dies; the chain splices around it and"
+                 " replays the log suffix to the tail",
+    },
+    "replica-crash-tail": {
+        "workload": "kv-replicated", "kinds": ("rdma",),
+        "blurb": "the tail (the commit point) dies; its predecessor"
+                 " becomes the tail and reads stay linearizable",
     },
 }
 
@@ -803,6 +1058,12 @@ def golden_plan(name: str, kind: str = "dpdk") -> FaultPlan:
         at = 200 * _US if kind == "dpdk" else 1 * _MS
         return FaultPlan(seed=1111).nic_link_flap(device, at,
                                                   down_ns=250 * _US)
+    if name.startswith("replica-crash-"):
+        # Chain 0 over three nodes is exactly [replica0, replica1,
+        # replica2], so the index picks the chain position by name.
+        index = {"head": 0, "middle": 1, "tail": 2}[name.rsplit("-", 1)[1]]
+        return (FaultPlan(seed=1201 + index)
+                .proc_crash("replica%d" % index, 200 * _US))
     raise KeyError("unknown golden scenario %r" % (name,))
 
 
@@ -834,6 +1095,8 @@ def run_scenario(name: str, kind: str,
         return run_kv_scenario(kind, plan, name=name, **kw)
     if workload == "crash-echo":
         return run_crash_echo_scenario(kind, plan, name=name, **kw)
+    if workload == "kv-replicated":
+        return run_replica_crash_scenario(kind, plan, name=name, **kw)
     if workload == "crash-storage":
         return run_crash_storage_scenario(plan, name=name, **kw)
     if workload == "nvme-outage":

@@ -1,0 +1,244 @@
+"""The chain-replicated multi-host KV tier (repro.cluster.replica)."""
+
+import pytest
+
+from repro.cluster.client import ReplicatedKvClient
+from repro.cluster.replica import (ClusterDirectory, ReplicaNode,
+                                   decode_entry, encode_entry)
+from repro.core.retry import RetryBudgetExceeded
+from repro.core.types import DemiError
+from repro.libos.rdma_libos import RdmaLibOS
+from repro.rdma.cm import RdmaCm
+from repro.sim.rand import Rng
+from repro.telemetry import names
+
+from ..conftest import World
+
+_US = 1_000
+_MS = 1_000_000
+LIMIT = 3_000_000_000
+
+
+def build_cluster(n_nodes=3, replication=3, n_chains=1, n_clients=1,
+                  seed=42, **node_kw):
+    world = World(seed=seed)
+    cm = RdmaCm(world.sim)
+    node_names = ["replica%d" % i for i in range(n_nodes)]
+    directory = ClusterDirectory(world.tracer, node_names,
+                                 replication=replication, n_chains=n_chains)
+    rng = Rng(seed)
+    nodes = [ReplicaNode(world, name, directory, cm,
+                         rng=rng.fork_named(name), **node_kw)
+             for name in node_names]
+    clients = []
+    for i in range(n_clients):
+        host = world.add_host("cl%d" % i)
+        nic = world.add_rdma(host)
+        libos = RdmaLibOS(host, nic, cm, name="cl%d.catmint" % i)
+        clients.append(ReplicatedKvClient(libos, directory,
+                                          rng.fork_named("cl%d" % i)))
+    for node in nodes:
+        node.start()
+    return world, directory, nodes, clients
+
+
+def run_driver(world, gen):
+    proc = world.sim.spawn(gen, name="test.driver")
+    world.sim.run_until_complete(proc, limit=world.sim.now + LIMIT)
+    return proc.value
+
+
+class TestDirectory:
+    def tracer(self):
+        return World().tracer
+
+    def test_chain_members_rotate_over_the_node_list(self):
+        d = ClusterDirectory(self.tracer(), ["a", "b", "c", "d"],
+                             replication=3, n_chains=4)
+        assert d.chain_members(0) == ["a", "b", "c"]
+        assert d.chain_members(1) == ["b", "c", "d"]
+        assert d.chain_members(3) == ["d", "a", "b"]
+        assert d.head(1) == "b" and d.tail(1) == "d"
+
+    def test_death_splices_and_recruits_in_rotation_order(self):
+        d = ClusterDirectory(self.tracer(), ["a", "b", "c", "d"],
+                             replication=3, n_chains=4)
+        d.report_dead("b")
+        assert d.epoch == 1
+        assert d.chain_members(0) == ["a", "c", "d"]  # spliced + recruited
+        assert d.chain_members(1) == ["c", "d", "a"]  # new head
+        d.report_dead("b")  # idempotent: no second epoch bump
+        assert d.epoch == 1
+
+    def test_replication_clamped_to_cluster_size(self):
+        d = ClusterDirectory(self.tracer(), ["a", "b"], replication=5)
+        assert d.chain_members(0) == ["a", "b"]
+
+    def test_zero_replication_rejected(self):
+        with pytest.raises(DemiError):
+            ClusterDirectory(self.tracer(), ["a"], replication=0)
+
+
+class TestEntryCodec:
+    def test_roundtrip(self):
+        for seq, key, value in [(1, b"k", b"v"), (2 ** 40, b"key-xyz", b""),
+                                (7, b"", b"x" * 300)]:
+            assert decode_entry(encode_entry(seq, key, value)) == (seq, key,
+                                                                   value)
+
+
+class TestHappyPath:
+    def test_put_get_through_full_chain(self):
+        world, directory, nodes, (client,) = build_cluster()
+        out = {}
+
+        def driver():
+            yield world.sim.timeout(50 * _US)
+            for i in range(8):
+                yield from client.put(b"key-%d" % i, b"value-%d" % i)
+            reads = []
+            for i in range(8):
+                found, value = yield from client.get(b"key-%d" % i)
+                reads.append((found, bytes(value)))
+            yield from client.close()
+            out["reads"] = reads
+
+        run_driver(world, driver())
+        assert out["reads"] == [(True, b"value-%d" % i) for i in range(8)]
+        # An acked write lives on EVERY chain member, applied == committed.
+        for node in nodes:
+            chain = node.chains[0]
+            assert chain.applied == 8 and chain.committed == 8
+            assert node.engine.get(b"key-0") is not None
+
+    def test_multi_chain_places_keys_on_distinct_heads(self):
+        world, directory, nodes, (client,) = build_cluster(
+            n_chains=3, replication=2)
+        keys = [b"mc-key-%02d" % i for i in range(24)]
+        chains_hit = {directory.chain_for_key(k) for k in keys}
+        assert chains_hit == {0, 1, 2}, "workload should span every chain"
+
+        def driver():
+            yield world.sim.timeout(50 * _US)
+            for key in keys:
+                yield from client.put(key, b"v:" + key)
+            for key in keys:
+                found, value = yield from client.get(key)
+                assert found and bytes(value) == b"v:" + key
+            yield from client.close()
+
+        run_driver(world, driver())
+        # replication=2: each chain lives on exactly its two members and
+        # is absent from the third node.
+        for chain_id in range(3):
+            members = directory.chain_members(chain_id)
+            assert len(members) == 2
+            wrote = [k for k in keys if directory.chain_for_key(k) == chain_id]
+            for node in nodes:
+                chain = node.chains[chain_id]
+                if node.name in members:
+                    assert chain.applied == len(wrote)
+                else:
+                    assert chain.applied == 0
+
+    def test_misrouted_request_answers_moved(self):
+        """Reads must come from the tail: a GET aimed directly at the
+        head (a stale client route) answers STATUS_MOVED instead of
+        serving a possibly-uncommitted value."""
+        from repro.apps.kvstore import encode_get
+        from repro.cluster.replica import STATUS_MOVED
+
+        world, directory, nodes, (client,) = build_cluster()
+        libos = client.libos
+        out = {}
+
+        def driver():
+            yield world.sim.timeout(50 * _US)
+            yield from client.put(b"moved-key", b"moved-val")
+            # Bypass the router: talk straight to the head.
+            qd = yield from libos.socket()
+            yield from libos.connect(qd, nodes[0].nic.addr, nodes[0].port)
+            yield from libos.blocking_push(
+                qd, libos.sga_alloc(encode_get(b"moved-key")))
+            result = yield from libos.blocking_pop(qd)
+            out["status"] = result.sga.tobytes()[0]
+            yield from libos.close(qd)
+            yield from client.close()
+
+        run_driver(world, driver())
+        assert out["status"] == STATUS_MOVED
+        assert world.tracer.get("replica0.%s" % names.REPL_REDIRECTS) >= 1
+
+
+class TestFailover:
+    def crash(self, world, node, reports):
+        world.sim.spawn(node.crash(report_to=reports),
+                        name="%s.crash" % node.name)
+
+    def test_tail_death_recruits_spare_and_replays_full_log(self):
+        """replication=2 over 3 nodes: chain 0 is [replica0, replica1];
+        killing the tail must recruit replica2 from scratch - the whole
+        log replays into it and it becomes the new commit point."""
+        world, directory, nodes, (client,) = build_cluster(replication=2)
+        reports = []
+        out = {}
+
+        def driver():
+            yield world.sim.timeout(50 * _US)
+            for i in range(6):
+                yield from client.put(b"rk-%d" % i, b"rv-%d" % i)
+            self.crash(world, nodes[1], reports)
+            yield world.sim.timeout(2 * _MS)  # detect + splice + replay
+            for i in range(6, 10):
+                yield from client.put(b"rk-%d" % i, b"rv-%d" % i)
+            reads = []
+            for i in range(10):
+                found, value = yield from client.get(b"rk-%d" % i)
+                reads.append((found, bytes(value)))
+            yield from client.close()
+            out["reads"] = reads
+
+        run_driver(world, driver())
+        assert out["reads"] == [(True, b"rv-%d" % i) for i in range(10)]
+        assert directory.chain_members(0) == ["replica0", "replica2"]
+        recruit = nodes[2].chains[0]
+        assert recruit.applied == 10 and recruit.committed == 10
+        assert world.tracer.get("replica0.%s" % names.REPL_ENTRIES_REPLAYED) \
+            >= 6  # the pre-crash log reached the recruit
+        assert reports and reports[0].as_dict()
+
+    def test_head_death_loses_no_acked_write(self):
+        world, directory, nodes, (client,) = build_cluster()
+        reports = []
+        acked = {}
+        out = {"unacked": 0}
+
+        def driver():
+            yield world.sim.timeout(50 * _US)
+            for i in range(4):
+                yield from client.put(b"hk-%d" % i, b"hv-%d" % i)
+                acked[b"hk-%d" % i] = b"hv-%d" % i
+            self.crash(world, nodes[0], reports)
+            for i in range(4, 12):
+                key, val = b"hk-%d" % i, b"hv-%d" % i
+                try:
+                    yield from client.put(key, val)
+                    acked[key] = val
+                except RetryBudgetExceeded:
+                    out["unacked"] += 1
+            yield world.sim.timeout(2 * _MS)
+            for key, val in sorted(acked.items()):
+                found, value = yield from client.get(key)
+                assert found and bytes(value) == val, \
+                    "acked write %r lost" % key
+            yield from client.close()
+
+        run_driver(world, driver())
+        assert directory.head(0) == "replica1"
+        assert len(acked) >= 4
+        survivors = nodes[1:]
+        states = {(n.chains[0].applied, n.chains[0].committed)
+                  for n in survivors}
+        assert len(states) == 1
+        applied, committed = states.pop()
+        assert applied == committed

@@ -1,0 +1,73 @@
+"""Property: a ring slot write truncated at ANY byte offset never decodes.
+
+The replication log's safety depends on this exactly: the consumer polls
+the slot while the NIC may still be landing bytes, so every prefix of
+the write interleaved with whatever the slot held before (zeros on a
+fresh ring, the lapped record after a wrap) must be rejected, and only
+the complete record accepted.
+"""
+
+from repro.rmem.ring import (RECORD_MAGIC, RECORD_STAMP, SLOT_HEADER,
+                             decode_record, encode_record)
+from repro.sim.rand import Rng
+
+SLOT_SIZE = 96
+MAX_PAYLOAD = SLOT_SIZE - SLOT_HEADER.size - RECORD_STAMP.size
+N_SLOTS = 8
+
+
+def pad(record: bytes, fill: bytes) -> bytes:
+    """A full slot image: the record over the old slot contents."""
+    return record + fill[len(record):SLOT_SIZE]
+
+
+def test_truncation_at_every_offset_is_rejected_over_zeros():
+    rng = Rng(0xD0)
+    for seq in (1, 2, N_SLOTS, N_SLOTS + 1, 1000):
+        payload = rng.bytes(rng.randint(0, MAX_PAYLOAD))
+        record = encode_record(seq, payload)
+        stale = b"\x00" * SLOT_SIZE
+        for cut in range(len(record)):
+            torn = pad(record[:cut] + stale[cut:cut], stale)
+            torn = record[:cut] + stale[cut:]
+            assert decode_record(torn, seq, MAX_PAYLOAD) is None, \
+                "truncation at byte %d of seq %d decoded" % (cut, seq)
+        assert decode_record(pad(record, stale), seq, MAX_PAYLOAD) == payload
+
+
+def test_truncation_over_a_lapped_record_is_rejected():
+    """After a wrap the slot holds the complete record for seq - n_slots:
+    every partial overwrite must decode as *neither* record."""
+    rng = Rng(0xD1)
+    for _ in range(20):
+        old_seq = rng.randint(1, 500)
+        new_seq = old_seq + N_SLOTS  # the lap that reuses the slot
+        old = pad(encode_record(old_seq, rng.bytes(MAX_PAYLOAD)),
+                  b"\x00" * SLOT_SIZE)
+        new = encode_record(new_seq, rng.bytes(rng.randint(0, MAX_PAYLOAD)))
+        for cut in range(len(new)):
+            torn = new[:cut] + old[cut:]
+            assert decode_record(torn, new_seq, MAX_PAYLOAD) is None, \
+                "torn overwrite at byte %d decoded as new" % cut
+        full = pad(new, old)
+        assert decode_record(full, new_seq, MAX_PAYLOAD) is not None
+        # The stale record never masquerades as the expected seq either.
+        assert decode_record(old, new_seq, MAX_PAYLOAD) is None
+
+
+def test_stamp_must_match_seq_not_just_exist():
+    payload = b"payload-bytes"
+    record = encode_record(7, payload)
+    # Corrupt only the stamp: right place, wrong value.
+    bad_stamp = RECORD_STAMP.pack(8 ^ RECORD_MAGIC)
+    forged = record[:-RECORD_STAMP.size] + bad_stamp
+    assert decode_record(forged, 7, MAX_PAYLOAD) is None
+    assert decode_record(record, 7, MAX_PAYLOAD) == payload
+
+
+def test_length_field_cannot_point_past_the_slot():
+    record = encode_record(3, b"x" * 10)
+    # Claim a length larger than the geometry allows.
+    forged = SLOT_HEADER.pack(3, MAX_PAYLOAD + 1) + record[SLOT_HEADER.size:]
+    assert decode_record(forged.ljust(SLOT_SIZE, b"\x00"), 3,
+                         MAX_PAYLOAD) is None

@@ -1,0 +1,251 @@
+"""Failure paths of rdmacm connection management and stale-QP datapaths.
+
+The replicated tier leans on every one of these: a client connecting to
+a crashed node must get a typed error (not hang), a peer whose
+``crash_teardown`` destroyed its QPs must surface flush/retry CQEs to
+whoever keeps writing, and a reconnect after the peer comes back must
+work on fresh QPs.
+"""
+
+import pytest
+
+from repro.kernelos.reclaim import crash_teardown
+from repro.libos.rdma_libos import RdmaLibOS
+from repro.rdma.cm import RdmaCm
+from repro.rdma.verbs import VerbsError
+from repro.hw.nic import QpError
+
+from ..conftest import World
+
+
+def make_rdma_world():
+    w = World()
+    a, b = w.add_host("a"), w.add_host("b")
+    nic_a, nic_b = w.add_rdma(a), w.add_rdma(b)
+    cm = RdmaCm(w.sim)
+    return w, (a, nic_a), (b, nic_b), cm
+
+
+def connect_pair(w, cm, nic_a, nic_b, port=7000):
+    """One established connection: returns (client_qp, server_qp)."""
+    listener = cm.listen(nic_b, port)
+    out = {}
+
+    def client():
+        qp = yield from cm.connect(nic_a, nic_b.addr, port)
+        out["client"] = qp
+
+    def server():
+        qp = yield from listener.accept()
+        out["server"] = qp
+
+    w.sim.spawn(client())
+    w.sim.spawn(server())
+    w.run()
+    listener.close()
+    return out["client"], out["server"]
+
+
+class TestConnectionReject:
+    def test_connect_with_no_listener_is_refused(self):
+        w, (_a, nic_a), (_b, nic_b), cm = make_rdma_world()
+
+        def client():
+            with pytest.raises(VerbsError, match="refused"):
+                yield from cm.connect(nic_a, nic_b.addr, 7001)
+            return "refused"
+
+        p = w.sim.spawn(client())
+        w.run()
+        assert p.value == "refused"
+
+    def test_close_rejects_queued_connects_instead_of_stranding(self):
+        """A connect whose request was delivered but never accepted must
+        fail when the listener closes - the client is parked on the
+        *established* event and would otherwise hang forever."""
+        w, (_a, nic_a), (_b, nic_b), cm = make_rdma_world()
+        listener = cm.listen(nic_b, 7002)
+
+        def client():
+            with pytest.raises(VerbsError, match="rejected"):
+                yield from cm.connect(nic_a, nic_b.addr, 7002)
+            return "rejected"
+
+        p = w.sim.spawn(client())
+        # Let the request reach the listener's queue, then slam it shut.
+        w.run(until=cm.connect_delay_ns + cm.connect_delay_ns // 2 + 1)
+        assert listener._accept_queue, "request should be queued by now"
+        listener.close()
+        w.run()
+        assert p.value == "rejected"
+
+    def test_close_races_in_flight_delivery(self):
+        """close() before the request's propagation delay elapses: the
+        late-arriving delivery must be rejected, not queued into the
+        void."""
+        w, (_a, nic_a), (_b, nic_b), cm = make_rdma_world()
+        listener = cm.listen(nic_b, 7003)
+
+        def client():
+            with pytest.raises(VerbsError, match="rejected"):
+                yield from cm.connect(nic_a, nic_b.addr, 7003)
+            return "rejected"
+
+        p = w.sim.spawn(client())
+        # After the connect's first leg (listener lookup) but before the
+        # delivery leg lands on the accept queue.
+        w.run(until=cm.connect_delay_ns + 1)
+        assert not listener._accept_queue
+        listener.close()
+        w.run()
+        assert p.value == "rejected"
+
+    def test_blocked_accept_wakes_and_raises_on_close(self):
+        w, (_a, _nic_a), (_b, nic_b), cm = make_rdma_world()
+        listener = cm.listen(nic_b, 7004)
+
+        def server():
+            with pytest.raises(VerbsError, match="closed"):
+                yield from listener.accept()
+            return "woken"
+
+        p = w.sim.spawn(server())
+        w.run(until=10_000)
+        assert p.alive, "accept should be parked"
+        listener.close()
+        w.run()
+        assert p.value == "woken"
+
+    def test_accept_on_closed_listener_raises_immediately(self):
+        w, (_a, _nic_a), (_b, nic_b), cm = make_rdma_world()
+        listener = cm.listen(nic_b, 7005)
+        listener.close()
+
+        def server():
+            with pytest.raises(VerbsError, match="closed"):
+                yield from listener.accept()
+            return "raised"
+
+        p = w.sim.spawn(server())
+        w.run()
+        assert p.value == "raised"
+
+    def test_close_frees_the_port_for_a_new_listener(self):
+        w, (_a, _nic_a), (_b, nic_b), cm = make_rdma_world()
+        listener = cm.listen(nic_b, 7006)
+        listener.close()
+        again = cm.listen(nic_b, 7006)  # no VerbsError: the key is free
+        assert again is not listener
+
+
+class TestStaleQp:
+    def test_writes_to_destroyed_peer_surface_retry_exhaustion(self):
+        """The peer tore its QP down (crash path): our one-sided writes
+        must complete with an error CQE after retry exhaustion, never
+        hang."""
+        w, (a, nic_a), (_b, nic_b), cm = make_rdma_world()
+        client_qp, server_qp = connect_pair(w, cm, nic_a, nic_b)
+        target = a.mm.alloc(64)  # any registered remote address
+        server_qp.destroy()
+
+        def writer():
+            wr = client_qp.post_write(b"x" * 32, target.addr)
+            cqe = yield from client_qp.wait_send_completion()
+            return wr, cqe
+
+        p = w.sim.spawn(writer())
+        w.run()
+        wr, cqe = p.value
+        assert cqe["wr_id"] == wr
+        assert cqe["status"] != "ok"
+
+    def test_post_on_locally_destroyed_qp_raises_typed(self):
+        w, (_a, nic_a), (_b, nic_b), cm = make_rdma_world()
+        client_qp, _server_qp = connect_pair(w, cm, nic_a, nic_b, port=7007)
+        client_qp.destroy()
+        with pytest.raises(QpError):
+            client_qp.post_send(b"too late")
+
+    def test_inflight_wrs_flush_on_local_destroy(self):
+        """destroy() with sends queued: each posted WR must come back as
+        a flush CQE so waiters drain instead of hanging."""
+        w, (a, nic_a), (_b, nic_b), cm = make_rdma_world()
+        client_qp, _server_qp = connect_pair(w, cm, nic_a, nic_b, port=7008)
+        target = a.mm.alloc(64)
+        statuses = []
+        # Post while the QP is healthy, destroy with both WRs in flight.
+        client_qp.post_write(b"y" * 16, target.addr)
+        client_qp.post_write(b"z" * 16, target.addr)
+        client_qp.destroy()
+
+        def waiter():
+            for _ in range(2):
+                cqe = yield from client_qp.wait_send_completion()
+                statuses.append(cqe["status"])
+
+        p = w.sim.spawn(waiter())
+        w.run()
+        assert not p.alive
+        assert len(statuses) == 2
+        assert all(s != "ok" for s in statuses)
+
+
+class TestReconnectAfterCrash:
+    def test_reconnect_after_peer_crash_teardown(self):
+        """Full cycle: connect via the libOS, crash the server host (its
+        teardown destroys QPs and closes the listener), then the server
+        side comes back with a fresh listener and the client reconnects
+        on fresh QPs."""
+        w = World()
+        ch, sh = w.add_host("client"), w.add_host("server")
+        cnic, snic = w.add_rdma(ch), w.add_rdma(sh)
+        cm = RdmaCm(w.sim)
+        client = RdmaLibOS(ch, cnic, cm, name="client.catmint")
+        server = RdmaLibOS(sh, snic, cm, name="server.catmint")
+        log = []
+
+        def server_once():
+            qd = yield from server.socket()
+            yield from server.bind(qd, 9000)
+            yield from server.listen(qd)
+            conn = yield from server.accept(qd)
+            result = yield from server.blocking_pop(conn)
+            log.append(bytes(result.sga.tobytes()))
+            # Crash before replying: the client's pending pop must not
+            # strand once our QPs die.
+
+        def client_flow():
+            qd = yield from client.socket()
+            yield from client.connect(qd, snic.addr, 9000)
+            yield from client.blocking_push(qd, client.sga_alloc(b"one"))
+            yield w.sim.timeout(50_000)
+            # -- the server process dies; the kernel reclaims ------------
+            yield from crash_teardown(server, None)
+            yield from client.close(qd)
+            # -- the service restarts on the same port -------------------
+            server2 = RdmaLibOS(sh, snic, cm, name="server2.catmint")
+
+            def echo_once():
+                lqd = yield from server2.socket()
+                yield from server2.bind(lqd, 9000)
+                yield from server2.listen(lqd)
+                conn = yield from server2.accept(lqd)
+                result = yield from server2.blocking_pop(conn)
+                yield from server2.blocking_push(conn, result.sga)
+
+            w.sim.spawn(echo_once())
+            qd2 = yield from client.socket()
+            yield from client.connect(qd2, snic.addr, 9000)
+            yield from client.blocking_push(qd2, client.sga_alloc(b"two"))
+            result = yield from client.blocking_pop(qd2)
+            log.append(bytes(result.sga.tobytes()))
+            yield from client.close(qd2)
+            return "done"
+
+        w.sim.spawn(server_once())
+        p = w.sim.spawn(client_flow())
+        w.run(until=3_000_000_000)
+        assert p.value == "done"
+        assert log == [b"one", b"two"]
+        # The crashed server instance kept no queue descriptors.
+        assert not server._queues

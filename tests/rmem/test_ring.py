@@ -19,13 +19,14 @@ class TestRingGeometry:
 
     def test_degenerate_geometry_rejected(self):
         with pytest.raises(DemiError):
-            RemoteRing(0, slot_size=8, n_slots=4)
+            RemoteRing(0, slot_size=20, n_slots=4)
         with pytest.raises(DemiError):
             RemoteRing(0, slot_size=128, n_slots=1)
 
-    def test_max_payload_excludes_header(self):
+    def test_max_payload_excludes_framing(self):
+        from repro.rmem.ring import RECORD_STAMP, SLOT_HEADER
         ring = RemoteRing(0, slot_size=128, n_slots=4)
-        assert ring.max_payload == 128 - 12
+        assert ring.max_payload == 128 - SLOT_HEADER.size - RECORD_STAMP.size
 
 
 class TestProduceConsume:
