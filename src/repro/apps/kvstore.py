@@ -34,8 +34,11 @@ from ..telemetry import names
 __all__ = [
     "KvEngine",
     "DemiKvServer",
+    "UdpKvServer",
+    "KvNicOffload",
     "posix_kv_server",
     "demi_kv_client",
+    "udp_kv_client",
     "posix_kv_client",
     "kv_workload",
     "encode_get",
@@ -250,6 +253,212 @@ def demi_kv_client(libos: LibOS, server_addr: str,
     stats = stats if stats is not None else LatencyStats("kv-rtt")
     qd = yield from libos.socket()
     yield from libos.connect(qd, server_addr, port)
+    results = []
+    for op, key, value in operations:
+        request = encode_put(key, value) if op == OP_PUT else encode_get(key)
+        start = libos.sim.now
+        yield from libos.blocking_push(qd, libos.sga_alloc(request))
+        result = yield from libos.blocking_pop(qd)
+        stats.add(libos.sim.now - start)
+        results.append(decode_response(result.sga.tobytes())
+                       if op == OP_GET else None)
+    yield from libos.close(qd)
+    return results, stats
+
+
+# ---------------------------------------------------------------------------
+# UDP frontend + the NIC-resident GET path (claim C6, FlexNIC-style)
+# ---------------------------------------------------------------------------
+
+class UdpKvServer:
+    """The KV engine behind a UDP socket (one datagram = one request).
+
+    This is the host half of the offloaded deployment: with a
+    :class:`KvNicOffload` program installed on the NIC, short GETs are
+    answered on the device and only PUTs / oversized GETs / punted
+    traffic ever reach this loop.  It also runs standalone as the
+    un-offloaded baseline.
+    """
+
+    def __init__(self, libos: LibOS, port: int = 6379,
+                 engine: Optional[KvEngine] = None,
+                 shard_index: int = 0, n_shards: int = 1):
+        self.libos = libos
+        self.engine = engine or KvEngine(libos.host, name=libos.name + ".kv")
+        self.port = port
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self.requests_served = 0
+        self.service_stats = LatencyStats("kv-service")
+        self._stop = False
+
+    def stop(self) -> None:
+        self._stop = True
+
+    def run(self) -> Generator:
+        libos = self.libos
+        qd = yield from libos.socket("udp")
+        yield from libos.bind(qd, self.port)
+        token = libos.pop(qd)
+        while not self._stop:
+            try:
+                _index, result = yield from libos.wait_any(
+                    [token], timeout_ns=1_000_000)
+            except DemiTimeout:
+                continue
+            if result.error is not None:
+                return self.requests_served
+            yield from self._serve(qd, result)
+            token = libos.pop(qd)
+        libos.cancel(token)
+        return self.requests_served
+
+    def _serve(self, qd: int, result) -> Generator:
+        libos = self.libos
+        engine = self.engine
+        service_start = libos.sim.now
+        yield libos.core.busy(engine.parse_cost())
+        op, key, value = decode_request(result.sga.tobytes())
+        yield libos.core.busy(engine.service_cost(op))
+        if op == OP_PUT:
+            engine.put(key, bytes(value))
+            reply = self._small_reply(struct.pack("!BI", STATUS_OK, 0))
+        else:
+            buf = engine.get(key)
+            if buf is None:
+                reply = self._small_reply(bytes([STATUS_MISSING]))
+            else:
+                header = libos.mm.alloc(5)
+                header.write(0, struct.pack("!BI", STATUS_OK, buf.capacity))
+                reply = Sga([SgaSegment(header), SgaSegment(buf)])
+        push_token = libos.push_to(qd, reply, result.value)
+        yield from libos.qtokens.wait(push_token)
+        self.service_stats.add(libos.sim.now - service_start)
+        self.requests_served += 1
+
+    def _small_reply(self, payload: bytes) -> Sga:
+        buf = self.libos.mm.alloc(len(payload))
+        buf.write(0, payload)
+        return Sga.from_buffer(buf, len(payload))
+
+
+class KvNicOffload:
+    """A NIC-resident filter/map/steer program for the KV GET hot path.
+
+    The program runs on the NIC's offload engine for every arriving
+    frame (``DpdkNic.install_rx_program``) and implements the paper's
+    C6 pipeline in three stages:
+
+    * **filter** - is this frame a KV request for our UDP port?  If not,
+      punt to the normal RSS path (``offload_kv_punts``).
+    * **map** - parse the request and hash the key.  A short GET whose
+      value fits ``inline_value_limit`` is answered entirely on the
+      device: the engine fetches the value buffer over DMA (charged to
+      the *device* pipeline, zero host CPU) and transmits the reply
+      frame directly (``offload_kv_hits`` / ``offload_kv_misses``).
+    * **steer** - PUTs and oversized GETs go to the RX queue of the
+      shard that owns the key (``key_partition``, the same function the
+      host uses), overriding flow-tuple RSS (``offload_kv_steered``).
+
+    The engine's value table is host memory shared with the
+    :class:`KvEngine`; the device reads it zero-copy, exactly like a
+    zero-copy TX descriptor would.
+    """
+
+    def __init__(self, nic, engine: KvEngine, ip: str, port: int = 6379,
+                 n_shards: int = 1, inline_value_limit: int = 1024):
+        if nic.offload is None:
+            raise ValueError("KvNicOffload needs a NIC with an offload "
+                             "engine attached")
+        self.nic = nic
+        self.engine = engine
+        self.ip = ip
+        self.port = port
+        self.n_shards = n_shards
+        self.inline_value_limit = inline_value_limit
+        self.hits = 0
+        self.misses = 0
+        self.steered = 0
+        self.punts = 0
+
+    def install(self) -> None:
+        self.nic.install_rx_program(self)
+
+    def uninstall(self) -> None:
+        self.nic.install_rx_program(None)
+
+    def __call__(self, frame: bytes):
+        from ..netstack.ipv4 import PROTO_UDP
+        from ..netstack.packet import ip_to_bytes
+
+        offload = self.nic.offload
+        # -- filter stage: a KV request is UDP to our (ip, port) -----------
+        if (len(frame) < 42 or frame[12:14] != b"\x08\x00"
+                or frame[14] != 0x45 or frame[23] != PROTO_UDP
+                or frame[30:34] != ip_to_bytes(self.ip)):
+            self.punts += 1
+            offload.count(names.OFFLOAD_KV_PUNTS)
+            return None
+        (dst_port,) = struct.unpack_from("!H", frame, 36)
+        if dst_port != self.port:
+            self.punts += 1
+            offload.count(names.OFFLOAD_KV_PUNTS)
+            return None
+        # -- map stage: parse + key hash -----------------------------------
+        try:
+            op, key, _value = decode_request(frame[42:])
+        except Exception:
+            self.punts += 1
+            offload.count(names.OFFLOAD_KV_PUNTS)
+            return None
+        if op == OP_GET:
+            buf = self.engine.get(key)
+            if buf is None:
+                self.misses += 1
+                offload.count(names.OFFLOAD_KV_MISSES)
+                return self._reply(frame, bytes([STATUS_MISSING]))
+            if buf.capacity <= self.inline_value_limit:
+                # DMA the value out of host memory: device time, not CPU.
+                offload.charge_device(self.nic.costs.dma_ns(buf.capacity))
+                self.hits += 1
+                offload.count(names.OFFLOAD_KV_HITS)
+                payload = (struct.pack("!BI", STATUS_OK, buf.capacity)
+                           + buf.read())
+                return self._reply(frame, payload)
+        # -- steer stage: the owning shard's RX queue ----------------------
+        from .steering import key_partition
+
+        self.steered += 1
+        offload.count(names.OFFLOAD_KV_STEERED)
+        return ("steer", key_partition(key, self.n_shards))
+
+    def _reply(self, request_frame: bytes, payload: bytes):
+        """Build the on-NIC response frame by mirroring the request."""
+        from ..netstack.ethernet import ETHERTYPE_IPV4, EthernetFrame
+        from ..netstack.ipv4 import PROTO_UDP, Ipv4Packet
+        from ..netstack.packet import bytes_to_ip, bytes_to_mac
+        from ..netstack.udp import UdpDatagram
+
+        src_mac = bytes_to_mac(request_frame[6:12])
+        src_ip = bytes_to_ip(request_frame[26:30])
+        (src_port,) = struct.unpack_from("!H", request_frame, 34)
+        datagram = UdpDatagram(src_port=self.port, dst_port=src_port,
+                               payload=payload).pack(self.ip, src_ip)
+        packet = Ipv4Packet(src=self.ip, dst=src_ip, proto=PROTO_UDP,
+                            payload=datagram).pack()
+        reply = EthernetFrame(dst=src_mac, src=self.nic.mac,
+                              ethertype=ETHERTYPE_IPV4, payload=packet).pack()
+        return ("reply", src_mac, reply)
+
+
+def udp_kv_client(libos: LibOS, server_ip: str,
+                  operations: Sequence[Tuple[int, bytes, Optional[bytes]]],
+                  port: int = 6379,
+                  stats: Optional[LatencyStats] = None) -> Generator:
+    """Closed-loop UDP KV client: one datagram per request/response."""
+    stats = stats if stats is not None else LatencyStats("kv-rtt")
+    qd = yield from libos.socket("udp")
+    yield from libos.connect(qd, server_ip, port)
     results = []
     for op, key, value in operations:
         request = encode_put(key, value) if op == OP_PUT else encode_get(key)

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Generator, List, Tuple
 
+from ..sim.engine import Interrupt
 from ..telemetry import names
 from .queue import DemiQueue
 from .types import OP_POP, OP_PUSH, DemiError, QResult, QToken, Sga
@@ -36,6 +37,10 @@ __all__ = ["FilteredQueue", "MappedQueue", "MergedQueue", "SortedQueue",
 
 #: derived queues buffer at most this many prefetched elements
 DERIVED_QUEUE_CAPACITY = 1024
+
+#: sentinel: SortedQueue.deliver called without a precomputed key (a
+#: direct external deliver); the pump always passes the computed key
+_NO_KEY = object()
 
 
 class ElementRunner:
@@ -76,6 +81,9 @@ class _DerivedQueue(DemiQueue):
         #: source -> the pump's currently-outstanding pop token, so close()
         #: can cancel it (otherwise it would swallow a later element)
         self._pump_tokens = {}
+        #: sources still producing; when the last one ends cleanly the
+        #: derived queue reaches EOF (a merge keeps serving the survivor)
+        self._live_sources = len(sources)
         self._pumps = [
             libos.sim.spawn(self._pump(source),
                             name="%s.q%d.pump" % (libos.name, qd))
@@ -84,21 +92,54 @@ class _DerivedQueue(DemiQueue):
 
     # -- pop side --------------------------------------------------------------
     def _pump(self, source: DemiQueue) -> Generator:
-        while not self.closed and not source.closed:
+        while not self.closed:
+            if source.closed:
+                self._source_ended("closed")
+                return
             token = self.libos.pop(source.qd)
             self._pump_tokens[source] = token
             result = yield from self.libos.qtokens.wait(token)
             self._pump_tokens.pop(source, None)
+            if self.closed:
+                return
             if result.error is not None:
-                break
-            element = yield from self._process(result.sga)
+                self._source_ended(result.error)
+                return
+            try:
+                element = yield from self._process(result.sga)
+            except Exception as exc:
+                if isinstance(exc, Interrupt):
+                    raise  # close() interrupting us mid-_process
+                # The element function blew up: the pipeline is broken,
+                # and pretending otherwise would hang every pending pop.
+                self.fail_pops("element function failed: %s" % (exc,))
+                return
             if element is None:
                 continue
             while not self.has_room() and not self.closed:
                 yield self.space_wq.wait()
             if self.closed:
-                break
-            self.deliver(element)
+                return
+            if isinstance(element, tuple):
+                sga, value = element  # _process threaded a value through
+                self.deliver(sga, value=value)
+            else:
+                self.deliver(element)
+
+    def _source_ended(self, error: object) -> None:
+        """A source stopped producing: propagate instead of going silent.
+
+        A clean end ("eof"/"closed") only EOFs the derived queue once the
+        *last* source ends - a merged queue keeps serving the survivor.
+        Anything else is a transport death: pending and future pops fail
+        with that error immediately, matching DemiQueue semantics.
+        """
+        if error in ("eof", "closed"):
+            self._live_sources -= 1
+            if self._live_sources <= 0:
+                self.mark_eof()
+        else:
+            self.fail_pops(str(error))
 
     def _process(self, sga: Sga) -> Generator:
         """Transform a popped element; None drops it."""
@@ -112,8 +153,22 @@ class _DerivedQueue(DemiQueue):
 
     # -- push side ---------------------------------------------------------------
     def push_sga(self, sga: Sga, token: QToken) -> None:
-        self.libos.sim.spawn(self._push_driver(sga, token),
+        self.libos.sim.spawn(self._push_guard(sga, token),
                              name="%s.q%d.push" % (self.libos.name, self.qd))
+
+    def _push_guard(self, sga: Sga, token: QToken) -> Generator:
+        """A raising element function must still complete the push token."""
+        try:
+            yield from self._push_driver(sga, token)
+        except Exception as exc:
+            if isinstance(exc, Interrupt):
+                raise
+            try:
+                self._complete(token, QResult(
+                    OP_PUSH, self.qd,
+                    error="element function failed: %s" % (exc,)))
+            except DemiError:
+                pass  # token already retired (e.g. cancelled)
 
     def _push_driver(self, sga: Sga, token: QToken) -> Generator:
         """Asynchronous push-forwarding; completes *token* at the end."""
@@ -241,16 +296,19 @@ class SortedQueue(_DerivedQueue):
         super().__init__(libos, qd, [source])
 
     def _process(self, sga: Sga) -> Generator:
-        # The key runs on the placement target; ordering lives in deliver().
-        yield from self.runner.run(self.key, sga)
-        return sga
+        # The key runs on the placement target *once*; deliver() receives
+        # the computed key as the ride-along value so it never re-runs
+        # the function uncharged on the host.
+        key = yield from self.runner.run(self.key, sga)
+        return (sga, key)
 
     # Reorder on arrival instead of FIFO.
-    def deliver(self, sga: Sga, value: object = None) -> None:
+    def deliver(self, sga: Sga, value: object = _NO_KEY) -> None:
         if self.closed:
             return
+        key = self.key(sga) if value is _NO_KEY else value
         self._heap_seq += 1
-        heapq.heappush(self._heap, (self.key(sga), self._heap_seq, sga))
+        heapq.heappush(self._heap, (key, self._heap_seq, sga))
         self._drain_to_pops()
 
     def _drain_to_pops(self) -> None:
@@ -265,6 +323,10 @@ class SortedQueue(_DerivedQueue):
     def pop_sga(self, token: QToken) -> None:
         if self.closed:
             self._complete(token, QResult(OP_POP, self.qd, error="closed"))
+            return
+        if not self._heap and self.eof:
+            self._complete(token, QResult(OP_POP, self.qd,
+                                          error=self.error or "eof"))
             return
         self._pending_pops.append(token)
         self._drain_to_pops()

@@ -13,8 +13,10 @@ checker for that name:
 * ``experiment`` - a trajectory produced by :mod:`repro.experiments.
   runner`.  Structural keys plus: every run finished ``ok`` with no
   invariant failures, no duplicate ``run_id``, the document's declared
-  ``params.budgets`` hold for every row's metrics, and each
-  ``params.monotonic`` group is strictly increasing.
+  ``params.budgets`` hold for every row's metrics, each
+  ``params.monotonic`` group is strictly increasing, and every
+  ``params.reductions`` rule holds (a *baseline* metric must exceed a
+  *metric* by at least ``min_factor`` - how offload wins are gated).
 
 Checkers return a list of human-readable violations (empty = valid);
 :func:`check_payload` applies the right checker per document and
@@ -194,6 +196,10 @@ def check_experiment_document(doc: object) -> List[str]:
     if not isinstance(monotonic, list):
         errors.append("params.monotonic is not a list")
         monotonic = []
+    reductions = params.get("reductions", [])
+    if not isinstance(reductions, list):
+        errors.append("params.reductions is not a list")
+        reductions = []
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         errors.append("rows missing or empty")
@@ -258,6 +264,58 @@ def check_experiment_document(doc: object) -> List[str]:
                               "%.6g floor" % (i, run_id, metric, value, lo))
     for j, rule in enumerate(monotonic):
         errors.extend(_check_monotonic(good, rule, j))
+    for j, rule in enumerate(reductions):
+        errors.extend(_check_reduction(good, rule, j))
+    return errors
+
+
+def _check_reduction(rows: List[dict], rule: object, index: int) -> List[str]:
+    """One ``params.reductions`` rule: a baseline dominates a metric.
+
+    ``{"metric": "host_cpu_per_op_offload_ns", "baseline":
+    "host_cpu_per_op_host_ns", "min_factor": 1.5, "workload"?:
+    "kv-offload"}`` - in every row (optionally restricted to one
+    workload) ``baseline >= metric * min_factor`` must hold.  This is
+    how an offload bench gates "the optimized path really is at least
+    ``min_factor``x cheaper": a regression that erodes the win below
+    the factor fails validation, even if both numbers individually
+    stay within budget.
+    """
+    if (not isinstance(rule, dict) or "metric" not in rule
+            or "baseline" not in rule):
+        return ["reductions[%d] is %r, expected {'metric', 'baseline', "
+                "'min_factor'?, 'workload'?}" % (index, rule)]
+    factor = rule.get("min_factor", 1.0)
+    if (not isinstance(factor, (int, float)) or isinstance(factor, bool)
+            or factor <= 0):
+        return ["reductions[%d]: min_factor is %r, expected a positive "
+                "number" % (index, factor)]
+    metric, baseline = rule["metric"], rule["baseline"]
+    workload = rule.get("workload")
+    errors: List[str] = []
+    applied = 0
+    for row in rows:
+        if workload is not None and row.get("workload") != workload:
+            continue
+        applied += 1
+        value = _metric_value(row, metric)
+        base = _metric_value(row, baseline)
+        bad = [n for n, v in ((metric, value), (baseline, base))
+               if not isinstance(v, (int, float)) or isinstance(v, bool)]
+        if bad:
+            errors.append("reductions[%d]: run %s missing or non-numeric "
+                          "metric(s): %s"
+                          % (index, row.get("run_id"), ", ".join(bad)))
+            continue
+        if base < value * factor:
+            errors.append(
+                "reductions[%d]: run %s: %s = %.6g is not %.3gx below "
+                "%s = %.6g (ratio %.3g)"
+                % (index, row.get("run_id"), metric, value, factor,
+                   baseline, base, base / value if value else float("inf")))
+    if not applied:
+        errors.append("reductions[%d]: no rows matched (workload=%r) - "
+                      "the gate checked nothing" % (index, workload))
     return errors
 
 

@@ -215,6 +215,7 @@ class SpecBatch:
     def __init__(self, name: str, specs: Sequence[ExperimentSpec],
                  budgets: Optional[Mapping[str, Any]] = None,
                  monotonic: Optional[Sequence[Mapping[str, Any]]] = None,
+                 reductions: Optional[Sequence[Mapping[str, Any]]] = None,
                  description: str = ""):
         if not specs:
             raise SpecError("spec batch %r has no runs" % name)
@@ -223,6 +224,7 @@ class SpecBatch:
         self.specs = list(specs)
         self.budgets = dict(budgets or {})
         self.monotonic = [dict(m) for m in (monotonic or [])]
+        self.reductions = [dict(r) for r in (reductions or [])]
         dup = _first_duplicate(s.run_id for s in self.specs)
         if dup is not None:
             raise SpecError("duplicate run %s in batch %r" % (dup, name))
@@ -234,6 +236,8 @@ class SpecBatch:
             out["budgets"] = dict(self.budgets)
         if self.monotonic:
             out["monotonic"] = [dict(m) for m in self.monotonic]
+        if self.reductions:
+            out["reductions"] = [dict(r) for r in self.reductions]
         return out
 
 
@@ -254,8 +258,9 @@ def load_spec_file(path: str) -> SpecBatch:
     * a single spec object (``{"workload": ...}``);
     * a single matrix (``{"matrix": {...}}``);
     * a batch: ``{"name": ..., "description": ..., "budgets": {...},
-      "monotonic": [...], "experiments": [spec-or-matrix, ...]}`` where
-      each entry is a spec object or ``{"matrix": {...}}``.
+      "monotonic": [...], "reductions": [...], "experiments":
+      [spec-or-matrix, ...]}`` where each entry is a spec object or
+      ``{"matrix": {...}}``.
     """
     with open(path) as fh:
         try:
@@ -267,7 +272,8 @@ def load_spec_file(path: str) -> SpecBatch:
     default_name = path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
     if "experiments" in doc:
         unknown = sorted(set(doc) - {"name", "description", "budgets",
-                                     "monotonic", "experiments"})
+                                     "monotonic", "reductions",
+                                     "experiments"})
         if unknown:
             raise SpecError("%s: unknown batch field(s): %s"
                             % (path, ", ".join(unknown)))
@@ -280,6 +286,7 @@ def load_spec_file(path: str) -> SpecBatch:
         return SpecBatch(doc.get("name", default_name), specs,
                          budgets=doc.get("budgets"),
                          monotonic=doc.get("monotonic"),
+                         reductions=doc.get("reductions"),
                          description=doc.get("description", ""))
     return SpecBatch(doc.pop("name", default_name) if "matrix" in doc
                      else default_name,

@@ -246,6 +246,189 @@ def _kv_rtt_run(spec: ExperimentSpec) -> Dict[str, Any]:
             "failures": [] if ok else ["no GET samples recorded"]}
 
 
+# -- kv-offload: host CPU per op with vs without the NIC GET program -------
+def _offload_bench_validate(bench, libos):
+    def validate(spec: ExperimentSpec) -> Optional[str]:
+        if spec.libos != libos:
+            return "%r runs on the %r libOS only" % (bench, libos)
+        if spec.cores != 1:
+            return "%r is a single-server bench (cores must be 1)" % bench
+        if spec.fault_plan != "none":
+            return ("%r is a performance bench: fault_plan must be 'none'"
+                    % bench)
+        return None
+    return validate
+
+
+def _kv_offload_variant(spec: ExperimentSpec, with_program: bool):
+    """One closed-loop UDP KV run; returns (row, failures).
+
+    Same trace either way - PUT the keyspace, hammer GETs, one miss -
+    the only difference is whether :class:`KvNicOffload` is installed on
+    the server NIC, so the host-CPU delta is exactly the offloaded work.
+    """
+    from ..apps.kvstore import (OP_GET, OP_PUT, KvNicOffload, UdpKvServer,
+                                udp_kv_client)
+    from ..testbed import make_dpdk_libos_pair
+
+    params = spec.params
+    n_keys = params.get("n_keys", 20)
+    n_gets = params.get("n_gets", 200)
+    value_size = params.get("value_size", 64)
+    w, client, server = make_dpdk_libos_pair(with_offload=True,
+                                             seed=spec.seed)
+    srv = UdpKvServer(server, port=6379)
+    prog = None
+    if with_program:
+        prog = KvNicOffload(server.nic, srv.engine, server.ip, port=6379)
+        prog.install()
+    w.sim.spawn(srv.run(), name="kv-offload.server")
+    value = b"v" * value_size
+    ops = ([(OP_PUT, b"key-%04d" % i, value) for i in range(n_keys)]
+           + [(OP_GET, b"key-%04d" % (i % n_keys), None)
+              for i in range(n_gets)]
+           + [(OP_GET, b"missing", None)])
+
+    def body():
+        return (yield from udp_kv_client(client, server.ip, ops))
+
+    cproc = w.sim.spawn(body(), name="kv-offload.client")
+    w.sim.run_until_complete(cproc, limit=10 ** 12)
+    srv.stop()
+    w.sim.run(until=w.sim.now + 5_000_000)
+
+    label = "offload" if with_program else "host"
+    results, stats = cproc.value
+    gets = [r for r in results if r is not None]
+    failures: List[str] = []
+    got_ok = sum(1 for found, v in gets if found and v == value)
+    got_missing = sum(1 for found, v in gets if not found)
+    if got_ok != n_gets:
+        failures.append("[%s] %d/%d GETs returned the value"
+                        % (label, got_ok, n_gets))
+    if got_missing != 1:
+        failures.append("[%s] %d misses (expected 1)" % (label, got_missing))
+    for side, libos in (("server", server), ("client", client)):
+        qt = libos.qtokens
+        if qt.in_flight != 0:
+            failures.append("[%s] %d hung qtokens on the %s"
+                            % (label, qt.in_flight, side))
+        if qt.created != qt.completed + qt.cancelled + qt.in_flight:
+            failures.append("[%s] qtoken identity violated on the %s"
+                            % (label, side))
+    row = {
+        "host_cpu_ns": server.core.busy_ns,
+        "host_cpu_per_op_ns": server.core.busy_ns // max(1, len(ops)),
+        "served_on_host": srv.requests_served,
+        "rtt_p50_ns": stats.percentile(50),
+        "hits": prog.hits if prog else 0,
+        "misses": prog.misses if prog else 0,
+        "steered": prog.steered if prog else 0,
+        "punts": prog.punts if prog else 0,
+    }
+    if with_program:
+        if prog.hits != n_gets:
+            failures.append("[offload] %d/%d GETs answered on the NIC"
+                            % (prog.hits, n_gets))
+        if srv.requests_served != n_keys:
+            failures.append("[offload] host served %d requests, expected "
+                            "only the %d PUTs"
+                            % (srv.requests_served, n_keys))
+    return row, failures
+
+
+def _kv_offload_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    base, failures = _kv_offload_variant(spec, with_program=False)
+    off, off_failures = _kv_offload_variant(spec, with_program=True)
+    failures = failures + off_failures
+    metrics = {
+        "host_cpu_per_op_host_ns": base["host_cpu_per_op_ns"],
+        "host_cpu_per_op_offload_ns": off["host_cpu_per_op_ns"],
+        "rtt_p50_host_ns": base["rtt_p50_ns"],
+        "rtt_p50_offload_ns": off["rtt_p50_ns"],
+        "served_on_host_baseline": base["served_on_host"],
+        "served_on_host_offload": off["served_on_host"],
+        "offload_kv_hits": off["hits"],
+        "offload_kv_misses": off["misses"],
+        "offload_kv_steered": off["steered"],
+        "offload_kv_punts": off["punts"],
+    }
+    return {"metrics": metrics, "ok": not failures, "failures": failures}
+
+
+# -- storelog-scan: on-device predicate scan vs the host read loop ---------
+def _storelog_scan_variant(spec: ExperimentSpec, on_device: bool):
+    """Append+sync a log, then predicate-scan it; returns (row, matches)."""
+    from ..testbed import make_spdk_libos
+
+    params = spec.params
+    n_records = params.get("n_records", 400)
+    w, libos = make_spdk_libos(seed=spec.seed)
+    records = [b"rec-%04d:%s" % (i, b"x" * (50 + i % 37))
+               for i in range(n_records)]
+
+    def predicate(payload):
+        return payload[4:8].isdigit() and int(payload[4:8]) % 7 == 0
+
+    out: Dict[str, int] = {}
+
+    def body():
+        qd = yield from libos.creat("/log")
+        for record in records:
+            yield from libos.blocking_push(qd, libos.sga_alloc(record))
+        yield from libos.fsync(qd)
+        scan_cpu_start = libos.core.busy_ns
+        scan_start_ns = libos.sim.now
+        if on_device:
+            matches = yield from libos.store.scan(predicate)
+        else:
+            matches = yield from libos.store.scan_host(predicate)
+        out["scan_cpu_ns"] = libos.core.busy_ns - scan_cpu_start
+        out["scan_wall_ns"] = libos.sim.now - scan_start_ns
+        return matches
+
+    proc = w.sim.spawn(body(), name="storelog-scan")
+    matches = w.sim.run_until_complete(proc, limit=10 ** 13)
+    counters = counter_rollup(
+        libos.host.tracer,
+        leaves=("scans", "scan_bytes", "scan_matches", "reads"))
+    row = {
+        "scan_cpu_ns": out["scan_cpu_ns"],
+        "scan_cpu_per_record_ns": out["scan_cpu_ns"] // max(1, n_records),
+        "scan_wall_ns": out["scan_wall_ns"],
+        "nvme_scans": counters.get("scans", 0),
+        "nvme_reads": counters.get("reads", 0),
+        "scan_matches": len(matches),
+    }
+    return row, matches
+
+
+def _storelog_scan_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    host, host_matches = _storelog_scan_variant(spec, on_device=False)
+    dev, dev_matches = _storelog_scan_variant(spec, on_device=True)
+    failures: List[str] = []
+    if host_matches != dev_matches:
+        failures.append("device scan found %d matches, host loop %d - "
+                        "results diverge"
+                        % (len(dev_matches), len(host_matches)))
+    if not dev_matches:
+        failures.append("predicate matched nothing - bench is vacuous")
+    if dev["nvme_scans"] < 1:
+        failures.append("device variant issued no scan commands")
+    metrics = {
+        "scan_cpu_per_record_host_ns": host["scan_cpu_per_record_ns"],
+        "scan_cpu_per_record_device_ns": dev["scan_cpu_per_record_ns"],
+        "scan_cpu_host_ns": host["scan_cpu_ns"],
+        "scan_cpu_device_ns": dev["scan_cpu_ns"],
+        "scan_wall_host_ns": host["scan_wall_ns"],
+        "scan_wall_device_ns": dev["scan_wall_ns"],
+        "nvme_reads_host": host["nvme_reads"],
+        "nvme_scans_device": dev["nvme_scans"],
+        "scan_matches": dev["scan_matches"],
+    }
+    return {"metrics": metrics, "ok": not failures, "failures": failures}
+
+
 register_workload(
     "kv", _kv_validate, _kv_run,
     blurb="cores concurrent closed-loop KV clients, any network libOS,"
@@ -264,3 +447,13 @@ register_workload(
 register_workload(
     "kv-rtt", _rtt_validate(_KV_RTT_FLAVORS, "kv-rtt"), _kv_rtt_run,
     blurb="KV GET round-trip + server CPU per request")
+register_workload(
+    "kv-offload", _offload_bench_validate("kv-offload", "dpdk"),
+    _kv_offload_run,
+    blurb="host CPU/op for UDP KV GETs with vs without the NIC-resident"
+          " GET program")
+register_workload(
+    "storelog-scan", _offload_bench_validate("storelog-scan", "spdk"),
+    _storelog_scan_run,
+    blurb="log predicate scan on-device vs host read loop, host CPU and"
+          " PCIe traffic compared")

@@ -237,6 +237,9 @@ class DpdkNic(_EthernetNic):
                          n_tx_queues=n_tx_queues)
         self.n_rx_queues = n_rx_queues
         self.replicate_non_ip = replicate_non_ip
+        #: device-resident RX program (FlexNIC-style match+action): runs
+        #: on the attached offload engine per arriving frame, before RSS.
+        self._rx_program: Optional[Callable[[bytes], Any]] = None
         self._rx_rings: List[Deque[bytes]] = [deque()
                                               for _ in range(n_rx_queues)]
         self._rx_waiters: List[List[Completion]] = [[]
@@ -261,7 +264,49 @@ class DpdkNic(_EthernetNic):
             return 0
         return rss_hash(frame[26:38]) % self.n_rx_queues
 
+    # -- device-resident RX programs (FlexNIC-style) -----------------------
+    def install_rx_program(self, program: Optional[Callable[[bytes], Any]]
+                           ) -> None:
+        """Install a match+action program run per RX frame on the NIC.
+
+        Requires an attached offload engine (which charges the device
+        pipeline per invocation).  The program returns one of:
+
+        * ``None`` - no match: the frame takes the normal RSS path;
+        * ``("reply", dst_mac, frame_bytes)`` - answer from the NIC:
+          the reply is transmitted directly and the original frame
+          never reaches a host RX ring;
+        * ``("steer", queue)`` - override RSS and enqueue the frame on
+          the given RX queue (content-based steering, e.g. by KV key).
+
+        Pass ``None`` to uninstall.
+        """
+        if program is not None and self.offload is None:
+            raise ValueError(
+                "%s has no offload engine; attach one before installing "
+                "an RX program" % self.name)
+        self._rx_program = program
+
     def _rx_ready(self, frame: Any) -> None:
+        if self._rx_program is not None and self.offload is not None:
+            try:
+                action = self.offload.run_now("map", self._rx_program, frame)
+            except Exception:
+                # A buggy program must not take RX down: count the fault
+                # and fall back to the normal (host) path for this frame.
+                self.offload.count(names.OFFLOAD_ELEMENT_FAULTS)
+                action = None
+            if action is not None:
+                verb = action[0]
+                if verb == "reply":
+                    _verb, dst_mac, reply = action
+                    self.post_tx(dst_mac, reply)
+                    return
+                if verb == "steer":
+                    self._enqueue_rx(action[1] % self.n_rx_queues, frame)
+                    return
+                raise ValueError("RX program returned unknown action %r"
+                                 % (verb,))
         if (self.replicate_non_ip and self.n_rx_queues > 1
                 and not self._is_ipv4(frame)):
             for queue in range(self.n_rx_queues):

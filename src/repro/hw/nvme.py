@@ -26,6 +26,21 @@ class NvmeError(Exception):
     """Invalid command (out-of-range LBA, bad sizes...)."""
 
 
+class _DeferredScan:
+    """A scan program captured at submit time, run at completion time.
+
+    The device must observe the flash contents *when the command
+    completes*, not when it was submitted - a write that lands between
+    submit and completion is visible to the scan, exactly as on real
+    hardware where the controller streams blocks as it reaches them.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+
 class NvmeDevice(Device):
     """Block storage with parallel flash channels.
 
@@ -134,6 +149,37 @@ class NvmeDevice(Device):
         return self._dispatch(done, "write", len(data), delay, nblocks,
                               write=True)
 
+    def submit_scan(self, lba: int, nblocks: int, program) -> Completion:
+        """On-device predicate scan ("BPF for storage").
+
+        The controller streams *nblocks* of flash past *program* (a
+        callable taking the raw bytes) and the completion fires with
+        ``program(data)`` - only the program's (small) result crosses
+        PCIe, and the host CPU is never charged for the loop.  The data
+        is captured at *completion* time, and a raising program becomes
+        an error completion (``scan_faults``), never a hang.
+        """
+        self._check_range(lba, nblocks)
+        nbytes = nblocks * self.block_size
+        delay = self._occupy_channel(self._work_ns("scan", nbytes, False))
+        self.count(names.NVME_SCANS)
+        self.count(names.NVME_SCAN_BYTES, nbytes)
+        if self.telemetry.enabled:
+            self.telemetry.span("nvme_scan", cat="device", track=self.name,
+                                lba=lba, nbytes=nbytes).end(
+                                    end_ns=self.sim.now + delay)
+        done = self.sim.completion("%s.scan" % self.name)
+
+        def compute():
+            data = b"".join(
+                self._blocks.get(lba + i, b"\x00" * self.block_size)
+                for i in range(nblocks)
+            )
+            return program(data)
+
+        return self._dispatch(done, "scan", nbytes, delay,
+                              _DeferredScan(compute), write=False)
+
     def submit_flush(self) -> Completion:
         """Barrier: completion fires after the flush latency."""
         self.flushes += 1
@@ -150,6 +196,9 @@ class NvmeDevice(Device):
     def _work_ns(self, op: str, nbytes: int, write: bool) -> int:
         if op == "flush":
             return self.costs.nvme_flush_ns
+        if op == "scan":
+            return (self.costs.nvme_io_ns(nbytes, write=False)
+                    + int(nbytes * self.costs.nvme_scan_ns_per_byte))
         return self.costs.nvme_io_ns(nbytes, write=write)
 
     def _dispatch(self, done: Completion, op: str, nbytes: int, delay: int,
@@ -172,8 +221,16 @@ class NvmeDevice(Device):
 
     def _finish(self, record: Dict[str, Any], value: Any) -> None:
         self._inflight.pop(id(record), None)
-        if not record["aborted"]:
-            record["done"].trigger(value)
+        if record["aborted"]:
+            return
+        if isinstance(value, _DeferredScan):
+            try:
+                value = value.fn()
+            except Exception as exc:
+                self.count(names.NVME_SCAN_FAULTS)
+                record["done"].fail(exc)
+                return
+        record["done"].trigger(value)
 
     def _recover(self, record, op, nbytes, write, delay, value):
         """Sim-coroutine: one command's bounded-retry recovery ladder."""

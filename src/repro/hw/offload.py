@@ -63,12 +63,22 @@ class OffloadEngine(Device):
         self.device_busy_ns += ns
         return start + ns - now
 
+    def charge_device(self, ns: int) -> int:
+        """Occupy the device pipeline for *ns* of extra work (e.g. a DMA
+        fetch a device-resident program issues); returns the delay from
+        now until that work completes.  Never charges host CPU."""
+        return self._occupy(int(ns))
+
     def run(self, operator: str, fn: Callable, element: Any):
         """Execute one element function on-device.
 
         Returns a completion firing with ``fn(element)``; the caller's CPU
-        is never charged.  Raises if the operator is not supported - the
-        placement logic should have checked :meth:`supports` first.
+        is never charged.  The function runs when the device pipeline
+        reaches the element - not at submit time - and a raising function
+        becomes an *error completion* (the exception is re-raised in the
+        waiter), never a silently-leaked one.  Raises if the operator is
+        not supported - the placement logic should have checked
+        :meth:`supports` first.
         """
         if not self.supports(operator):
             raise ValueError(
@@ -77,9 +87,18 @@ class OffloadEngine(Device):
         delay = self._occupy(self.element_ns)
         self.count(names.offloaded(operator))
         done = self.sim.completion("%s.%s" % (self.name, operator))
-        result = fn(element)
-        self.sim.call_in(delay, done.trigger, result)
+        self.sim.call_in(delay, self._execute, done, operator, fn, element)
         return done
+
+    def _execute(self, done, operator: str, fn: Callable, element: Any) -> None:
+        """Completion-time element execution (the device 'pipeline stage')."""
+        try:
+            result = fn(element)
+        except Exception as exc:
+            self.count(names.OFFLOAD_ELEMENT_FAULTS)
+            done.fail(exc)
+            return
+        done.trigger(result)
 
     def run_now(self, operator: str, fn: Callable, element: Any):
         """Synchronous variant for device-internal datapath hooks: executes

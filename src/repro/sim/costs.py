@@ -108,6 +108,10 @@ class CostModel:
     nvme_write_ns: int = 25000
     nvme_flush_ns: int = 100000
     nvme_ns_per_byte: float = 0.25
+    #: on-device predicate evaluation per scanned byte ("BPF for
+    #: storage" scans: the controller streams blocks past a program
+    #: instead of DMA-ing them to the host)
+    nvme_scan_ns_per_byte: float = 0.05
     #: SPDK-style user-space submission cost per command
     spdk_submit_ns: int = 400
 

@@ -173,6 +173,74 @@ class LogStore:
                               within + RECORD_HEADER_LEN + length])
         return header, payload
 
+    # -- scans ("BPF for storage") ------------------------------------------------------
+    def scan(self, predicate) -> Generator:
+        """Sim-coroutine: on-device predicate scan over the flushed log.
+
+        Ships the record-walking loop into the NVMe controller
+        (:meth:`~repro.hw.nvme.NvmeDevice.submit_scan`): the device
+        streams the flushed region past a program that validates record
+        framing and applies *predicate* to each payload, and only the
+        matches cross PCIe.  The host submits one command and sleeps -
+        zero host CPU charged for the loop.  Returns a list of
+        ``(record_id, payload)`` matches.  Unflushed (buffered) records
+        are not visible to the device; :meth:`sync` first if they matter.
+        """
+        flushed = self._buffer_base
+        yield self.core.busy(self.costs.spdk_submit_ns)
+        if flushed < RECORD_HEADER_LEN:
+            return []
+        nblocks = (flushed + self.block_size - 1) // self.block_size
+
+        def program(data: bytes):
+            matches = []
+            offset = 0
+            while offset + RECORD_HEADER_LEN <= flushed:
+                magic, length, crc = _HEADER.unpack_from(data, offset)
+                if magic != _MAGIC:
+                    break
+                payload = bytes(data[offset + RECORD_HEADER_LEN:
+                                     offset + RECORD_HEADER_LEN + length])
+                if len(payload) != length:
+                    raise LogError("truncated record %d" % offset)
+                if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                    raise LogError("checksum mismatch at record %d" % offset)
+                if predicate(payload):
+                    matches.append((offset, payload))
+                offset += RECORD_HEADER_LEN + length
+            return matches
+
+        matches = yield self.nvme.submit_scan(
+            self._lba_of(0), nblocks, program)
+        from ..telemetry import names
+
+        self.nvme.count(names.NVME_SCAN_MATCHES, len(matches))
+        return matches
+
+    def scan_host(self, predicate) -> Generator:
+        """Sim-coroutine: the same predicate scan with the loop on the host.
+
+        The baseline the on-device :meth:`scan` is measured against: a
+        per-record read loop (one or more NVMe reads each, all the data
+        crossing PCIe) with the predicate charged to the host CPU.
+        """
+        matches = []
+        offset = 0
+        while offset + RECORD_HEADER_LEN <= self._buffer_base:
+            header, payload = yield from self._read_from_device(offset)
+            magic, length, crc = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                break
+            if len(payload) != length:
+                raise LogError("truncated record %d" % offset)
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                raise LogError("checksum mismatch at record %d" % offset)
+            yield self.core.busy(self.costs.pipeline_element_cpu_ns)
+            if predicate(payload):
+                matches.append((offset, payload))
+            offset += RECORD_HEADER_LEN + length
+        return matches
+
     # -- recovery ----------------------------------------------------------------------
     def mount(self) -> Generator:
         """Sim-coroutine: scan from the start, rebuild the tail pointer.

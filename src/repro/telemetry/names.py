@@ -197,6 +197,18 @@ def offloaded(operator: str) -> str:
     return "offloaded_%s" % operator
 
 
+# ----------------------------------------------- NIC-resident offload programs
+# Counted against the offload engine's scope.  A device program either
+# answers on the NIC (hit/miss), steers the frame to a chosen RX queue
+# (steered), or punts it to the normal RSS path (punts); element
+# functions that raise become error completions (faults).
+OFFLOAD_ELEMENT_FAULTS = "offload_element_faults"
+OFFLOAD_KV_HITS = "offload_kv_hits"
+OFFLOAD_KV_MISSES = "offload_kv_misses"
+OFFLOAD_KV_STEERED = "offload_kv_steered"
+OFFLOAD_KV_PUNTS = "offload_kv_punts"
+
+
 # ------------------------------------------------------------------- IOMMU
 IOMMU_MAPS = "maps"
 IOMMU_UNMAPS = "unmaps"
@@ -214,6 +226,14 @@ NVME_ABORTS = "aborts"
 NVME_RETRIES = "retries"
 NVME_CTRL_RESETS = "ctrl_resets"
 NVME_DEVICE_FAILURES = "device_failures"
+# "BPF for storage": on-device predicate scans over an LBA range.  A
+# scan charges the device channel for the read + per-byte predicate
+# work and returns only matching records; a raising program is an
+# error completion (scan_faults), not a hang.
+NVME_SCANS = "scans"
+NVME_SCAN_BYTES = "scan_bytes"
+NVME_SCAN_MATCHES = "scan_matches"
+NVME_SCAN_FAULTS = "scan_faults"
 
 # ------------------------------------------------------------------ memory
 MM = "mm"

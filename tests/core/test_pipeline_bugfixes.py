@@ -1,0 +1,204 @@
+"""Regression tests for the pipeline fixes shipped with the offload work.
+
+Three historical bugs:
+
+* ``SortedQueue.deliver`` re-ran ``self.key(sga)`` uncharged after the
+  runner had already charged one execution - the key function ran twice
+  per element and only one run was accounted;
+* ``_DerivedQueue._pump`` broke out of its loop silently when the source
+  pop returned an error, leaving every pending and subsequent pop on the
+  derived queue hung forever;
+* an element function raising inside the pump (or the push driver)
+  killed the pump process and leaked the in-flight tokens.
+"""
+
+from repro.core.api import LibOS
+from repro.hw.offload import OffloadEngine
+
+from ..conftest import World
+
+
+def make_libos(with_offload=False):
+    w = World()
+    host = w.add_host("h", cores=4)
+    libos = LibOS(host, "demi")
+    if with_offload:
+        libos.offload_engine = OffloadEngine(host)
+    return w, libos
+
+
+def run(w, gen, limit=10**12):
+    p = w.sim.spawn(gen)
+    w.sim.run_until_complete(p, limit=limit)
+    return p.value
+
+
+def assert_no_hung_tokens(libos):
+    qt = libos.qtokens
+    assert qt.in_flight == 0
+    assert qt.created == qt.completed + qt.cancelled + qt.in_flight
+
+
+class TestSortKeyRunsOnce:
+    def test_key_called_exactly_once_per_element(self):
+        w, libos = make_libos()
+        src = libos.queue()
+        calls = []
+
+        def key(sga):
+            calls.append(sga.tobytes())
+            return sga.tobytes()
+
+        srt = libos.sort(src, key)
+
+        def proc():
+            for data in (b"c", b"a", b"b"):
+                yield from libos.blocking_push(src, libos.sga_alloc(data))
+            out = []
+            for _ in range(3):
+                result = yield from libos.blocking_pop(srt)
+                out.append(result.sga.tobytes())
+            return out
+
+        assert run(w, proc()) == [b"a", b"b", b"c"]
+        # One execution per element - and the same count is charged.
+        assert sorted(calls) == [b"a", b"b", b"c"]
+        assert w.tracer.get("demi.pipeline.sort_cpu_elements") == 3
+
+    def test_key_charged_on_device_when_offloaded(self):
+        w, libos = make_libos(with_offload=True)
+        src = libos.queue()
+        calls = []
+
+        def key(sga):
+            calls.append(1)
+            return sga.tobytes()
+
+        srt = libos.sort(src, key)
+
+        def proc():
+            for data in (b"2", b"1"):
+                yield from libos.blocking_push(src, libos.sga_alloc(data))
+            out = []
+            for _ in range(2):
+                result = yield from libos.blocking_pop(srt)
+                out.append(result.sga.tobytes())
+            return out
+
+        assert run(w, proc()) == [b"1", b"2"]
+        assert len(calls) == 2
+        assert w.tracer.get("demi.pipeline.sort_device_elements") == 2
+        # Device executions reconcile with the engine's own ledger.
+        assert w.tracer.get("offload0.offloaded_sort") == 2
+
+
+class TestSourceErrorPropagation:
+    def test_source_close_drains_to_eof_not_hang(self):
+        w, libos = make_libos()
+        src = libos.queue()
+        flt = libos.filter(src, lambda sga: True)
+
+        def proc():
+            yield from libos.blocking_push(src, libos.sga_alloc(b"x"))
+            first = yield from libos.blocking_pop(flt)
+            yield from libos.close(src)
+            second = yield from libos.blocking_pop(flt)
+            return first.error, second.error
+
+        assert run(w, proc()) == (None, "eof")
+        assert_no_hung_tokens(libos)
+
+    def test_sorted_queue_pops_after_eof_error_out(self):
+        w, libos = make_libos()
+        src = libos.queue()
+        srt = libos.sort(src, lambda sga: sga.tobytes())
+
+        def proc():
+            yield from libos.blocking_push(src, libos.sga_alloc(b"z"))
+            first = yield from libos.blocking_pop(srt)
+            yield from libos.close(src)
+            second = yield from libos.blocking_pop(srt)
+            return first.error, second.error
+
+        assert run(w, proc()) == (None, "eof")
+        assert_no_hung_tokens(libos)
+
+    def test_upstream_element_fault_reaches_downstream_pops(self):
+        """An error in one stage fails pops across the whole chain."""
+        w, libos = make_libos()
+        src = libos.queue()
+
+        def boom(sga):
+            if sga.tobytes() == b"bad":
+                raise ValueError("poisoned element")
+            return sga
+
+        mapped = libos.map(src, boom)
+        flt = libos.filter(mapped, lambda sga: True)
+
+        def proc():
+            yield from libos.blocking_push(src, libos.sga_alloc(b"ok"))
+            first = yield from libos.blocking_pop(flt)
+            yield from libos.blocking_push(src, libos.sga_alloc(b"bad"))
+            second = yield from libos.blocking_pop(flt)
+            third = yield from libos.blocking_pop(flt)
+            return first.error, second.error, third.error
+
+        first, second, third = run(w, proc())
+        assert first is None
+        assert second is not None and "element function failed" in second
+        assert third is not None  # subsequent pops error too - no hang
+        assert_no_hung_tokens(libos)
+
+
+class TestElementFunctionFaults:
+    def test_cpu_placed_raise_fails_pops(self):
+        w, libos = make_libos()
+        src = libos.queue()
+        mapped = libos.map(src, lambda sga: 1 // 0)
+
+        def proc():
+            yield from libos.blocking_push(src, libos.sga_alloc(b"x"))
+            result = yield from libos.blocking_pop(mapped)
+            return result.error
+
+        error = run(w, proc())
+        assert error is not None and "element function failed" in error
+        assert_no_hung_tokens(libos)
+
+    def test_device_placed_raise_fails_pops(self):
+        w, libos = make_libos(with_offload=True)
+        src = libos.queue()
+        mapped = libos.map(src, lambda sga: 1 // 0)
+
+        def proc():
+            yield from libos.blocking_push(src, libos.sga_alloc(b"x"))
+            result = yield from libos.blocking_pop(mapped)
+            return result.error
+
+        error = run(w, proc())
+        assert error is not None and "element function failed" in error
+        assert w.tracer.get("offload0.offload_element_faults") == 1
+        assert_no_hung_tokens(libos)
+
+    def test_push_side_raise_fails_the_push_token(self):
+        w, libos = make_libos()
+        src = libos.queue()
+
+        def boom(sga):
+            raise RuntimeError("push-side fault")
+
+        mapped = libos.map(src, boom)
+
+        def proc():
+            result = yield from libos.blocking_push(
+                mapped, libos.sga_alloc(b"x"))
+            # Tear the pipeline down so the pump's (legitimately)
+            # outstanding source pop is cancelled, then the token
+            # ledger must close.
+            yield from libos.close(mapped)
+            return result.error
+
+        error = run(w, proc())
+        assert error is not None and "element function failed" in error
+        assert_no_hung_tokens(libos)

@@ -1,0 +1,115 @@
+"""Property sweep over pipeline chains, placements, and element faults.
+
+For random ``filter``/``map``/``sort`` chains, with the element
+functions placed on the CPU or on an offload engine, with or without a
+poisoned element that makes the function raise mid-stream:
+
+* every pop completes (an element fault fails pops, it never hangs
+  them);
+* after teardown the qtoken lifecycle identity closes with zero tokens
+  in flight;
+* the element functions ran exactly as many times as the pipeline
+  counters charged, and the device-placed executions reconcile with the
+  offload engine's own ``offloaded_*`` ledger.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import LibOS
+from repro.hw.offload import OffloadEngine
+
+from ..conftest import World
+
+POISON = b"\x00BOOM"
+
+
+def build_stage(libos, qd, op, calls):
+    def guard(sga):
+        calls[op] += 1
+        if sga.tobytes() == POISON:
+            raise ValueError("poisoned element")
+
+    if op == "filter":
+        def predicate(sga):
+            guard(sga)
+            return True
+        return libos.filter(qd, predicate)
+    if op == "map":
+        def fn(sga):
+            guard(sga)
+            return sga
+        return libos.map(qd, fn)
+
+    def key(sga):
+        guard(sga)
+        return sga.tobytes()
+    return libos.sort(qd, key)
+
+
+@given(chain=st.lists(st.sampled_from(["filter", "map", "sort"]),
+                      min_size=1, max_size=3),
+       with_offload=st.booleans(),
+       n_elements=st.integers(min_value=1, max_value=8),
+       poison=st.one_of(st.none(), st.integers(min_value=0, max_value=7)))
+@settings(max_examples=60, deadline=None)
+def test_chains_never_hang_and_counters_reconcile(chain, with_offload,
+                                                  n_elements, poison):
+    w = World()
+    host = w.add_host("h", cores=4)
+    libos = LibOS(host, "demi")
+    if with_offload:
+        libos.offload_engine = OffloadEngine(host)
+    calls = {"filter": 0, "map": 0, "sort": 0}
+    src = libos.queue()
+    qd = src
+    derived = []
+    for op in chain:
+        qd = build_stage(libos, qd, op, calls)
+        derived.append(qd)
+
+    def proc():
+        for i in range(n_elements):
+            data = POISON if i == poison else b"e%02d" % i
+            yield from libos.blocking_push(src, libos.sga_alloc(data))
+        errors = []
+        payloads = []
+        for _ in range(n_elements):
+            result = yield from libos.blocking_pop(qd)
+            if result.error is not None:
+                errors.append(result.error)
+                break
+            payloads.append(result.sga.tobytes())
+        for out in reversed(derived):
+            yield from libos.close(out)
+        yield from libos.close(src)
+        return payloads, errors
+
+    p = w.sim.spawn(proc())
+    w.sim.run_until_complete(p, limit=10**12)
+    assert p.value is not None, "pipeline hung"
+    payloads, errors = p.value
+
+    poisoned = poison is not None and poison < n_elements
+    if poisoned:
+        assert errors, "poisoned element must surface as a pop error"
+        assert "element function failed" in errors[0]
+        assert POISON not in payloads
+    else:
+        assert not errors
+        assert sorted(payloads) == [b"e%02d" % i for i in range(n_elements)]
+
+    # -- token ledger closes, nothing left in flight -----------------------
+    qt = libos.qtokens
+    assert qt.in_flight == 0
+    assert qt.created == qt.completed + qt.cancelled + qt.in_flight
+
+    # -- executions == charged elements, per operator ----------------------
+    for op in ("filter", "map", "sort"):
+        device = w.tracer.get("demi.pipeline.%s_device_elements" % op)
+        cpu = w.tracer.get("demi.pipeline.%s_cpu_elements" % op)
+        assert calls[op] == device + cpu
+        if with_offload:
+            assert device == w.tracer.get("offload0.offloaded_%s" % op)
+        else:
+            assert device == 0
