@@ -8,28 +8,36 @@ a periodic expiry timer - running entirely on
 :class:`repro.core.eventloop.DemiEventLoop`, so it works unchanged on any
 libOS.
 
-Protocol (big-endian), one request per queue element::
+The wire format lives in :class:`repro.apps.proto.legacy.
+LegacyCacheCodec` (big-endian)::
 
     request:  op:u8 ('S'|'G'|'D')  klen:u16  key
               [S: ttl_ms:u32  vlen:u32  value]
     response: status:u8 ('H' hit | 'M' miss | 'S' stored | 'D' deleted)
               [H: vlen:u32  value]
 
-Cache policy: bounded entry count with LRU eviction; per-entry TTL
-enforced lazily on access and eagerly by the timer sweep.
+The server parses incrementally per connection, so a request split
+across queue elements or several requests pipelined into one element
+both decode correctly (the old parser assumed one complete request per
+element and silently truncated split values).
+
+Cache policy lives in :class:`LruTtlCache` - bounded entry count with
+LRU eviction; per-entry TTL enforced lazily on access and eagerly by
+the timer sweep - so the protocol layer (:class:`repro.apps.proto.
+server.LruCacheStore`) can reuse it behind RESP or memcached-binary.
 """
 
 from __future__ import annotations
 
-import struct
 from collections import OrderedDict
-from typing import Generator, Optional, Tuple
+from typing import Callable, Generator, Optional, Tuple
 
 from ..core.api import LibOS
 from ..core.eventloop import DemiEventLoop
 from ..core.types import Sga
+from ..telemetry import names
 
-__all__ = ["CacheServer", "CacheStats", "cache_client",
+__all__ = ["CacheServer", "CacheStats", "LruTtlCache", "cache_client",
            "encode_set", "encode_get", "encode_delete", "decode_reply"]
 
 OP_SET = ord("S")
@@ -41,37 +49,53 @@ ST_STORED = ord("S")
 ST_DELETED = ord("D")
 
 
-# -- codec ---------------------------------------------------------------
+# -- codec - thin deprecated delegates over the unified codec layer ------
+# New code should use repro.apps.proto.legacy.LegacyCacheCodec directly.
+
+def _codec():
+    from .proto.legacy import LegacyCacheCodec
+
+    return LegacyCacheCodec()
+
 
 def encode_set(key: bytes, value: bytes, ttl_ms: int = 0) -> bytes:
-    return (struct.pack("!BH", OP_SET, len(key)) + key
-            + struct.pack("!II", ttl_ms, len(value)) + value)
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyCacheCodec`."""
+    from .proto.codec import Request
+
+    return _codec().encode_request(
+        Request(op="set", key=key, value=value, ttl_ms=ttl_ms))
 
 
 def encode_get(key: bytes) -> bytes:
-    return struct.pack("!BH", OP_GET, len(key)) + key
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyCacheCodec`."""
+    from .proto.codec import Request
+
+    return _codec().encode_request(Request(op="get", key=key))
 
 
 def encode_delete(key: bytes) -> bytes:
-    return struct.pack("!BH", OP_DELETE, len(key)) + key
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyCacheCodec`."""
+    from .proto.codec import Request
+
+    return _codec().encode_request(Request(op="delete", key=key))
 
 
 def decode_reply(data: bytes) -> Tuple[int, Optional[bytes]]:
-    status = data[0]
-    if status == ST_HIT:
-        (vlen,) = struct.unpack_from("!I", data, 1)
-        return status, data[5:5 + vlen]
-    return status, None
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyCacheCodec`."""
+    from .proto.codec import ST_COUNT, ST_STORED as P_STORED, ST_VALUE, \
+        CodecError
 
-
-def _decode_request(data: bytes):
-    op, klen = struct.unpack_from("!BH", data, 0)
-    key = data[3:3 + klen]
-    if op == OP_SET:
-        ttl_ms, vlen = struct.unpack_from("!II", data, 3 + klen)
-        value = data[3 + klen + 8:3 + klen + 8 + vlen]
-        return op, key, ttl_ms, value
-    return op, key, 0, None
+    replies = _codec().feed_responses(data)
+    if not replies:
+        raise CodecError("truncated cache reply (%d bytes)" % len(data))
+    reply = replies[0]
+    if reply.status == ST_VALUE:
+        return ST_HIT, reply.value
+    if reply.status == P_STORED:
+        return ST_STORED, None
+    if reply.status == ST_COUNT and reply.count > 0:
+        return ST_DELETED, None
+    return ST_MISS, None
 
 
 class CacheStats:
@@ -92,6 +116,64 @@ class _Entry:
         self.expires_at = expires_at  # sim ns, None = no TTL
 
 
+class LruTtlCache:
+    """The cache policy alone: bounded LRU with lazy + swept TTL expiry.
+
+    *clock* is a zero-argument callable returning sim-time in ns (pass
+    ``lambda: libos.sim.now``); keeping it injected means the policy has
+    no libOS dependency and any protocol frontend can wrap it.
+    """
+
+    def __init__(self, clock: Callable[[], int], max_entries: int = 1024,
+                 stats: Optional[CacheStats] = None):
+        self.clock = clock
+        self.max_entries = max_entries
+        self.stats = stats or CacheStats()
+        self._entries: "OrderedDict[bytes, _Entry]" = OrderedDict()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expires_at is not None and entry.expires_at <= self.clock():
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)  # LRU touch
+        self.stats.hits += 1
+        return entry.value
+
+    def set(self, key: bytes, value: bytes, ttl_ms: int = 0) -> None:
+        expires = None if ttl_ms == 0 else self.clock() + ttl_ms * 1_000_000
+        self._entries[key] = _Entry(value, expires)
+        self._entries.move_to_end(key)
+        self.stats.sets += 1
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)  # evict the LRU entry
+            self.stats.evictions += 1
+
+    def delete(self, key: bytes) -> bool:
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.deletes += 1
+            return True
+        return False
+
+    def sweep_expired(self) -> None:
+        now = self.clock()
+        dead = [key for key, entry in self._entries.items()
+                if entry.expires_at is not None and entry.expires_at <= now]
+        for key in dead:
+            del self._entries[key]
+            self.stats.expirations += 1
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+
 class CacheServer:
     """LRU+TTL cache served through DemiEventLoop callbacks."""
 
@@ -103,57 +185,32 @@ class CacheServer:
         self.port = port
         self.max_entries = max_entries
         self.loop = DemiEventLoop(libos)
-        self.stats = CacheStats()
-        self._entries: "OrderedDict[bytes, _Entry]" = OrderedDict()
+        self.cache = LruTtlCache(lambda: libos.sim.now, max_entries)
+        self.decode_errors = 0
         self._started = False
 
-    # -- cache policy ------------------------------------------------------
-    def _now(self) -> int:
-        return self.libos.sim.now
+    # -- cache policy (delegated; kept for compatibility) ------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
 
     def _get(self, key: bytes) -> Optional[bytes]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.expires_at is not None and entry.expires_at <= self._now():
-            del self._entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)  # LRU touch
-        self.stats.hits += 1
-        return entry.value
+        return self.cache.get(key)
 
     def _set(self, key: bytes, value: bytes, ttl_ms: int) -> None:
-        expires = None if ttl_ms == 0 else self._now() + ttl_ms * 1_000_000
-        self._entries[key] = _Entry(value, expires)
-        self._entries.move_to_end(key)
-        self.stats.sets += 1
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)  # evict the LRU entry
-            self.stats.evictions += 1
+        self.cache.set(key, value, ttl_ms)
 
     def _delete(self, key: bytes) -> bool:
-        if key in self._entries:
-            del self._entries[key]
-            self.stats.deletes += 1
-            return True
-        return False
+        return self.cache.delete(key)
 
     def _sweep_expired(self) -> None:
-        now = self._now()
-        dead = [key for key, entry in self._entries.items()
-                if entry.expires_at is not None and entry.expires_at <= now]
-        for key in dead:
-            del self._entries[key]
-            self.stats.expirations += 1
+        self.cache.sweep_expired()
 
     @property
     def entry_count(self) -> int:
-        return len(self._entries)
+        return self.cache.entry_count
 
-    # -- server plumbing ------------------------------------------------------
+    # -- server plumbing ---------------------------------------------------
     def start(self) -> Generator:
         """Spawn-me: listen, register callbacks, run the event loop."""
         libos = self.libos
@@ -176,33 +233,48 @@ class CacheServer:
             self.loop.add_pop_event(qd, self._make_handler(qd))
 
     def _make_handler(self, qd: int):
+        codec = _codec()  # per-connection incremental parser state
+
         def on_request(result):
             if result.error is not None:
                 return  # connection gone; one-shot cleanup via loop
-            yield from self._serve(qd, result.sga)
+            yield from self._serve(qd, codec, result.sga)
         return on_request
 
-    def _serve(self, qd: int, request: Sga) -> Generator:
+    def _serve(self, qd: int, codec, request: Sga) -> Generator:
+        from .proto.codec import (ST_COUNT, ST_MISS as P_MISS,
+                                  ST_STORED as P_STORED, ST_VALUE,
+                                  CodecError, Response)
+
         libos = self.libos
         yield libos.core.busy(libos.costs.kv_parse_ns)
-        op, key, ttl_ms, value = _decode_request(request.tobytes())
-        if op == OP_SET:
-            yield libos.core.busy(libos.costs.kv_put_ns)
-            self._set(key, bytes(value), ttl_ms)
-            reply = bytes([ST_STORED])
-        elif op == OP_GET:
-            yield libos.core.busy(libos.costs.kv_get_ns)
-            found = self._get(key)
-            if found is None:
-                reply = bytes([ST_MISS])
-            else:
-                reply = struct.pack("!BI", ST_HIT, len(found)) + found
-        elif op == OP_DELETE:
-            yield libos.core.busy(libos.costs.kv_get_ns)
-            reply = bytes([ST_DELETED if self._delete(key) else ST_MISS])
-        else:
-            reply = bytes([ST_MISS])
-        yield from libos.blocking_push(qd, libos.sga_alloc(reply))
+        try:
+            requests = codec.feed(request.tobytes())
+        except CodecError:
+            # Stream desync: count it and close the connection.
+            self.decode_errors += 1
+            libos.count(names.PROTO_DECODE_ERRORS)
+            yield from libos.close(qd)
+            return
+        for req in requests:
+            if req.op == "set":
+                yield libos.core.busy(libos.costs.kv_put_ns)
+                self._set(req.key, bytes(req.value), req.ttl_ms)
+                response = Response(status=P_STORED)
+            elif req.op == "get":
+                yield libos.core.busy(libos.costs.kv_get_ns)
+                found = self._get(req.key)
+                response = (Response(status=P_MISS) if found is None
+                            else Response(status=ST_VALUE, value=found))
+            else:  # delete
+                yield libos.core.busy(libos.costs.kv_get_ns)
+                deleted = self._delete(req.key)
+                response = Response(status=ST_COUNT,
+                                    count=1 if deleted else 0)
+            # One reply per request keeps one-pop-per-request clients
+            # working; pipelined clients just pop replies in order.
+            yield from libos.blocking_push(
+                qd, libos.sga_alloc(codec.encode(response)))
 
 
 def cache_client(libos: LibOS, server_addr: str, requests,

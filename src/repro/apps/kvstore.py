@@ -53,34 +53,62 @@ STATUS_MISSING = ord("N")
 
 
 # ---------------------------------------------------------------------------
-# Protocol codec
+# Protocol codec - thin deprecated delegates over the unified codec layer
 # ---------------------------------------------------------------------------
+# The wire format now lives in repro.apps.proto.legacy.LegacyKvCodec
+# (same bytes, incremental parsing).  These module helpers stay for the
+# existing tests and workloads; new code should use the codec directly.
+
+def _codec():
+    from .proto.legacy import LegacyKvCodec
+
+    return LegacyKvCodec()
+
 
 def encode_get(key: bytes) -> bytes:
-    return struct.pack("!BH", OP_GET, len(key)) + key
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyKvCodec`."""
+    from .proto.codec import Request
+
+    return _codec().encode_request(Request(op="get", key=key))
 
 
 def encode_put(key: bytes, value: bytes) -> bytes:
-    return (struct.pack("!BH", OP_PUT, len(key)) + key
-            + struct.pack("!I", len(value)) + value)
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyKvCodec`."""
+    from .proto.codec import Request
+
+    return _codec().encode_request(Request(op="set", key=key, value=value))
 
 
 def decode_request(data: bytes) -> Tuple[int, bytes, Optional[bytes]]:
-    op, klen = struct.unpack_from("!BH", data, 0)
-    key = data[3:3 + klen]
-    if op == OP_PUT:
-        (vlen,) = struct.unpack_from("!I", data, 3 + klen)
-        value = data[3 + klen + 4:3 + klen + 4 + vlen]
-        return op, key, value
-    return op, key, None
+    """Decode one *complete* request; raises ``CodecError`` if truncated.
+
+    Deprecated entry point.  The old hand-rolled parser silently
+    truncated a PUT whose value was cut short (a split read stored a
+    partial value); the codec now refuses: incomplete bytes raise
+    instead of decoding garbage.
+    """
+    from .proto.codec import CodecError
+
+    requests = _codec().feed(data)
+    if not requests:
+        raise CodecError("truncated kv request (%d bytes)" % len(data))
+    request = requests[0]
+    if request.op == "set":
+        return OP_PUT, request.key, request.value
+    return OP_GET, request.key, None
 
 
 def decode_response(data: bytes) -> Tuple[bool, Optional[bytes]]:
-    status = data[0]
-    if status != STATUS_OK:
-        return False, None
-    (vlen,) = struct.unpack_from("!I", data, 1)
-    return True, data[5:5 + vlen]
+    """Deprecated: use :class:`repro.apps.proto.legacy.LegacyKvCodec`."""
+    from .proto.codec import ST_VALUE, CodecError
+
+    replies = _codec().feed_responses(data)
+    if not replies:
+        raise CodecError("truncated kv response (%d bytes)" % len(data))
+    reply = replies[0]
+    if reply.status == ST_VALUE:
+        return True, reply.value
+    return False, None
 
 
 # ---------------------------------------------------------------------------
@@ -99,6 +127,7 @@ class KvEngine:
         self._table: Dict[bytes, Buffer] = {}
         self.gets = 0
         self.puts = 0
+        self.deletes = 0
         self.misses = 0
 
     def parse_cost(self) -> int:
@@ -127,6 +156,20 @@ class KvEngine:
         if old is not None and not old.freed:
             self.mm.free(old)
         return new_buf
+
+    def delete(self, key: bytes) -> bool:
+        """Remove *key*; same pointer-swap discipline as :meth:`put`.
+
+        The freed buffer may still back an in-flight zero-copy GET
+        response; free-protection covers that window.
+        """
+        buf = self._table.pop(key, None)
+        if buf is None:
+            return False
+        self.deletes += 1
+        if not buf.freed:
+            self.mm.free(buf)
+        return True
 
     def service_cost(self, op: int) -> int:
         return self.costs.kv_get_ns if op == OP_GET else self.costs.kv_put_ns
@@ -199,7 +242,13 @@ class DemiKvServer:
                 conn_qds.pop(index)
                 conn_tokens.pop(index)
                 continue
-            yield from self._serve(qd, result.sga)
+            ok = yield from self._serve(qd, result.sga)
+            if not ok:
+                # Malformed request: the stream is desynced; close it.
+                yield from libos.close(qd)
+                conn_qds.pop(index)
+                conn_tokens.pop(index)
+                continue
             conn_tokens[index] = libos.pop(qd)
         accept_proc.interrupt("server stopped")
         return self.requests_served
@@ -210,11 +259,17 @@ class DemiKvServer:
             conn_qds.append(qd)
 
     def _serve(self, qd: int, request_sga: Sga) -> Generator:
+        from .proto.codec import CodecError
+
         libos = self.libos
         engine = self.engine
         service_start = libos.sim.now
         yield libos.core.busy(engine.parse_cost())
-        op, key, value = decode_request(request_sga.tobytes())
+        try:
+            op, key, value = decode_request(request_sga.tobytes())
+        except CodecError:
+            libos.count(names.KV_MALFORMED_REQUESTS)
+            return False
         if self.n_shards > 1:
             from .steering import key_partition
 
@@ -238,6 +293,7 @@ class DemiKvServer:
         yield from libos.blocking_push(qd, reply)
         self.service_stats.add(libos.sim.now - service_start)
         self.requests_served += 1
+        return True
 
     def _small_reply(self, payload: bytes) -> Sga:
         buf = self.libos.mm.alloc(len(payload))
@@ -314,11 +370,18 @@ class UdpKvServer:
         return self.requests_served
 
     def _serve(self, qd: int, result) -> Generator:
+        from .proto.codec import CodecError
+
         libos = self.libos
         engine = self.engine
         service_start = libos.sim.now
         yield libos.core.busy(engine.parse_cost())
-        op, key, value = decode_request(result.sga.tobytes())
+        try:
+            op, key, value = decode_request(result.sga.tobytes())
+        except CodecError:
+            # UDP has no stream to desync: drop the datagram and move on.
+            libos.count(names.KV_MALFORMED_REQUESTS)
+            return
         yield libos.core.busy(engine.service_cost(op))
         if op == OP_PUT:
             engine.put(key, bytes(value))

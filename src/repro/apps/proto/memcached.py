@@ -1,0 +1,185 @@
+"""The memcached binary protocol as an incremental codec.
+
+Every packet is a fixed 24-byte header plus a body (extras + key +
+value).  Requests carry magic ``0x80``, responses ``0x81``; the opcode,
+opaque token, and CAS ride in the header, so the reply mirrors the
+request's opcode and opaque verbatim - the fields pipelined clients use
+to match replies without trusting ordering.
+
+Supported opcodes: get (0x00), set (0x01, extras = flags + expiry),
+delete (0x04), noop (0x0a).  Unknown opcodes decode as
+``Request(op="invalid")`` and the server answers status ``0x0081``
+(unknown command) with the opcode mirrored; a wrong magic byte is
+stream desync and raises :class:`~repro.apps.proto.codec.CodecError`.
+
+Expiry: the binary protocol speaks seconds, the store speaks
+milliseconds; encode rounds the TTL *up* so a nonzero TTL never becomes
+"immortal" on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .codec import (ST_COUNT, ST_ERROR, ST_MISS, ST_PONG, ST_STORED,
+                    ST_VALUE, Codec, CodecError, Request, Response,
+                    check_len)
+
+__all__ = ["MemcachedCodec"]
+
+HEADER = struct.Struct("!BBHBBHIIQ")
+HEADER_LEN = HEADER.size  # 24
+
+MAGIC_REQUEST = 0x80
+MAGIC_RESPONSE = 0x81
+
+OP_GET = 0x00
+OP_SET = 0x01
+OP_DELETE = 0x04
+OP_NOOP = 0x0A
+
+STATUS_OK = 0x0000
+STATUS_NOT_FOUND = 0x0001
+STATUS_UNKNOWN_COMMAND = 0x0081
+
+_OP_NAMES = {OP_GET: "get", OP_SET: "set", OP_DELETE: "delete",
+             OP_NOOP: "noop"}
+_OPCODES = {name: code for code, name in _OP_NAMES.items()}
+#: extras on a set request: flags u32 + expiry u32 (seconds)
+_SET_EXTRAS = struct.Struct("!II")
+#: extras on a get response: flags u32
+_GET_EXTRAS = struct.Struct("!I")
+
+
+def _pack(magic: int, opcode: int, status: int, key: bytes = b"",
+          extras: bytes = b"", value: bytes = b"", opaque: int = 0,
+          cas: int = 0) -> bytes:
+    body_len = len(extras) + len(key) + len(value)
+    return HEADER.pack(magic, opcode, len(key), len(extras), 0, status,
+                       body_len, opaque, cas) + extras + key + value
+
+
+class MemcachedCodec(Codec):
+    """Incremental memcached-binary for get/set/delete/noop."""
+
+    name = "memcached"
+
+    # -- shared packet walk ------------------------------------------------
+    @staticmethod
+    def _try_packet(buf, expect_magic: int):
+        """(header fields, extras, key, value) consumed, or None."""
+        if len(buf) < HEADER_LEN:
+            return None
+        (magic, opcode, key_len, extras_len, _dtype, status, body_len,
+         opaque, cas) = HEADER.unpack(buf.peek(HEADER_LEN))
+        if magic != expect_magic:
+            raise CodecError("bad magic 0x%02x (expected 0x%02x)"
+                             % (magic, expect_magic))
+        check_len(body_len, "packet body")
+        if extras_len + key_len > body_len:
+            raise CodecError("header fields exceed body length")
+        if len(buf) < HEADER_LEN + body_len:
+            return None
+        body = buf.peek(body_len, HEADER_LEN)
+        buf.discard(HEADER_LEN + body_len)
+        extras = body[:extras_len]
+        key = body[extras_len:extras_len + key_len]
+        value = body[extras_len + key_len:]
+        return opcode, status, extras, key, value, opaque, cas
+
+    # -- server side -------------------------------------------------------
+    def _try_decode_request(self, buf) -> Optional[Request]:
+        got = self._try_packet(buf, MAGIC_REQUEST)
+        if got is None:
+            return None
+        opcode, _status, extras, key, value, opaque, _cas = got
+        op = _OP_NAMES.get(opcode)
+        if op is None:
+            return Request(op="invalid", opaque=opaque,
+                           error="unknown opcode 0x%02x" % opcode)
+        if op == "set":
+            if len(extras) != _SET_EXTRAS.size:
+                return Request(op="invalid", opaque=opaque,
+                               error="set needs flags+expiry extras")
+            _flags, expiry_s = _SET_EXTRAS.unpack(extras)
+            return Request(op="set", key=key, value=value,
+                           ttl_ms=expiry_s * 1000, opaque=opaque)
+        if op in ("get", "delete") and not key:
+            return Request(op="invalid", opaque=opaque,
+                           error="%s needs a key" % op)
+        return Request(op=op, key=key, opaque=opaque)
+
+    def encode(self, response: Response) -> bytes:
+        opcode = _OPCODES.get(response.op, OP_NOOP)
+        status = response.status
+        opaque = response.opaque
+        if status == ST_VALUE:
+            return _pack(MAGIC_RESPONSE, opcode, STATUS_OK,
+                         extras=_GET_EXTRAS.pack(0), value=response.value,
+                         opaque=opaque, cas=response.cas)
+        if status == ST_STORED:
+            return _pack(MAGIC_RESPONSE, opcode, STATUS_OK, opaque=opaque,
+                         cas=response.cas)
+        if status == ST_MISS:
+            return _pack(MAGIC_RESPONSE, opcode, STATUS_NOT_FOUND,
+                         value=b"Not found", opaque=opaque)
+        if status == ST_COUNT:
+            if response.count > 0:
+                return _pack(MAGIC_RESPONSE, opcode, STATUS_OK,
+                             opaque=opaque, cas=response.cas)
+            return _pack(MAGIC_RESPONSE, opcode, STATUS_NOT_FOUND,
+                         value=b"Not found", opaque=opaque)
+        if status == ST_PONG:
+            return _pack(MAGIC_RESPONSE, opcode, STATUS_OK, opaque=opaque)
+        if status == ST_ERROR:
+            return _pack(MAGIC_RESPONSE, opcode, STATUS_UNKNOWN_COMMAND,
+                         value=response.message.encode("ascii", "replace"),
+                         opaque=opaque)
+        raise CodecError("memcached-binary cannot encode status %r" % status)
+
+    # -- client side -------------------------------------------------------
+    def encode_request(self, request: Request) -> bytes:
+        op = request.op
+        if op == "get":
+            return _pack(MAGIC_REQUEST, OP_GET, 0, key=request.key,
+                         opaque=request.opaque)
+        if op == "set":
+            expiry_s = (request.ttl_ms + 999) // 1000 if request.ttl_ms else 0
+            return _pack(MAGIC_REQUEST, OP_SET, 0, key=request.key,
+                         extras=_SET_EXTRAS.pack(0, expiry_s),
+                         value=request.value, opaque=request.opaque)
+        if op == "delete":
+            return _pack(MAGIC_REQUEST, OP_DELETE, 0, key=request.key,
+                         opaque=request.opaque)
+        if op in ("noop", "ping"):
+            return _pack(MAGIC_REQUEST, OP_NOOP, 0, opaque=request.opaque)
+        raise CodecError("memcached-binary cannot encode request op %r" % op)
+
+    def _try_decode_response(self, buf) -> Optional[Response]:
+        got = self._try_packet(buf, MAGIC_RESPONSE)
+        if got is None:
+            return None
+        opcode, status, extras, _key, value, opaque, cas = got
+        op = _OP_NAMES.get(opcode, "noop")
+        if status == STATUS_UNKNOWN_COMMAND:
+            return Response(status=ST_ERROR, op=op, opaque=opaque,
+                            message=value.decode("ascii", "replace"))
+        if status == STATUS_NOT_FOUND:
+            if op == "delete":
+                return Response(status=ST_COUNT, count=0, op=op,
+                                opaque=opaque)
+            return Response(status=ST_MISS, op=op, opaque=opaque)
+        if status != STATUS_OK:
+            return Response(status=ST_ERROR, op=op, opaque=opaque,
+                            message="status 0x%04x" % status)
+        if op == "get":
+            if len(extras) != _GET_EXTRAS.size:
+                raise CodecError("get response missing flags extras")
+            return Response(status=ST_VALUE, value=value, op=op,
+                            opaque=opaque, cas=cas)
+        if op == "set":
+            return Response(status=ST_STORED, op=op, opaque=opaque, cas=cas)
+        if op == "delete":
+            return Response(status=ST_COUNT, count=1, op=op, opaque=opaque)
+        return Response(status=ST_PONG, op=op, opaque=opaque)

@@ -1,0 +1,237 @@
+"""RESP2, the Redis serialization protocol, as an incremental codec.
+
+Requests are arrays of bulk strings (``*2\\r\\n$3\\r\\nGET\\r\\n$3\\r\\n
+foo\\r\\n``); replies use the five RESP2 type markers (``+`` simple,
+``-`` error, ``:`` integer, ``$`` bulk / ``$-1`` null).  Supported
+commands: GET, SET (with PX/EX expiry), DEL (multi-key), MSET, PING -
+the memcached-shaped subset the paper's section 4.4 application needs.
+
+Pipelining falls out of the stream model: a client may concatenate any
+number of commands into one element, and :meth:`Codec.feed` returns all
+of them.  Unknown commands and arity mistakes decode as
+``Request(op="invalid")`` so the server answers ``-ERR ...`` inline and
+keeps the connection, exactly like Redis; only genuine framing damage
+(a non-array opener, an unterminated length line) raises
+:class:`~repro.apps.proto.codec.CodecError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .codec import (ST_COUNT, ST_ERROR, ST_MISS, ST_PONG, ST_STORED,
+                    ST_VALUE, Codec, CodecError, Request, Response,
+                    check_len)
+
+__all__ = ["RespCodec"]
+
+CRLF = b"\r\n"
+
+#: a length/verb line longer than this is desync, not a slow sender
+MAX_LINE_LEN = 64
+#: commands with more elements than this are not ours
+MAX_ARRAY_LEN = 1024
+
+
+def _bulk(item: bytes) -> bytes:
+    return b"$%d\r\n%s\r\n" % (len(item), item)
+
+
+def _array(items) -> bytes:
+    return b"*%d\r\n" % len(items) + b"".join(_bulk(i) for i in items)
+
+
+class RespCodec(Codec):
+    """Incremental RESP2 for the GET/SET/DEL/MSET/PING command set."""
+
+    name = "resp"
+
+    # -- wire helpers ------------------------------------------------------
+    @staticmethod
+    def _read_line(buf, offset: int) -> Optional[Tuple[bytes, int]]:
+        """(line, end offset past CRLF) or None if incomplete."""
+        end = buf.find(CRLF, offset)
+        if end < 0:
+            if len(buf) - offset > MAX_LINE_LEN:
+                raise CodecError("unterminated RESP line")
+            return None
+        if end - offset > MAX_LINE_LEN:
+            raise CodecError("RESP line too long (%d bytes)" % (end - offset))
+        return buf.peek(end - offset, offset), end + 2
+
+    @classmethod
+    def _read_int_line(cls, buf, offset: int,
+                       marker: int) -> Optional[Tuple[int, int]]:
+        got = cls._read_line(buf, offset)
+        if got is None:
+            return None
+        line, offset = got
+        if not line or line[0] != marker:
+            raise CodecError("expected %r line, got %r"
+                             % (chr(marker), line[:16]))
+        try:
+            return int(line[1:]), offset
+        except ValueError:
+            raise CodecError("bad RESP length line %r" % line[:16])
+
+    def _parse_array(self, buf) -> Optional[Tuple[List[bytes], int]]:
+        """A complete array of bulk strings from offset 0, or None."""
+        got = self._read_int_line(buf, 0, ord("*"))
+        if got is None:
+            return None
+        count, offset = got
+        if count < 0 or count > MAX_ARRAY_LEN:
+            raise CodecError("bad RESP array length %d" % count)
+        items: List[bytes] = []
+        for _ in range(count):
+            got = self._read_int_line(buf, offset, ord("$"))
+            if got is None:
+                return None
+            length, offset = got
+            check_len(length, "bulk string")
+            if len(buf) < offset + length + 2:
+                return None
+            items.append(buf.peek(length, offset))
+            if buf.peek(2, offset + length) != CRLF:
+                raise CodecError("bulk string missing CRLF terminator")
+            offset += length + 2
+        return items, offset
+
+    # -- server side -------------------------------------------------------
+    def _try_decode_request(self, buf) -> Optional[Request]:
+        parsed = self._parse_array(buf)
+        if parsed is None:
+            return None
+        items, consumed = parsed
+        buf.discard(consumed)
+        return self._command(items)
+
+    @staticmethod
+    def _command(items: List[bytes]) -> Request:
+        if not items:
+            return Request(op="invalid", error="empty command")
+        verb = items[0].upper()
+        args = items[1:]
+        if verb == b"PING":
+            if args:
+                return _arity_error(b"ping")
+            return Request(op="ping")
+        if verb == b"GET":
+            if len(args) != 1:
+                return _arity_error(b"get")
+            return Request(op="get", key=args[0])
+        if verb == b"SET":
+            if len(args) not in (2, 4):
+                return _arity_error(b"set")
+            ttl_ms = 0
+            if len(args) == 4:
+                unit = args[2].upper()
+                if unit not in (b"PX", b"EX") or not args[3].isdigit():
+                    return Request(op="invalid", error="syntax error")
+                ttl_ms = int(args[3]) * (1 if unit == b"PX" else 1000)
+            return Request(op="set", key=args[0], value=args[1],
+                           ttl_ms=ttl_ms)
+        if verb == b"DEL":
+            if not args:
+                return _arity_error(b"del")
+            return Request(op="delete", key=args[0],
+                           pairs=tuple((k, b"") for k in args))
+        if verb == b"MSET":
+            if not args or len(args) % 2:
+                return _arity_error(b"mset")
+            return Request(op="mset",
+                           pairs=tuple((args[i], args[i + 1])
+                                       for i in range(0, len(args), 2)))
+        return Request(op="invalid",
+                       error="unknown command %r"
+                             % verb.decode("ascii", "replace"))
+
+    def encode(self, response: Response) -> bytes:
+        status = response.status
+        if status == ST_STORED:
+            return b"+OK\r\n"
+        if status == ST_PONG:
+            return b"+PONG\r\n"
+        if status == ST_VALUE:
+            return _bulk(response.value)
+        if status == ST_MISS:
+            return b"$-1\r\n"
+        if status == ST_COUNT:
+            return b":%d\r\n" % response.count
+        if status == ST_ERROR:
+            message = response.message.replace("\r", " ").replace("\n", " ")
+            return b"-ERR %s\r\n" % message.encode("ascii", "replace")
+        raise CodecError("RESP cannot encode status %r" % status)
+
+    # -- client side -------------------------------------------------------
+    def encode_request(self, request: Request) -> bytes:
+        op = request.op
+        if op == "get":
+            return _array([b"GET", request.key])
+        if op == "set":
+            if request.ttl_ms:
+                return _array([b"SET", request.key, request.value,
+                               b"PX", b"%d" % request.ttl_ms])
+            return _array([b"SET", request.key, request.value])
+        if op == "delete":
+            keys = ([k for k, _ in request.pairs] if request.pairs
+                    else [request.key])
+            return _array([b"DEL"] + keys)
+        if op == "mset":
+            flat: List[bytes] = [b"MSET"]
+            for key, value in request.pairs:
+                flat += [key, value]
+            return _array(flat)
+        if op in ("ping", "noop"):
+            return _array([b"PING"])
+        raise CodecError("RESP cannot encode request op %r" % op)
+
+    def _try_decode_response(self, buf) -> Optional[Response]:
+        got = self._read_line(buf, 0)
+        if got is None:
+            return None
+        line, offset = got
+        if not line:
+            raise CodecError("empty RESP reply line")
+        marker, body = line[:1], line[1:]
+        if marker == b"+":
+            buf.discard(offset)
+            if body == b"OK":
+                return Response(status=ST_STORED)
+            if body == b"PONG":
+                return Response(status=ST_PONG)
+            return Response(status=ST_STORED,
+                            message=body.decode("ascii", "replace"))
+        if marker == b"-":
+            buf.discard(offset)
+            return Response(status=ST_ERROR,
+                            message=body.decode("ascii", "replace"))
+        if marker == b":":
+            buf.discard(offset)
+            try:
+                return Response(status=ST_COUNT, count=int(body))
+            except ValueError:
+                raise CodecError("bad RESP integer %r" % body[:16])
+        if marker == b"$":
+            try:
+                length = int(body)
+            except ValueError:
+                raise CodecError("bad RESP bulk length %r" % body[:16])
+            if length == -1:
+                buf.discard(offset)
+                return Response(status=ST_MISS)
+            check_len(length, "bulk reply")
+            if len(buf) < offset + length + 2:
+                return None
+            value = buf.peek(length, offset)
+            if buf.peek(2, offset + length) != CRLF:
+                raise CodecError("bulk reply missing CRLF terminator")
+            buf.discard(offset + length + 2)
+            return Response(status=ST_VALUE, value=value)
+        raise CodecError("unknown RESP type marker %r" % marker)
+
+
+def _arity_error(verb: bytes) -> Request:
+    return Request(op="invalid",
+                   error="wrong number of arguments for %r command"
+                         % verb.decode("ascii"))

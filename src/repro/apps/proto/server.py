@@ -1,0 +1,252 @@
+"""One server, any codec: the protocol layer behind DemiEventLoop.
+
+:class:`ProtoServer` is the section-4.4 application shape - a
+callback-per-connection server on :class:`~repro.core.eventloop.
+DemiEventLoop` - with the protocol factored out: pass ``RespCodec`` and
+it is a Redis; pass ``MemcachedCodec`` and it is a memcached; pass a
+legacy codec and it speaks the repo's original binary formats.  The
+storage behind it is equally pluggable: :class:`KvEngineStore` adapts
+the zero-copy :class:`~repro.apps.kvstore.KvEngine`,
+:class:`LruCacheStore` adapts the TTL+LRU :class:`~repro.apps.cache.
+LruTtlCache`.
+
+Because the codec is incremental, the server is indifferent to how the
+client chunked its bytes: one element may hold half a request (buffered)
+or twenty pipelined ones (served in order, replies coalesced into one
+push - the pipelining win).  A :class:`~repro.apps.proto.codec.
+CodecError` is stream desync: the server counts it and closes that
+connection; requests the codec *could* frame but not accept come back
+as ``op == "invalid"`` and get the protocol's inline error reply.
+
+:class:`ProtoService` holds the codec-independent request execution
+(including CAS bookkeeping for memcached) so the sharded frontend
+(:class:`repro.cluster.shard.ShardProtoServer`) reuses it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from ...core.api import LibOS  # noqa: F401  (typing reference)
+from ..kvstore import KvEngine
+from .codec import (ST_COUNT, ST_ERROR, ST_MISS, ST_PONG, ST_STORED,
+                    ST_VALUE, Codec, CodecError, Request, Response)
+
+# re-exported late to avoid a circular import with apps.cache
+__all__ = ["KvEngineStore", "LruCacheStore", "ProtoService", "ProtoServer"]
+
+
+class KvEngineStore:
+    """The :class:`KvEngine` hash table behind the store contract.
+
+    The engine has no TTL notion; a TTL-carrying SET is accepted and the
+    TTL ignored (memcached semantics for a backend that never expires).
+    """
+
+    def __init__(self, engine: KvEngine):
+        self.engine = engine
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        buf = self.engine.get(key)
+        return None if buf is None else buf.read()
+
+    def set(self, key: bytes, value: bytes, ttl_ms: int = 0) -> None:
+        self.engine.put(key, value)
+
+    def delete(self, key: bytes) -> bool:
+        return self.engine.delete(key)
+
+
+class LruCacheStore:
+    """An :class:`~repro.apps.cache.LruTtlCache` behind the store contract."""
+
+    def __init__(self, cache):
+        self.cache = cache
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self.cache.get(key)
+
+    def set(self, key: bytes, value: bytes, ttl_ms: int = 0) -> None:
+        self.cache.set(key, value, ttl_ms)
+
+    def delete(self, key: bytes) -> bool:
+        return self.cache.delete(key)
+
+
+class ProtoService:
+    """Codec-independent request execution against a store.
+
+    Charges the same CPU costs the hand-written servers charge
+    (``kv_parse_ns`` per request, ``kv_get_ns``/``kv_put_ns`` per
+    operation) and keeps the CAS version map the memcached binary
+    protocol exposes.
+    """
+
+    def __init__(self, libos, store):
+        self.libos = libos
+        self.store = store
+        self.requests_served = 0
+        self.error_replies = 0
+        self._cas: Dict[bytes, int] = {}
+        self._cas_counter = 0
+
+    def apply(self, request: Request) -> Generator:
+        """Sim-coroutine: execute one request; returns the Response."""
+        from ...telemetry import names
+
+        libos = self.libos
+        yield libos.core.busy(libos.costs.kv_parse_ns)
+        op = request.op
+        self.requests_served += 1
+        libos.count(names.PROTO_REQUESTS)
+        if op == "invalid":
+            self.error_replies += 1
+            libos.count(names.PROTO_ERROR_REPLIES)
+            return Response(status=ST_ERROR, message=request.error,
+                            opaque=request.opaque, op=op)
+        if op in ("ping", "noop"):
+            return Response(status=ST_PONG, opaque=request.opaque, op=op)
+        if op == "get":
+            yield libos.core.busy(libos.costs.kv_get_ns)
+            value = self.store.get(request.key)
+            if value is None:
+                return Response(status=ST_MISS, opaque=request.opaque, op=op)
+            return Response(status=ST_VALUE, value=value,
+                            cas=self._cas.get(request.key, 0),
+                            opaque=request.opaque, op=op)
+        if op == "set":
+            yield libos.core.busy(libos.costs.kv_put_ns)
+            self.store.set(request.key, request.value, request.ttl_ms)
+            self._cas_counter += 1
+            self._cas[request.key] = self._cas_counter
+            return Response(status=ST_STORED, cas=self._cas_counter,
+                            opaque=request.opaque, op=op)
+        if op == "delete":
+            keys = ([k for k, _ in request.pairs] if request.pairs
+                    else [request.key])
+            count = 0
+            for key in keys:
+                yield libos.core.busy(libos.costs.kv_get_ns)
+                if self.store.delete(key):
+                    self._cas.pop(key, None)
+                    count += 1
+            return Response(status=ST_COUNT, count=count,
+                            opaque=request.opaque, op=op)
+        if op == "mset":
+            for key, value in request.pairs:
+                yield libos.core.busy(libos.costs.kv_put_ns)
+                self.store.set(key, value, 0)
+                self._cas_counter += 1
+                self._cas[key] = self._cas_counter
+            return Response(status=ST_STORED, opaque=request.opaque, op=op)
+        self.error_replies += 1
+        libos.count(names.PROTO_ERROR_REPLIES)
+        return Response(status=ST_ERROR, message="unsupported op %r" % op,
+                        opaque=request.opaque, op=op)
+
+    def handle(self, codec: Codec,
+               data: bytes) -> Generator:
+        """Sim-coroutine: feed *data*, serve every complete request.
+
+        Returns ``(ok, reply_bytes)``.  ``ok`` is False on stream
+        desync (either direction: an unparseable request, or a reply
+        the codec cannot carry) - the caller must close the connection.
+        Pipelined replies are coalesced into one byte string so a batch
+        of N requests costs one push.
+        """
+        from ...telemetry import names
+
+        libos = self.libos
+        try:
+            requests = codec.feed(data)
+        except CodecError:
+            libos.count(names.PROTO_DECODE_ERRORS)
+            return False, b""
+        if not requests:
+            libos.count(names.PROTO_PARTIAL_FEEDS)
+            return True, b""
+        if len(requests) > 1:
+            libos.count(names.PROTO_PIPELINE_BATCHES)
+        out = bytearray()
+        for request in requests:
+            response = yield from self.apply(request)
+            try:
+                out += codec.encode(response)
+            except CodecError:
+                # This format has no wire shape for the reply (e.g. an
+                # inline error on the legacy binary protocols): closing
+                # is the only honest answer.
+                libos.count(names.PROTO_DECODE_ERRORS)
+                return False, bytes(out)
+        return True, bytes(out)
+
+
+class ProtoServer:
+    """Any codec, any store, served through DemiEventLoop callbacks."""
+
+    def __init__(self, libos, codec_factory: Callable[[], Codec],
+                 store, port: int = 6390):
+        from ...core.eventloop import DemiEventLoop
+
+        self.libos = libos
+        self.codec_factory = codec_factory
+        self.port = port
+        self.loop = DemiEventLoop(libos)
+        self.service = ProtoService(libos, store)
+        self.connections_accepted = 0
+        self.decode_errors = 0
+        self._accept_proc = None
+        self._started = False
+
+    # -- aggregates the benches read --------------------------------------
+    @property
+    def requests_served(self) -> int:
+        return self.service.requests_served
+
+    @property
+    def error_replies(self) -> int:
+        return self.service.error_replies
+
+    def start(self) -> Generator:
+        """Spawn-me: listen, accept, dispatch the event loop."""
+        from ...telemetry import names  # noqa: F401
+
+        libos = self.libos
+        listen_qd = yield from libos.socket()
+        yield from libos.bind(listen_qd, self.port)
+        yield from libos.listen(listen_qd)
+        self._accept_proc = libos.sim.spawn(
+            self._acceptor(listen_qd),
+            name="proto.%s.acceptor" % self.codec_factory().name)
+        self._started = True
+        yield from self.loop.run()
+
+    def stop(self) -> None:
+        self.loop.stop()
+        if self._accept_proc is not None and self._accept_proc.alive:
+            self._accept_proc.interrupt("server stopped")
+
+    def _acceptor(self, listen_qd: int) -> Generator:
+        from ...telemetry import names
+
+        while True:
+            qd = yield from self.libos.accept(listen_qd)
+            self.connections_accepted += 1
+            self.libos.count(names.PROTO_CONNS)
+            self.loop.add_pop_event(qd, self._make_handler(qd))
+
+    def _make_handler(self, qd: int):
+        codec = self.codec_factory()
+
+        def on_data(result):
+            if result.error is not None:
+                return  # connection gone; the loop drops the event
+            ok, reply = yield from self.service.handle(
+                codec, result.sga.tobytes())
+            if reply:
+                yield from self.libos.blocking_push(
+                    qd, self.libos.sga_alloc(reply))
+            if not ok:
+                self.decode_errors += 1
+                yield from self.libos.close(qd)
+        return on_data

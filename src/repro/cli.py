@@ -366,10 +366,18 @@ def cmd_exp_list(args) -> int:
         for problem in problems:
             print("invalid: %s" % problem, file=sys.stderr)
         return 1 if problems else 0
+    from .experiments.workloads import schema_summary
+
     print_table(
         "registered workloads",
         ["workload", "what it runs"],
         [(name, WORKLOADS[name]["blurb"]) for name in sorted(WORKLOADS)],
+    )
+    print_table(
+        "workload params (name:type=default)",
+        ["workload", "params"],
+        [(name, schema_summary(WORKLOADS[name].get("schema")))
+         for name in sorted(WORKLOADS)],
     )
     print("named fault plans: %s" % ", ".join(named_plans()))
     print("run one: python -m repro exp run experiments/ci_matrix.json")

@@ -31,7 +31,7 @@ from ..core.types import DemiTimeout
 from ..libos.dpdk_libos import DpdkLibOS
 from ..telemetry import names
 
-__all__ = ["Shard", "ShardKvServer", "ShardedKvServer"]
+__all__ = ["Shard", "ShardKvServer", "ShardProtoServer", "ShardedKvServer"]
 
 
 class ShardKvServer(DemiKvServer):
@@ -110,8 +110,14 @@ class ShardKvServer(DemiKvServer):
                     # Connection done (EOF/reset): drop it after the sweep.
                     dead.append(index)
                     continue
-                yield from self._serve(qd, result.sga)
+                ok = yield from self._serve(qd, result.sga)
                 libos.count(names.SHARD_REQUESTS)
+                if ok is False:
+                    # Stream desync (malformed request): close the
+                    # connection and drop it after the sweep.
+                    yield from libos.close(qd)
+                    dead.append(index)
+                    continue
                 tokens[index] = libos.pop(qd)
             for index in sorted(dead, reverse=True):
                 conn_qds.pop(index - 1)
@@ -126,11 +132,83 @@ class ShardKvServer(DemiKvServer):
                 conn_chan, libos.sga_alloc(struct.pack("!I", qd)))
 
 
+class ShardProtoServer(ShardKvServer):
+    """A shard speaking a real wire protocol (RESP / memcached-binary).
+
+    Same wake-one event loop as :class:`ShardKvServer`; only the byte
+    layer differs - each connection gets its own incremental
+    :class:`~repro.apps.proto.codec.Codec` (split and pipelined requests
+    both decode correctly) and execution goes through the shared
+    :class:`~repro.apps.proto.server.ProtoService`, so the sharded
+    frontend and the single-core :class:`~repro.apps.proto.server.
+    ProtoServer` answer byte-identically.
+    """
+
+    def __init__(self, libos: DpdkLibOS, port: int = 6379,
+                 engine: Optional[KvEngine] = None,
+                 shard_index: int = 0, n_shards: int = 1,
+                 codec_factory=None):
+        from ..apps.proto import KvEngineStore, ProtoService, RespCodec
+
+        super().__init__(libos, port=port, engine=engine,
+                         shard_index=shard_index, n_shards=n_shards)
+        self.codec_factory = codec_factory or RespCodec
+        self.service = ProtoService(libos, KvEngineStore(self.engine))
+        self.decode_errors = 0
+        self._codecs: dict = {}  # qd -> per-connection codec state
+
+    def _serve(self, qd: int, request_sga) -> Generator:
+        from ..apps.proto.codec import CodecError
+        from ..apps.steering import key_partition
+
+        libos = self.libos
+        service_start = libos.sim.now
+        codec = self._codecs.get(qd)
+        if codec is None:
+            codec = self._codecs[qd] = self.codec_factory()
+        try:
+            requests = codec.feed(request_sga.tobytes())
+        except CodecError:
+            self.decode_errors += 1
+            libos.count(names.PROTO_DECODE_ERRORS)
+            self._codecs.pop(qd, None)
+            return False
+        if not requests:
+            libos.count(names.PROTO_PARTIAL_FEEDS)
+            return True
+        if len(requests) > 1:
+            libos.count(names.PROTO_PIPELINE_BATCHES)
+        ok = True
+        out = bytearray()
+        for request in requests:
+            if self.n_shards > 1 and request.key:
+                if key_partition(request.key, self.n_shards) \
+                        != self.shard_index:
+                    self.misrouted += 1
+                    libos.count(names.SHARD_MISROUTED)
+            response = yield from self.service.apply(request)
+            try:
+                out += codec.encode(response)
+            except CodecError:
+                self.decode_errors += 1
+                libos.count(names.PROTO_DECODE_ERRORS)
+                ok = False
+                break
+        if out:
+            yield from libos.blocking_push(qd, libos.sga_alloc(bytes(out)))
+        self.service_stats.add(libos.sim.now - service_start)
+        self.requests_served = self.service.requests_served
+        if not ok:
+            self._codecs.pop(qd, None)
+        return ok
+
+
 class Shard:
     """One core's worth of server: libOS + engine + event loop."""
 
     def __init__(self, host, nic, ip: str, index: int, n_shards: int,
-                 port: int = 6379):
+                 port: int = 6379, server_cls=None,
+                 server_kwargs: Optional[dict] = None):
         self.index = index
         self.n_shards = n_shards
         self.core = host.cpus[index]
@@ -148,8 +226,10 @@ class Shard:
             batching=True,
         )
         self.engine = KvEngine(host, name="%s.kv%d" % (host.name, index))
-        self.server = ShardKvServer(self.libos, port=port, engine=self.engine,
-                                    shard_index=index, n_shards=n_shards)
+        server_cls = server_cls or ShardKvServer
+        self.server = server_cls(self.libos, port=port, engine=self.engine,
+                                 shard_index=index, n_shards=n_shards,
+                                 **(server_kwargs or {}))
         self.proc = None
 
     def start(self) -> None:
@@ -181,7 +261,8 @@ class ShardedKvServer:
     shard-*q* keys never causes cross-shard traffic.
     """
 
-    def __init__(self, host, nic, ip: str, n_shards: int, port: int = 6379):
+    def __init__(self, host, nic, ip: str, n_shards: int, port: int = 6379,
+                 server_cls=None, server_kwargs: Optional[dict] = None):
         if nic.n_rx_queues != n_shards:
             raise ValueError("NIC has %d RX queues for %d shards"
                              % (nic.n_rx_queues, n_shards))
@@ -193,7 +274,9 @@ class ShardedKvServer:
         self.ip = ip
         self.port = port
         self.n_shards = n_shards
-        self.shards = [Shard(host, nic, ip, i, n_shards, port=port)
+        self.shards = [Shard(host, nic, ip, i, n_shards, port=port,
+                             server_cls=server_cls,
+                             server_kwargs=server_kwargs)
                        for i in range(n_shards)]
 
     def start(self) -> None:
@@ -224,6 +307,11 @@ class ShardedKvServer:
     @property
     def misrouted(self) -> int:
         return sum(s.server.misrouted for s in self.shards)
+
+    @property
+    def decode_errors(self) -> int:
+        return sum(getattr(s.server, "decode_errors", 0)
+                   for s in self.shards)
 
     def per_shard_requests(self) -> List[int]:
         return [s.server.requests_served for s in self.shards]

@@ -28,22 +28,109 @@ from ..telemetry import counter_rollup
 from .spec import ExperimentSpec
 
 __all__ = ["WORKLOADS", "register_workload", "workload_names",
-           "validate_spec", "run_spec"]
+           "validate_spec", "run_spec", "check_params", "schema_summary"]
 
 #: name -> {"validate": spec -> Optional[str], "run": spec -> dict,
-#:          "blurb": str}
+#:          "blurb": str, "schema": Optional[dict]}
 WORKLOADS: Dict[str, Dict[str, Any]] = {}
 
+#: schema "type" -> accepted Python types (bool is NOT an int here)
+_SCHEMA_TYPES: Dict[str, tuple] = {
+    "int": (int,),
+    "float": (float, int),
+    "number": (float, int),
+    "str": (str,),
+    "bool": (bool,),
+    "list": (list, tuple),
+}
 
-def register_workload(name: str, validate: Callable, run: Callable,
-                      blurb: str = "", replace: bool = False) -> None:
-    if name in WORKLOADS and not replace:
-        raise ValueError("workload %r already registered" % name)
-    WORKLOADS[name] = {"validate": validate, "run": run, "blurb": blurb}
+
+def register_workload(name: str, validate: Optional[Callable] = None,
+                      run: Optional[Callable] = None, blurb: str = "",
+                      schema: Optional[Dict[str, Dict[str, Any]]] = None,
+                      replace: bool = False):
+    """Register a workload; decorator or direct call.
+
+    Decorator form (the idiom - the decorated function is ``run``)::
+
+        @register_workload("my-bench", validate=_my_validate,
+                           blurb="...", schema={
+                               "n_ops": {"type": "int", "default": 40},
+                           })
+        def _my_run(spec): ...
+
+    *schema* declares the accepted ``spec.params`` keys: ``{name:
+    {"type": ..., "default": ...}}`` with type one of %s.  When present,
+    :func:`validate_spec` rejects unknown params and type mismatches
+    before the workload's own ``validate`` runs, and ``repro exp list``
+    prints the schema - no more silently-ignored typos in spec files.
+    A workload registered without a schema accepts anything (legacy).
+
+    The three-positional-argument call ``register_workload(name,
+    validate, run)`` still works for callers that predate the
+    decorator.
+    """ % ", ".join(sorted(_SCHEMA_TYPES))
+    if schema is not None:
+        for key, entry in schema.items():
+            if entry.get("type") not in _SCHEMA_TYPES:
+                raise ValueError(
+                    "schema for %r param %r: unknown type %r (have: %s)"
+                    % (name, key, entry.get("type"),
+                       ", ".join(sorted(_SCHEMA_TYPES))))
+
+    def _install(run_fn: Callable) -> Callable:
+        if name in WORKLOADS and not replace:
+            raise ValueError("workload %r already registered" % name)
+        WORKLOADS[name] = {
+            "validate": validate or (lambda spec: None),
+            "run": run_fn,
+            "blurb": blurb,
+            "schema": schema,
+        }
+        return run_fn
+
+    if run is not None:
+        _install(run)
+        return None
+    return _install
 
 
 def workload_names() -> List[str]:
     return sorted(WORKLOADS)
+
+
+def check_params(params: Dict[str, Any],
+                 schema: Dict[str, Dict[str, Any]]) -> Optional[str]:
+    """``None`` if *params* fit *schema*, else the first violation."""
+    for key in sorted(params):
+        entry = schema.get(key)
+        if entry is None:
+            return ("unknown param %r (schema has: %s)"
+                    % (key, ", ".join(sorted(schema)) or "no params"))
+        kinds = _SCHEMA_TYPES[entry["type"]]
+        value = params[key]
+        if isinstance(value, bool) and bool not in kinds:
+            return ("param %r must be %s, got bool" % (key, entry["type"]))
+        if not isinstance(value, kinds):
+            return ("param %r must be %s, got %s"
+                    % (key, entry["type"], type(value).__name__))
+    return None
+
+
+def schema_summary(schema: Optional[Dict[str, Dict[str, Any]]]) -> str:
+    """One-line ``name:type=default`` rendering for ``repro exp list``."""
+    if schema is None:
+        return "(any params)"
+    if not schema:
+        return "(no params)"
+    parts = []
+    for key in sorted(schema):
+        entry = schema[key]
+        part = "%s:%s" % (key, entry["type"])
+        if "default" in entry:
+            part += "=%r" % (entry["default"],)
+        parts.append(part)
+    return " ".join(parts)
 
 
 def validate_spec(spec: ExperimentSpec) -> Optional[str]:
@@ -52,6 +139,10 @@ def validate_spec(spec: ExperimentSpec) -> Optional[str]:
     if entry is None:
         return ("unknown workload %r (have: %s)"
                 % (spec.workload, ", ".join(workload_names())))
+    if entry.get("schema") is not None:
+        reason = check_params(spec.params, entry["schema"])
+        if reason is not None:
+            return reason
     reason = entry["validate"](spec)
     if reason is not None:
         return reason
@@ -94,6 +185,17 @@ def _kv_validate(spec: ExperimentSpec) -> Optional[str]:
     return None
 
 
+@register_workload(
+    "kv", validate=_kv_validate,
+    blurb="cores concurrent closed-loop KV clients, any network libOS,"
+          " fault-plan compatible",
+    schema={
+        "n_ops": {"type": "int", "default": 40},
+        "n_keys": {"type": "int", "default": 16},
+        "value_size": {"type": "int", "default": 256},
+        "get_fraction": {"type": "number", "default": 0.7},
+        "counters": {"type": "list"},
+    })
 def _kv_run(spec: ExperimentSpec) -> Dict[str, Any]:
     from ..testing.scenarios import run_kv_concurrent_scenario
 
@@ -141,6 +243,15 @@ def _chaos_validate(spec: ExperimentSpec) -> Optional[str]:
     return None
 
 
+@register_workload(
+    "chaos", validate=_chaos_validate,
+    blurb="one golden chaos scenario (params.scenario) incl. replay"
+          " determinism check",
+    schema={
+        "scenario": {"type": "str"},
+        "check_reproducible": {"type": "bool", "default": True},
+        "counters": {"type": "list"},
+    })
 def _chaos_run(spec: ExperimentSpec) -> Dict[str, Any]:
     from ..testing.scenarios import run_scenario
 
@@ -176,6 +287,16 @@ def _kv_scaling_validate(spec: ExperimentSpec) -> Optional[str]:
     return None
 
 
+@register_workload(
+    "kv-scaling", validate=_kv_scaling_validate,
+    blurb="sharded KV throughput at cores shards (dpdk), wake-one"
+          " counters checked",
+    schema={
+        "n_ops": {"type": "int", "default": 200},
+        "n_keys": {"type": "int", "default": 32},
+        "value_size": {"type": "int", "default": 256},
+        "get_fraction": {"type": "number", "default": 0.9},
+    })
 def _kv_scaling_run(spec: ExperimentSpec) -> Dict[str, Any]:
     from ..bench.runners import kv_rtt_sharded
 
@@ -218,6 +339,13 @@ def _rtt_validate(flavors, bench):
     return validate
 
 
+@register_workload(
+    "echo-rtt", validate=_rtt_validate(_ECHO_FLAVORS, "echo-rtt"),
+    blurb="echo round-trip + per-request syscall/copy/interrupt costs",
+    schema={
+        "message_size": {"type": "int", "default": 64},
+        "count": {"type": "int", "default": 20},
+    })
 def _echo_rtt_run(spec: ExperimentSpec) -> Dict[str, Any]:
     from ..bench.runners import echo_rtt
 
@@ -232,6 +360,13 @@ def _echo_rtt_run(spec: ExperimentSpec) -> Dict[str, Any]:
             "failures": [] if ok else ["no RTT samples recorded"]}
 
 
+@register_workload(
+    "kv-rtt", validate=_rtt_validate(_KV_RTT_FLAVORS, "kv-rtt"),
+    blurb="KV GET round-trip + server CPU per request",
+    schema={
+        "value_size": {"type": "int", "default": 1024},
+        "n_gets": {"type": "int", "default": 20},
+    })
 def _kv_rtt_run(spec: ExperimentSpec) -> Dict[str, Any]:
     from ..bench.runners import kv_rtt
 
@@ -337,6 +472,15 @@ def _kv_offload_variant(spec: ExperimentSpec, with_program: bool):
     return row, failures
 
 
+@register_workload(
+    "kv-offload", validate=_offload_bench_validate("kv-offload", "dpdk"),
+    blurb="host CPU/op for UDP KV GETs with vs without the NIC-resident"
+          " GET program",
+    schema={
+        "n_keys": {"type": "int", "default": 20},
+        "n_gets": {"type": "int", "default": 200},
+        "value_size": {"type": "int", "default": 64},
+    })
 def _kv_offload_run(spec: ExperimentSpec) -> Dict[str, Any]:
     base, failures = _kv_offload_variant(spec, with_program=False)
     off, off_failures = _kv_offload_variant(spec, with_program=True)
@@ -403,6 +547,14 @@ def _storelog_scan_variant(spec: ExperimentSpec, on_device: bool):
     return row, matches
 
 
+@register_workload(
+    "storelog-scan",
+    validate=_offload_bench_validate("storelog-scan", "spdk"),
+    blurb="log predicate scan on-device vs host read loop, host CPU and"
+          " PCIe traffic compared",
+    schema={
+        "n_records": {"type": "int", "default": 400},
+    })
 def _storelog_scan_run(spec: ExperimentSpec) -> Dict[str, Any]:
     host, host_matches = _storelog_scan_variant(spec, on_device=False)
     dev, dev_matches = _storelog_scan_variant(spec, on_device=True)
@@ -429,31 +581,99 @@ def _storelog_scan_run(spec: ExperimentSpec) -> Dict[str, Any]:
     return {"metrics": metrics, "ok": not failures, "failures": failures}
 
 
-register_workload(
-    "kv", _kv_validate, _kv_run,
-    blurb="cores concurrent closed-loop KV clients, any network libOS,"
-          " fault-plan compatible")
-register_workload(
-    "chaos", _chaos_validate, _chaos_run,
-    blurb="one golden chaos scenario (params.scenario) incl. replay"
-          " determinism check")
-register_workload(
-    "kv-scaling", _kv_scaling_validate, _kv_scaling_run,
-    blurb="sharded KV throughput at cores shards (dpdk), wake-one"
-          " counters checked")
-register_workload(
-    "echo-rtt", _rtt_validate(_ECHO_FLAVORS, "echo-rtt"), _echo_rtt_run,
-    blurb="echo round-trip + per-request syscall/copy/interrupt costs")
-register_workload(
-    "kv-rtt", _rtt_validate(_KV_RTT_FLAVORS, "kv-rtt"), _kv_rtt_run,
-    blurb="KV GET round-trip + server CPU per request")
-register_workload(
-    "kv-offload", _offload_bench_validate("kv-offload", "dpdk"),
-    _kv_offload_run,
-    blurb="host CPU/op for UDP KV GETs with vs without the NIC-resident"
-          " GET program")
-register_workload(
-    "storelog-scan", _offload_bench_validate("storelog-scan", "spdk"),
-    _storelog_scan_run,
-    blurb="log predicate scan on-device vs host read loop, host CPU and"
-          " PCIe traffic compared")
+# -- proto-slo: open-loop SLO sweep against the protocol servers -----------
+def _proto_slo_validate(spec: ExperimentSpec) -> Optional[str]:
+    from ..apps.proto import CODECS
+
+    if spec.libos not in ("dpdk", "posix"):
+        return "'proto-slo' serves over dpdk or posix libOSes"
+    if spec.cores > 1 and spec.libos != "dpdk":
+        return "'proto-slo' sharded runs (cores > 1) are dpdk only"
+    if spec.fault_plan != "none":
+        return "'proto-slo' is a performance bench: fault_plan must be 'none'"
+    protocol = spec.params.get("protocol", "resp")
+    if protocol not in CODECS:
+        return ("unknown protocol %r (have: %s)"
+                % (protocol, ", ".join(sorted(CODECS))))
+    return None
+
+
+@register_workload(
+    "proto-slo", validate=_proto_slo_validate,
+    blurb="open-loop Poisson/Zipf load sweep against a RESP or memcached"
+          " server; goodput + tail latency per offered-load point",
+    schema={
+        "protocol": {"type": "str", "default": "resp"},
+        "base_rate_ops_per_s": {"type": "number", "default": 240000},
+        "load_fractions": {"type": "list", "default": [0.3, 0.7, 1.0, 1.3]},
+        "duration_ms": {"type": "int", "default": 20},
+        "n_connections": {"type": "int", "default": 4},
+        "pipeline_max": {"type": "int", "default": 16},
+        "n_keys": {"type": "int", "default": 64},
+        "value_size": {"type": "int", "default": 128},
+        "get_fraction": {"type": "number", "default": 0.9},
+        "zipf_skew": {"type": "number", "default": 0.99},
+        "churn_every": {"type": "int", "default": 0},
+        "stall_conns": {"type": "int", "default": 0},
+        "stall_ns": {"type": "int", "default": 2000000},
+        "chunk_bytes": {"type": "int", "default": 0},
+    })
+def _proto_slo_run(spec: ExperimentSpec) -> Dict[str, Any]:
+    """The whole sweep runs in one spec so budgets can gate the curve.
+
+    Per-row budgets key on flat metric names (``p999_at_70_ns``,
+    ``goodput_at_130_ops_per_s``...), so every offered-load point lands
+    in this one row rather than one spec per point - params cannot be
+    matrix axes.
+    """
+    from ..bench.loadgen import LoadConfig, slo_sweep
+
+    params = spec.params
+    cfg = LoadConfig(
+        protocol=params.get("protocol", "resp"),
+        duration_ms=params.get("duration_ms", 20),
+        n_connections=params.get("n_connections", 4),
+        pipeline_max=params.get("pipeline_max", 16),
+        n_keys=params.get("n_keys", 64),
+        value_size=params.get("value_size", 128),
+        get_fraction=params.get("get_fraction", 0.9),
+        zipf_skew=params.get("zipf_skew", 0.99),
+        churn_every=params.get("churn_every", 0),
+        stall_conns=params.get("stall_conns", 0),
+        stall_ns=params.get("stall_ns", 2_000_000),
+        chunk_bytes=params.get("chunk_bytes", 0),
+    )
+    fractions = params.get("load_fractions", [0.3, 0.7, 1.0, 1.3])
+    base_rate = params.get("base_rate_ops_per_s", 240_000)
+    rows = slo_sweep(cfg, fractions, base_rate, seed=spec.seed,
+                     libos_kind=spec.libos, cores=spec.cores)
+    failures: List[str] = []
+    metrics: Dict[str, Any] = {
+        "base_rate_ops_per_s": base_rate,
+        "decode_errors": 0,
+        "error_replies": 0,
+        "reconnects": 0,
+        "stalls": 0,
+    }
+    for fraction, row in zip(fractions, rows):
+        pct = int(round(fraction * 100))
+        metrics["offered_at_%d_ops_per_s" % pct] = row["offered_ops_per_s"]
+        metrics["goodput_at_%d_ops_per_s" % pct] = row["goodput_ops_per_s"]
+        metrics["p50_at_%d_ns" % pct] = row["p50_ns"]
+        metrics["p99_at_%d_ns" % pct] = row["p99_ns"]
+        metrics["p999_at_%d_ns" % pct] = row["p999_ns"]
+        metrics["completed_at_%d" % pct] = row["completed"]
+        metrics["decode_errors"] += (row["server_decode_errors"]
+                                     + row["client_decode_errors"])
+        metrics["error_replies"] += row["error_replies"]
+        metrics["reconnects"] += row["reconnects"]
+        metrics["stalls"] += row["stalls"]
+        if row["completed"] == 0:
+            failures.append("load %d%%: nothing completed" % pct)
+        if row["server_decode_errors"] or row["client_decode_errors"]:
+            failures.append("load %d%%: %d server / %d client decode errors"
+                            % (pct, row["server_decode_errors"],
+                               row["client_decode_errors"]))
+        if row["qtoken_identity_ok"] is not True:
+            failures.append("load %d%%: qtoken identity violated" % pct)
+    return {"metrics": metrics, "ok": not failures, "failures": failures}

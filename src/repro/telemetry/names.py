@@ -284,3 +284,25 @@ REPL_CLIENT_RETRIES = "repl_client_retries"
 # ----------------------------------------------- legacy kernel batched send
 SENDV_CALLS = "sendv_calls"
 SENDV_SYSCALLS_SAVED = "sendv_syscalls_saved"
+
+# ---------------------------------------------------------------- protocols
+# The unified wire-protocol layer (repro.apps.proto): one set per
+# serving libOS scope.  decode errors are *stream* desyncs (fatal per
+# connection); error replies are protocol-level errors the codec can
+# carry inline (-ERR, memcached status 0x0081) without losing the
+# connection.
+PROTO_REQUESTS = "proto_requests"
+PROTO_DECODE_ERRORS = "proto_decode_errors"
+PROTO_ERROR_REPLIES = "proto_error_replies"
+PROTO_PIPELINE_BATCHES = "proto_pipeline_batches"
+PROTO_PARTIAL_FEEDS = "proto_partial_feeds"
+PROTO_CONNS = "proto_connections"
+#: malformed legacy KV/cache requests dropped by the binary servers
+KV_MALFORMED_REQUESTS = "kv_malformed_requests"
+
+# ------------------------------------------------------------------ loadgen
+# The open-loop generator (repro.bench.loadgen), counted against each
+# client libOS scope.
+LOADGEN_CONNECTS = "loadgen_connects"
+LOADGEN_RECONNECTS = "loadgen_reconnects"
+LOADGEN_STALLS = "loadgen_stalls"

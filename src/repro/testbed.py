@@ -197,7 +197,8 @@ def make_dpdk_libos_pair(drop_rate: float = 0.0, seed: int = 42,
 
 def make_sharded_kv_world(n_shards: int, drop_rate: float = 0.0,
                           seed: int = 42, costs: CostModel = DEFAULT_COSTS,
-                          port: int = 6379, telemetry=False):
+                          port: int = 6379, telemetry=False,
+                          server_cls=None, server_kwargs=None):
     """A server sharded across *n_shards* cores plus one client per shard.
 
     The server host gets ``max(4, n_shards)`` cores and a DPDK NIC with
@@ -217,7 +218,8 @@ def make_sharded_kv_world(n_shards: int, drop_rate: float = 0.0,
                             n_rx_queues=n_shards,
                             replicate_non_ip=(n_shards > 1))
     server = ShardedKvServer(server_host, server_nic, "10.0.0.100",
-                             n_shards, port=port)
+                             n_shards, port=port, server_cls=server_cls,
+                             server_kwargs=server_kwargs)
     clients = []
     for i in range(n_shards):
         host = w.add_host("client%d" % i)

@@ -1,0 +1,154 @@
+"""The decorated workload registry and its param schemas.
+
+The registry replaced stringly-typed dispatch: workloads register via
+``@register_workload`` with a declared param schema, and validate_spec
+rejects unknown params and type mismatches before a single sim tick.
+These tests pin the registration contract, the schema checking rules
+(bool is not an int), and the proto-slo workload's own gates.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ExperimentSpec, validate_spec
+from repro.experiments.workloads import (WORKLOADS, check_params,
+                                         register_workload, schema_summary,
+                                         workload_names)
+
+
+class TestRegistration:
+    def test_decorator_registers_and_returns_fn(self):
+        @register_workload("t-reg-decorated", blurb="test entry",
+                           schema={"n": {"type": "int", "default": 1}})
+        def run(spec):
+            return {"metrics": {}, "ok": True, "failures": []}
+
+        try:
+            entry = WORKLOADS["t-reg-decorated"]
+            assert entry["run"] is run
+            assert entry["blurb"] == "test entry"
+            assert entry["schema"]["n"]["type"] == "int"
+        finally:
+            del WORKLOADS["t-reg-decorated"]
+
+    def test_positional_legacy_form_still_works(self):
+        register_workload("t-reg-legacy", lambda spec: None,
+                          lambda spec: {"metrics": {}, "ok": True,
+                                        "failures": []},
+                          "legacy caller")
+        try:
+            assert WORKLOADS["t-reg-legacy"]["schema"] is None
+        finally:
+            del WORKLOADS["t-reg-legacy"]
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_workload("kv")
+            def run(spec):
+                pass
+
+    def test_replace_flag_allows_override(self):
+        original = WORKLOADS["kv"]
+        try:
+            @register_workload("kv", replace=True, blurb="shadowed")
+            def run(spec):
+                pass
+            assert WORKLOADS["kv"]["blurb"] == "shadowed"
+        finally:
+            WORKLOADS["kv"] = original
+
+    def test_bad_schema_type_rejected_at_registration(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            @register_workload("t-reg-bad-schema",
+                               schema={"x": {"type": "complex"}})
+            def run(spec):
+                pass
+        assert "t-reg-bad-schema" not in WORKLOADS
+
+    def test_every_builtin_workload_declares_a_schema(self):
+        # The redesign's point: no more silently-ignored params anywhere.
+        for name in workload_names():
+            assert WORKLOADS[name]["schema"] is not None, name
+
+
+class TestCheckParams:
+    SCHEMA = {
+        "n_ops": {"type": "int", "default": 40},
+        "rate": {"type": "number", "default": 1.5},
+        "label": {"type": "str"},
+        "strict": {"type": "bool", "default": True},
+        "counters": {"type": "list"},
+    }
+
+    def test_fitting_params_pass(self):
+        assert check_params({"n_ops": 10, "rate": 2,  # int ok for number
+                             "label": "x", "strict": False,
+                             "counters": ["a"]}, self.SCHEMA) is None
+        assert check_params({}, self.SCHEMA) is None
+
+    def test_unknown_param_named_in_error(self):
+        reason = check_params({"n_opps": 10}, self.SCHEMA)
+        assert "unknown param 'n_opps'" in reason
+        assert "n_ops" in reason  # the error lists what IS accepted
+
+    def test_bool_is_not_an_int(self):
+        reason = check_params({"n_ops": True}, self.SCHEMA)
+        assert "must be int, got bool" in reason
+
+    def test_bool_is_not_a_number(self):
+        assert "got bool" in check_params({"rate": True}, self.SCHEMA)
+
+    def test_str_is_not_a_number(self):
+        assert "must be number" in check_params({"rate": "fast"},
+                                                self.SCHEMA)
+
+    def test_schema_summary_renders_types_and_defaults(self):
+        line = schema_summary(self.SCHEMA)
+        assert "n_ops:int=40" in line
+        assert "rate:number=1.5" in line
+        assert "label:str" in line
+        assert "counters:list" in line
+        assert schema_summary(None) == "(any params)"
+        assert schema_summary({}) == "(no params)"
+
+
+class TestValidateSpecGating:
+    def test_unknown_param_rejected_before_workload_validate(self):
+        spec = ExperimentSpec(workload="kv", params={"n_opps": 10})
+        assert "unknown param" in validate_spec(spec)
+
+    def test_type_mismatch_rejected(self):
+        spec = ExperimentSpec(workload="kv", params={"n_ops": "forty"})
+        assert "must be int" in validate_spec(spec)
+
+    def test_proto_slo_accepts_a_good_spec(self):
+        spec = ExperimentSpec(workload="proto-slo",
+                              params={"protocol": "memcached",
+                                      "base_rate_ops_per_s": 100000})
+        assert validate_spec(spec) is None
+
+    def test_proto_slo_rejects_unknown_protocol(self):
+        spec = ExperimentSpec(workload="proto-slo",
+                              params={"protocol": "http3"})
+        assert "protocol" in validate_spec(spec)
+
+    def test_proto_slo_rejects_sharded_posix(self):
+        spec = ExperimentSpec(workload="proto-slo", libos="posix", cores=2)
+        assert validate_spec(spec) is not None
+
+    def test_proto_slo_rejects_fault_plans(self):
+        spec = ExperimentSpec(workload="proto-slo",
+                              fault_plan="reorder-dup-storm")
+        assert validate_spec(spec) is not None
+
+
+class TestExpListCli:
+    def test_list_prints_workloads_and_schemas(self, capsys):
+        assert main(["exp", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in workload_names():
+            assert name in out
+        # The schema table is there with its name:type=default entries.
+        assert "workload params" in out
+        assert "protocol:str='resp'" in out
+        assert "n_ops:int=40" in out
